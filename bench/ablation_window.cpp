@@ -1,0 +1,60 @@
+// Ablation — minimizer window size w. The window controls the density of
+// the minimizer list the JEM sketch is built from (expected density
+// 2/(w+1)): smaller w means denser minimizers, bigger sketch tables and more
+// work; larger w means sparser sampling and eventually lost sensitivity.
+// The paper fixes w = 100; this driver shows the tradeoff around it.
+#include <iostream>
+
+#include "driver_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace jem;
+
+  std::uint64_t cap_bp = 600'000;
+  std::uint64_t seed = 13;
+  util::Options options;
+  options.add_uint("cap-bp", cap_bp, "max simulated genome bases");
+  options.add_uint("seed", seed, "experiment seed");
+  try {
+    (void)options.parse(argc, argv);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage("ablation_window");
+    return 1;
+  }
+
+  std::cout << "=== Ablation: minimizer window size w ===\n\n";
+
+  const sim::DatasetPreset& preset = sim::preset_by_name("Human chr 8");
+  const sim::Dataset dataset = bench::make_scaled(preset, cap_bp, seed);
+
+  eval::TextTable table({"w", "Precision %", "Recall %", "Table entries",
+                         "Build s", "Query s"});
+  for (int w : {10, 25, 50, 100, 200, 400}) {
+    core::MapParams params;
+    params.w = w;
+    params.seed = seed;
+
+    util::WallTimer build_timer;
+    const core::JemMapper mapper(dataset.contigs.contigs, params);
+    const double build_s = build_timer.elapsed_s();
+
+    util::WallTimer map_timer;
+    const auto mappings = mapper.map_reads(dataset.reads.reads);
+    const double map_s = map_timer.elapsed_s();
+
+    const eval::TruthSet truth(dataset.contigs.truth, dataset.reads.truth,
+                               params.segment_length,
+                               static_cast<std::uint32_t>(params.k));
+    const auto counts = eval::evaluate(mappings, truth);
+    table.add_row({std::to_string(w), bench::pct(counts.precision()),
+                   bench::pct(counts.recall()),
+                   util::with_commas(mapper.table().size()),
+                   util::fixed(build_s, 2), util::fixed(map_s, 2)});
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "Expected shape: table size shrinks roughly as 2/(w+1); "
+               "quality holds across a broad plateau around the paper's "
+               "w = 100 and degrades once sampling gets too sparse.\n";
+  return 0;
+}

@@ -1,0 +1,277 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the library:
+// k-mer codec, minimizer scan, hash family, JEM sketch (fast vs the literal
+// Algorithm 1 loop — the interval-sliding ablation), classical MinHash,
+// sketch-table operations, single-segment mapping, the mpisim allgatherv,
+// and the alignment kernels.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "baseline/mashmap_like.hpp"
+#include "baseline/minimap_like.hpp"
+#include "core/jem.hpp"
+#include "io/gzip.hpp"
+#include "io/packed_sequence_set.hpp"
+#include "mpisim/communicator.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace jem;
+
+std::string random_dna(std::uint64_t seed, std::size_t length) {
+  util::Xoshiro256ss rng(seed);
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+void BM_KmerEncode(benchmark::State& state) {
+  const core::KmerCodec codec(16);
+  const std::string seq = random_dna(1, 1000);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 16 <= seq.size(); i += 16) {
+      benchmark::DoNotOptimize(codec.encode(std::string_view(seq).substr(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size() / 16));
+}
+BENCHMARK(BM_KmerEncode);
+
+void BM_KmerReverseComplement(benchmark::State& state) {
+  const core::KmerCodec codec(16);
+  util::Xoshiro256ss rng(2);
+  std::vector<core::KmerCode> codes(1024);
+  for (auto& code : codes) code = rng() & codec.mask();
+  for (auto _ : state) {
+    for (core::KmerCode code : codes) {
+      benchmark::DoNotOptimize(codec.reverse_complement(code));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_KmerReverseComplement);
+
+void BM_MinimizerScan(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const std::string seq = random_dna(3, 100'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimizer_scan(seq, {16, w}));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_MinimizerScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LcgHashFamily(benchmark::State& state) {
+  const core::HashFamily hashes(30, 4);
+  util::Xoshiro256ss rng(5);
+  std::vector<core::KmerCode> codes(256);
+  for (auto& code : codes) code = rng() & 0xffffffffu;
+  for (auto _ : state) {
+    for (core::KmerCode code : codes) {
+      for (int t = 0; t < 30; ++t) {
+        benchmark::DoNotOptimize(hashes.hash(t, code));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 30);
+}
+BENCHMARK(BM_LcgHashFamily);
+
+// Interval-sliding ablation: the T-deque sliding-window-minimum
+// implementation vs the literal per-interval argmin of Algorithm 1.
+void BM_SketchByJemFast(benchmark::State& state) {
+  const std::string seq = random_dna(6, 50'000);
+  const auto minimizers = core::minimizer_scan(seq, {16, 100});
+  const core::HashFamily hashes(30, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sketch_by_jem(minimizers, 1000, hashes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(minimizers.size()));
+}
+BENCHMARK(BM_SketchByJemFast);
+
+void BM_SketchByJemNaive(benchmark::State& state) {
+  const std::string seq = random_dna(6, 50'000);
+  const auto minimizers = core::minimizer_scan(seq, {16, 100});
+  const core::HashFamily hashes(30, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sketch_by_jem_naive(minimizers, 1000, hashes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(minimizers.size()));
+}
+BENCHMARK(BM_SketchByJemNaive);
+
+void BM_ClassicMinhash(benchmark::State& state) {
+  const std::string seq = random_dna(8, 10'000);
+  const core::HashFamily hashes(30, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::classic_minhash(seq, 16, hashes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_ClassicMinhash);
+
+void BM_SketchTableInsert(benchmark::State& state) {
+  util::Xoshiro256ss rng(10);
+  std::vector<core::KmerCode> kmers(10'000);
+  for (auto& kmer : kmers) kmer = rng();
+  for (auto _ : state) {
+    core::SketchTable table(30);
+    for (std::size_t i = 0; i < kmers.size(); ++i) {
+      table.insert(static_cast<int>(i % 30), kmers[i],
+                   static_cast<io::SeqId>(i % 97));
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SketchTableInsert);
+
+void BM_SketchTableLookup(benchmark::State& state) {
+  util::Xoshiro256ss rng(11);
+  std::vector<core::KmerCode> kmers(10'000);
+  core::SketchTable table(30);
+  for (std::size_t i = 0; i < kmers.size(); ++i) {
+    kmers[i] = rng();
+    table.insert(static_cast<int>(i % 30), kmers[i],
+                 static_cast<io::SeqId>(i % 97));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kmers.size(); ++i) {
+      benchmark::DoNotOptimize(table.lookup(static_cast<int>(i % 30),
+                                            kmers[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SketchTableLookup);
+
+void BM_MapSegment(benchmark::State& state) {
+  const std::string genome = random_dna(12, 200'000);
+  io::SequenceSet subjects;
+  for (int i = 0; i < 40; ++i) {
+    subjects.add("c" + std::to_string(i),
+                 genome.substr(static_cast<std::size_t>(i) * 5000, 5000));
+  }
+  core::MapParams params;
+  params.seed = 13;
+  const core::JemMapper mapper(subjects, params);
+  core::MapScratch scratch(subjects.size());
+  const std::string segment = genome.substr(101'000, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_segment(segment, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapSegment);
+
+void BM_MashmapMapSegment(benchmark::State& state) {
+  const std::string genome = random_dna(12, 200'000);
+  io::SequenceSet subjects;
+  for (int i = 0; i < 40; ++i) {
+    subjects.add("c" + std::to_string(i),
+                 genome.substr(static_cast<std::size_t>(i) * 5000, 5000));
+  }
+  const baseline::MashmapLikeMapper mapper(subjects, {});
+  const std::string segment = genome.substr(101'000, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_segment(segment));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MashmapMapSegment);
+
+void BM_MinimapChainSegment(benchmark::State& state) {
+  const std::string genome = random_dna(12, 200'000);
+  io::SequenceSet subjects;
+  for (int i = 0; i < 40; ++i) {
+    subjects.add("c" + std::to_string(i),
+                 genome.substr(static_cast<std::size_t>(i) * 5000, 5000));
+  }
+  const baseline::MinimapLikeMapper mapper(subjects, {});
+  const std::string segment = genome.substr(101'000, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_segment(segment));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinimapChainSegment);
+
+void BM_PackedDecode(benchmark::State& state) {
+  io::PackedSequenceSet packed;
+  packed.add("s", random_dna(19, 100'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed.decode(0, 40'000, 10'000));
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PackedDecode);
+
+void BM_GzipRoundTrip(benchmark::State& state) {
+  const std::string data = random_dna(20, 100'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::gzip_decompress(io::gzip_compress(data, 1)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_GzipRoundTrip);
+
+void BM_Allgatherv(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elements = 4096;
+  for (auto _ : state) {
+    mpisim::run_spmd(ranks, [&](mpisim::Comm& comm) {
+      std::vector<std::uint64_t> local(elements,
+                                       static_cast<std::uint64_t>(comm.rank()));
+      benchmark::DoNotOptimize(comm.allgatherv(local));
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * ranks *
+                          static_cast<std::int64_t>(elements * 8));
+}
+BENCHMARK(BM_Allgatherv)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::string a = random_dna(14, 1000);
+  const std::string b = random_dna(15, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::edit_distance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_BandedEditDistance(benchmark::State& state) {
+  std::string a = random_dna(16, 1000);
+  std::string b = a;
+  b[100] = b[100] == 'A' ? 'C' : 'A';
+  b[500] = b[500] == 'G' ? 'T' : 'G';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_edit_distance(a, b, 32));
+  }
+}
+BENCHMARK(BM_BandedEditDistance);
+
+void BM_SemiglobalAlign(benchmark::State& state) {
+  const std::string subject = random_dna(17, 1800);
+  const std::string query = subject.substr(400, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::semiglobal_align(query, subject));
+  }
+}
+BENCHMARK(BM_SemiglobalAlign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

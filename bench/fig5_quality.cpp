@@ -1,0 +1,69 @@
+// Fig 5 — mapping quality (precision and recall) of JEM-mapper vs Mashmap
+// on the seven simulated-read inputs. The paper's claim: both tools exceed
+// 95 % on essentially all inputs; JEM-mapper has equal-or-better precision
+// (especially on repeat-rich eukaryotic genomes) while Mashmap has
+// marginally better recall.
+#include <iostream>
+
+#include "driver_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace jem;
+
+  std::uint64_t cap_bp = 800'000;
+  std::uint64_t seed = 5;
+  util::Options options;
+  options.add_uint("cap-bp", cap_bp, "max simulated genome bases per input");
+  options.add_uint("seed", seed, "experiment seed");
+  try {
+    (void)options.parse(argc, argv);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage("fig5_quality");
+    return 1;
+  }
+
+  std::cout << "=== Fig 5: precision/recall, JEM-mapper vs Mashmap "
+               "(simulated HiFi reads) ===\n\n";
+
+  core::MapParams params;  // paper defaults: k=16, w=100, T=30, l=1000
+  params.seed = seed;
+
+  eval::TextTable table({"Input", "JEM prec %", "JEM rec %", "MM prec %",
+                         "MM rec %", "JEM map s", "MM map s"});
+  double jem_prec_sum = 0.0;
+  double mm_prec_sum = 0.0;
+  double jem_rec_sum = 0.0;
+  double mm_rec_sum = 0.0;
+  int rows = 0;
+  for (const sim::DatasetPreset& preset : sim::table1_presets()) {
+    if (preset.real_data) continue;  // Fig 5 covers the simulated inputs
+    const sim::Dataset dataset = bench::make_scaled(preset, cap_bp, seed);
+    const bench::QualityResult jem =
+        bench::run_jem_quality(dataset, params, core::SketchScheme::kJem);
+    const bench::QualityResult mashmap =
+        bench::run_mashmap_quality(dataset, params);
+    table.add_row({preset.name, bench::pct(jem.counts.precision()),
+                   bench::pct(jem.counts.recall()),
+                   bench::pct(mashmap.counts.precision()),
+                   bench::pct(mashmap.counts.recall()),
+                   util::fixed(jem.map_s, 2), util::fixed(mashmap.map_s, 2)});
+    jem_prec_sum += jem.counts.precision();
+    mm_prec_sum += mashmap.counts.precision();
+    jem_rec_sum += jem.counts.recall();
+    mm_rec_sum += mashmap.counts.recall();
+    ++rows;
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "means: JEM precision " << bench::pct(jem_prec_sum / rows)
+            << " %, Mashmap precision " << bench::pct(mm_prec_sum / rows)
+            << " %; JEM recall " << bench::pct(jem_rec_sum / rows)
+            << " %, Mashmap recall " << bench::pct(mm_rec_sum / rows)
+            << " %\n\n";
+  std::cout << "Paper reference: both tools > 95 % precision on all inputs; "
+               "JEM precision >= Mashmap on the larger eukaryotic inputs "
+               "(B. splendens: 99.31 % precision / 96.18 % recall for JEM); "
+               "Mashmap recall marginally higher throughout.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 6 — effect of the number of trials T on quality, JEM sketch vs the
+// classical MinHash sketch, on the B. splendens input. The paper's claim:
+// JEM reaches > 95 % precision/recall with only 20-30 trials and saturates;
+// classical MinHash remains far behind even at 100-150 trials.
+#include <iostream>
+
+#include "driver_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace jem;
+
+  std::uint64_t cap_bp = 500'000;
+  std::uint64_t seed = 6;
+  util::Options options;
+  options.add_uint("cap-bp", cap_bp, "max simulated genome bases");
+  options.add_uint("seed", seed, "experiment seed");
+  try {
+    (void)options.parse(argc, argv);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage("fig6_trials");
+    return 1;
+  }
+
+  std::cout << "=== Fig 6: quality vs number of trials T "
+               "(B. splendens, JEM vs classical MinHash) ===\n\n";
+
+  const sim::DatasetPreset& preset = sim::preset_by_name("B. splendens");
+  const sim::Dataset dataset = bench::make_scaled(preset, cap_bp, seed);
+
+  eval::TextTable table({"T", "JEM prec %", "JEM rec %", "MinHash prec %",
+                         "MinHash rec %"});
+  for (int trials : {5, 10, 20, 30, 50, 100, 150}) {
+    core::MapParams params;
+    params.trials = trials;
+    params.seed = seed;
+    const bench::QualityResult jem =
+        bench::run_jem_quality(dataset, params, core::SketchScheme::kJem);
+    const bench::QualityResult classic = bench::run_jem_quality(
+        dataset, params, core::SketchScheme::kClassicMinhash);
+    table.add_row({std::to_string(trials), bench::pct(jem.counts.precision()),
+                   bench::pct(jem.counts.recall()),
+                   bench::pct(classic.counts.precision()),
+                   bench::pct(classic.counts.recall())});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "Paper reference: JEM exceeds 95 % precision and recall by "
+               "T = 20-30 and saturates; classical MinHash stays well below "
+               "even at T = 150 (the paper needed ~150 MinHash trials to "
+               "approach JEM at 30).\n";
+  return 0;
+}

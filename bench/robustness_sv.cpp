@@ -1,0 +1,110 @@
+// Robustness — mapping reads from a structurally divergent donor genome.
+//
+// Hybrid workflows rarely map reads against an assembly of the *same*
+// individual: the donor differs by structural variants. This study derives
+// donor genomes at increasing SV density (Sim-it's domain, the paper's read
+// simulator reference [26]), simulates HiFi reads from the donor, maps them
+// to contigs built from the original genome, and verifies every reported
+// mapping by exact local alignment. The mapper should degrade gracefully:
+// mapped fraction dips only where segments land inside SV events, and the
+// verified-identity rate of what *is* reported stays high.
+#include <iostream>
+
+#include "align/identity.hpp"
+#include "driver_common.hpp"
+#include "eval/report.hpp"
+#include "sim/variants.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace jem;
+
+  std::uint64_t genome_bp = 500'000;
+  std::uint64_t seed = 18;
+  std::uint64_t verify_sample = 300;
+  util::Options options;
+  options.add_uint("genome-bp", genome_bp, "simulated genome length");
+  options.add_uint("seed", seed, "experiment seed");
+  options.add_uint("verify-sample", verify_sample,
+                   "mappings to verify by alignment per configuration");
+  try {
+    (void)options.parse(argc, argv);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage("robustness_sv");
+    return 1;
+  }
+
+  std::cout << "=== Robustness: donor genomes with structural variants ===\n\n";
+
+  sim::GenomeParams genome_params;
+  genome_params.length = genome_bp;
+  genome_params.seed = seed;
+  const std::string genome = sim::simulate_genome(genome_params);
+
+  sim::ContigSimParams contig_params;
+  contig_params.seed = seed + 1;
+  const sim::SimulatedContigs contigs =
+      sim::simulate_contigs(genome, contig_params);
+
+  core::MapParams params;
+  params.seed = seed;
+  const core::JemMapper mapper(contigs.contigs, params);
+
+  align::IdentityParams id_params;
+  id_params.minimizer = {params.k, params.w};
+
+  eval::TextTable table({"SV events/Mbp", "Mapped %", "Verified >=90% id %",
+                         "Segments"});
+  for (double rate : {0.0, 20.0, 100.0, 400.0}) {
+    std::string donor_genome;
+    if (rate == 0.0) {
+      donor_genome = genome;
+    } else {
+      sim::VariantParams sv;
+      sv.events_per_mbp = rate;
+      sv.seed = seed + static_cast<std::uint64_t>(rate);
+      donor_genome = sim::apply_structural_variants(genome, sv).genome;
+    }
+
+    sim::HiFiParams read_params;
+    read_params.coverage = 4.0;
+    read_params.seed = seed + 2;
+    const sim::SimulatedReads reads =
+        sim::simulate_hifi_reads(donor_genome, read_params);
+
+    const auto mappings = mapper.map_reads(reads.reads);
+    std::uint64_t mapped = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t aligned = 0;
+    for (const core::SegmentMapping& mapping : mappings) {
+      if (!mapping.result.mapped()) continue;
+      ++mapped;
+      if (aligned >= verify_sample) continue;
+      for (const core::EndSegment& segment : core::extract_end_segments(
+               mapping.read, reads.reads.bases(mapping.read),
+               params.segment_length)) {
+        if (segment.end != mapping.end) continue;
+        const auto identity = align::segment_identity(
+            segment.bases, contigs.contigs.bases(mapping.result.subject),
+            id_params);
+        if (!identity.has_value()) continue;
+        ++aligned;
+        if (identity->identity >= 0.90) ++verified;
+      }
+    }
+
+    table.add_row(
+        {util::fixed(rate, 0),
+         bench::pct(static_cast<double>(mapped) /
+                    static_cast<double>(mappings.size())),
+         aligned == 0 ? "-"
+                      : bench::pct(static_cast<double>(verified) /
+                                   static_cast<double>(aligned)),
+         std::to_string(mappings.size())});
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "Expected shape: mapped fraction declines only modestly with "
+               "SV density (segments overlapping an event lose their "
+               "anchor), while the alignment-verified quality of reported "
+               "mappings stays high — the sketch never invents hits.\n";
+  return 0;
+}

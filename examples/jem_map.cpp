@@ -1,0 +1,228 @@
+// jem_map — the command-line JEM-mapper tool: maps long reads (FASTA/FASTQ)
+// to contigs (FASTA) and writes a tab-separated mapping, exactly the
+// workflow of the paper's released software. Runs sequentially, threaded, or
+// on the simulated distributed runtime.
+//
+//   jem_map --subjects contigs.fa --queries reads.fq --output out.tsv
+//           [--k 16] [--w 100] [--trials 30] [--segment 1000]
+//           [--ranks 4 | --threads 8] [--scheme jem|minhash]
+//
+// With --demo (no input files) it simulates a small dataset, maps it, and
+// writes both the inputs and the mapping under --output-dir.
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/jem.hpp"
+#include "io/gzip.hpp"
+#include "io/stream_reader.hpp"
+#include "sim/contigs.hpp"
+#include "sim/genome.hpp"
+#include "sim/hifi_reads.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace jem;
+
+  std::string subjects_path;
+  std::string queries_path;
+  std::string output_path = "mappings.tsv";
+  std::string scheme_name = "jem";
+  std::uint64_t k = 16;
+  std::uint64_t w = 100;
+  std::uint64_t trials = 30;
+  std::uint64_t segment = 1000;
+  std::uint64_t seed = 20230517;
+  std::uint64_t ranks = 0;
+  std::uint64_t threads = 0;
+  bool demo = false;
+  bool tiled = false;
+  std::uint64_t batch = 0;
+  std::string save_index;
+  std::string load_index;
+
+  util::Options options;
+  options.add_string("subjects", subjects_path, "contigs FASTA path");
+  options.add_string("queries", queries_path, "long-read FASTA/FASTQ path");
+  options.add_string("output", output_path, "output mapping TSV path");
+  options.add_string("scheme", scheme_name, "sketch scheme: jem | minhash");
+  std::string ordering_name = "lex";
+  options.add_string("ordering", ordering_name,
+                     "minimizer ordering: lex | hash");
+  options.add_uint("k", k, "k-mer size (default 16)");
+  options.add_uint("w", w, "minimizer window in k-mers (default 100)");
+  options.add_uint("trials", trials, "number of MinHash trials T (default 30)");
+  options.add_uint("segment", segment, "end-segment length l (default 1000)");
+  options.add_uint("seed", seed, "experiment seed");
+  options.add_uint("ranks", ranks, "run distributed on this many ranks");
+  bool partitioned = false;
+  options.add_flag("partitioned", partitioned,
+                   "with --ranks: shard the sketch table by k-mer instead "
+                   "of replicating it (less memory, more communication)");
+  options.add_uint("threads", threads, "run threaded with this many threads");
+  options.add_flag("demo", demo, "simulate inputs instead of reading files");
+  options.add_flag("tiled", tiled,
+                   "containment mode: tile whole reads with l-length "
+                   "segments (finds contigs inside read interiors)");
+  options.add_uint("batch", batch,
+                   "stream queries in batches of N reads (constant memory; "
+                   "sequential mapping only)");
+  options.add_string("save-index", save_index,
+                     "write the subject sketch table to this file");
+  options.add_string("load-index", load_index,
+                     "reuse a sketch table written by --save-index");
+  try {
+    (void)options.parse(argc, argv);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage("jem_map");
+    return 1;
+  }
+
+  io::SequenceSet subjects;
+  io::SequenceSet reads;
+  try {
+    if (demo) {
+      sim::GenomeParams genome_params;
+      genome_params.length = 400'000;
+      genome_params.seed = seed;
+      const std::string genome = sim::simulate_genome(genome_params);
+      sim::ContigSimParams contig_params;
+      contig_params.seed = seed + 1;
+      const auto contigs = sim::simulate_contigs(genome, contig_params);
+      sim::HiFiParams read_params;
+      read_params.coverage = 4.0;
+      read_params.seed = seed + 2;
+      const auto simulated = sim::simulate_hifi_reads(genome, read_params);
+      for (io::SeqId id = 0; id < contigs.contigs.size(); ++id) {
+        subjects.add(contigs.contigs.name(id), contigs.contigs.bases(id));
+      }
+      for (io::SeqId id = 0; id < simulated.reads.size(); ++id) {
+        reads.add(simulated.reads.name(id), simulated.reads.bases(id));
+      }
+    } else {
+      if (subjects_path.empty() || queries_path.empty()) {
+        std::cerr << "error: --subjects and --queries are required "
+                     "(or use --demo)\n"
+                  << options.usage("jem_map");
+        return 1;
+      }
+      io::load_into(subjects_path, subjects);
+      if (batch == 0) io::load_into(queries_path, reads);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "input error: " << error.what() << '\n';
+    return 1;
+  }
+
+  core::MapParams params;
+  params.k = static_cast<int>(k);
+  params.w = static_cast<int>(w);
+  params.trials = static_cast<int>(trials);
+  params.segment_length = static_cast<std::uint32_t>(segment);
+  params.seed = seed;
+
+  if (ordering_name == "hash") {
+    params.ordering = core::MinimizerOrdering::kRandomHash;
+  } else if (ordering_name != "lex") {
+    std::cerr << "error: unknown --ordering '" << ordering_name << "'\n";
+    return 1;
+  }
+
+  core::SketchScheme scheme = core::SketchScheme::kJem;
+  if (scheme_name == "minhash") {
+    scheme = core::SketchScheme::kClassicMinhash;
+  } else if (scheme_name != "jem") {
+    std::cerr << "error: unknown --scheme '" << scheme_name << "'\n";
+    return 1;
+  }
+
+  util::log_info() << "subjects=" << subjects.size()
+                   << " queries=" << reads.size() << " k=" << k << " w=" << w
+                   << " T=" << trials << " l=" << segment;
+
+  util::WallTimer timer;
+  std::vector<io::MappingLine> lines;
+  if (ranks > 0) {
+    const core::DistributedResult result =
+        partitioned
+            ? core::run_distributed_partitioned(
+                  subjects, reads, params, static_cast<int>(ranks), scheme)
+            : core::run_distributed(subjects, reads, params,
+                                    static_cast<int>(ranks), scheme);
+    const core::JemMapper name_resolver(subjects, params, scheme,
+                                        core::SketchTable(params.trials));
+    lines = name_resolver.to_mapping_lines(reads, result.mappings);
+    util::log_info() << "distributed (" << ranks << " ranks): total "
+                     << result.report.total_s() << " s, allgather "
+                     << result.report.allgather_s << " s";
+  } else {
+    std::optional<core::JemMapper> mapper;
+    if (!load_index.empty()) {
+      std::ifstream index_in(load_index, std::ios::binary);
+      if (!index_in) {
+        std::cerr << "error: cannot open index " << load_index << '\n';
+        return 1;
+      }
+      mapper.emplace(subjects, params, scheme,
+                     core::SketchTable::load(index_in));
+      util::log_info() << "loaded sketch table from " << load_index;
+    } else {
+      mapper.emplace(subjects, params, scheme);
+    }
+    if (!save_index.empty()) {
+      std::ofstream index_out(save_index, std::ios::binary);
+      if (!index_out) {
+        std::cerr << "error: cannot write index " << save_index << '\n';
+        return 1;
+      }
+      mapper->table().save(index_out);
+      util::log_info() << "saved sketch table to " << save_index;
+    }
+
+    if (batch > 0 && !demo) {
+      // Streaming mode: constant memory in the query set.
+      std::istringstream stream(io::read_file_auto(queries_path));
+      io::SequenceStreamReader reader(stream);
+      while (true) {
+        const io::SequenceSet chunk = reader.next_batch(batch);
+        if (chunk.empty()) break;
+        const auto mappings = tiled ? mapper->map_reads_tiled(chunk)
+                                    : mapper->map_reads(chunk);
+        const auto chunk_lines = mapper->to_mapping_lines(chunk, mappings);
+        lines.insert(lines.end(), chunk_lines.begin(), chunk_lines.end());
+      }
+      util::log_info() << "streamed " << reader.records_read()
+                       << " reads in batches of " << batch;
+    } else {
+      std::vector<core::SegmentMapping> mappings;
+      if (tiled) {
+        mappings = mapper->map_reads_tiled(reads);
+      } else if (threads > 1) {
+        util::ThreadPool pool(threads);
+        mappings = mapper->map_reads_parallel(reads, pool);
+      } else {
+        mappings = mapper->map_reads(reads);
+      }
+      lines = mapper->to_mapping_lines(reads, mappings);
+    }
+  }
+  util::log_info() << "mapped " << lines.size() << " end segments in "
+                   << timer.elapsed_s() << " s";
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << output_path << '\n';
+    return 1;
+  }
+  io::write_mappings(out, lines);
+  std::uint64_t mapped = 0;
+  for (const auto& line : lines) {
+    if (line.mapped()) ++mapped;
+  }
+  std::cout << "wrote " << lines.size() << " records (" << mapped
+            << " mapped) to " << output_path << '\n';
+  return 0;
+}

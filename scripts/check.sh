@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local check: configure, build (warnings-as-errors), run the test
+# suite, then every benchmark/table/figure driver. This is what CI runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  if [[ -x "$b" ]]; then
+    echo "== $b =="
+    "$b"
+  fi
+done
+
+for e in quickstart hybrid_scaffold hybrid_pipeline parameter_study; do
+  echo "== examples/$e =="
+  "./build/examples/$e"
+done
+./build/examples/jem_map --demo --output /tmp/jem_check.tsv
+echo "ALL CHECKS PASSED"

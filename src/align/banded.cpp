@@ -1,0 +1,290 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace jem::align {
+
+std::uint64_t edit_distance(std::string_view a, std::string_view b) {
+  // Two-row DP; iterate over the shorter string in the inner loop.
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<std::uint64_t> prev(b.size() + 1);
+  std::vector<std::uint64_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::uint64_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({sub, prev[j] + 1, curr[j - 1] + 1});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::optional<std::uint64_t> banded_edit_distance(std::string_view a,
+                                                  std::string_view b,
+                                                  std::uint64_t band) {
+  const std::uint64_t length_gap =
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (length_gap > band) return std::nullopt;
+
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max() / 2;
+  const auto w = static_cast<std::size_t>(2 * band + 1);
+  // Row i stores cells j in [i - band, i + band], offset into [0, w).
+  std::vector<std::uint64_t> prev(w, kInf);
+  std::vector<std::uint64_t> curr(w, kInf);
+
+  // Row 0: D[0][j] = j for j <= band.
+  for (std::size_t d = 0; d < w; ++d) {
+    const std::int64_t j = static_cast<std::int64_t>(d) -
+                           static_cast<std::int64_t>(band);
+    if (j >= 0 && j <= static_cast<std::int64_t>(b.size())) {
+      prev[d] = static_cast<std::uint64_t>(j);
+    }
+  }
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::int64_t j_lo =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(i) -
+                                      static_cast<std::int64_t>(band));
+    const std::int64_t j_hi =
+        std::min<std::int64_t>(static_cast<std::int64_t>(b.size()),
+                               static_cast<std::int64_t>(i + band));
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      const std::size_t d = static_cast<std::size_t>(
+          j - static_cast<std::int64_t>(i) + static_cast<std::int64_t>(band));
+      std::uint64_t best = kInf;
+      if (j == 0) {
+        best = i;
+      } else {
+        // Substitution: prev row, same diagonal offset.
+        const std::uint64_t sub =
+            prev[d] + (a[i - 1] == b[static_cast<std::size_t>(j) - 1] ? 0 : 1);
+        best = sub;
+        // Deletion from a: prev row, diagonal offset +1.
+        if (d + 1 < w) best = std::min(best, prev[d + 1] + 1);
+        // Insertion into a: current row, diagonal offset -1.
+        if (d >= 1) best = std::min(best, curr[d - 1] + 1);
+      }
+      curr[d] = best;
+    }
+    std::swap(prev, curr);
+  }
+
+  const std::int64_t final_d = static_cast<std::int64_t>(b.size()) -
+                               static_cast<std::int64_t>(a.size()) +
+                               static_cast<std::int64_t>(band);
+  const std::uint64_t result = prev[static_cast<std::size_t>(final_d)];
+  if (result > band) return std::nullopt;
+  return result;
+}
+
+SemiglobalResult semiglobal_align(std::string_view query,
+                                  std::string_view subject) {
+  // D[i][j] = min edits aligning query[0..i) ending at subject position j,
+  // with D[0][j] = 0 (free leading subject gap). The best end column of the
+  // last row gives the placement; the start is recovered from a parallel
+  // "start column" table propagated with the DP (O(|q|·|s|) time, O(|s|)
+  // space).
+  const std::size_t qn = query.size();
+  const std::size_t sn = subject.size();
+  SemiglobalResult result;
+  if (qn == 0) {
+    result.identity = 1.0;
+    return result;
+  }
+  if (sn == 0) {
+    result.edit_distance = qn;
+    return result;
+  }
+
+  std::vector<std::uint64_t> prev(sn + 1), curr(sn + 1);
+  std::vector<std::uint64_t> prev_start(sn + 1), curr_start(sn + 1);
+  for (std::size_t j = 0; j <= sn; ++j) {
+    prev[j] = 0;
+    prev_start[j] = j;  // an alignment ending at column j starts at j
+  }
+
+  for (std::size_t i = 1; i <= qn; ++i) {
+    curr[0] = i;
+    curr_start[0] = 0;
+    for (std::size_t j = 1; j <= sn; ++j) {
+      const std::uint64_t sub =
+          prev[j - 1] + (query[i - 1] == subject[j - 1] ? 0 : 1);
+      const std::uint64_t del = prev[j] + 1;     // consume query base only
+      const std::uint64_t ins = curr[j - 1] + 1; // consume subject base only
+      if (sub <= del && sub <= ins) {
+        curr[j] = sub;
+        curr_start[j] = prev_start[j - 1];
+      } else if (del <= ins) {
+        curr[j] = del;
+        curr_start[j] = prev_start[j];
+      } else {
+        curr[j] = ins;
+        curr_start[j] = curr_start[j - 1];
+      }
+    }
+    std::swap(prev, curr);
+    std::swap(prev_start, curr_start);
+  }
+
+  std::size_t best_j = 0;
+  for (std::size_t j = 1; j <= sn; ++j) {
+    if (prev[j] < prev[best_j]) best_j = j;
+  }
+  result.edit_distance = prev[best_j];
+  result.subject_begin = prev_start[best_j];
+  result.subject_end = best_j;
+  const std::uint64_t window = best_j - prev_start[best_j];
+  const std::uint64_t denom = std::max<std::uint64_t>(qn, window);
+  result.identity =
+      denom == 0 ? 1.0
+                 : 1.0 - static_cast<double>(result.edit_distance) /
+                             static_cast<double>(denom);
+  return result;
+}
+
+LocalResult local_align(std::string_view query, std::string_view subject) {
+  return local_align_cigar(query, subject).local;
+}
+
+CigarResult local_align_cigar(std::string_view query,
+                              std::string_view subject) {
+  CigarResult out;
+  LocalResult& result = out.local;
+  const std::size_t qn = query.size();
+  const std::size_t sn = subject.size();
+  if (qn == 0 || sn == 0) return out;
+
+  constexpr std::int32_t kMatch = 1;
+  constexpr std::int32_t kMismatch = -1;
+  // Gaps cost more than mismatches (BLAST-like ratio). With gap == match a
+  // local alignment can chain matches through unrelated sequence at
+  // break-even cost and creep far into non-homologous flanks; -2 keeps the
+  // alignment confined to the truly homologous region.
+  constexpr std::int32_t kGap = -2;
+  enum : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+  // Full DP with a traceback matrix (rows = query+1, cols = subject+1).
+  const std::size_t stride = sn + 1;
+  std::vector<std::int32_t> score((qn + 1) * stride, 0);
+  std::vector<std::uint8_t> trace((qn + 1) * stride, kStop);
+
+  std::int32_t best_score = 0;
+  std::size_t best_i = 0;
+  std::size_t best_j = 0;
+  for (std::size_t i = 1; i <= qn; ++i) {
+    for (std::size_t j = 1; j <= sn; ++j) {
+      const bool match = query[i - 1] == subject[j - 1];
+      const std::int32_t diag = score[(i - 1) * stride + (j - 1)] +
+                                (match ? kMatch : kMismatch);
+      const std::int32_t up = score[(i - 1) * stride + j] + kGap;
+      const std::int32_t left = score[i * stride + (j - 1)] + kGap;
+      std::int32_t cell = 0;
+      std::uint8_t direction = kStop;
+      if (diag > cell) {
+        cell = diag;
+        direction = kDiag;
+      }
+      if (up > cell) {
+        cell = up;
+        direction = kUp;
+      }
+      if (left > cell) {
+        cell = left;
+        direction = kLeft;
+      }
+      score[i * stride + j] = cell;
+      trace[i * stride + j] = direction;
+      if (cell > best_score) {
+        best_score = cell;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (best_score == 0) return out;
+
+  // Trace back from the maximum-scoring cell, collecting CIGAR ops in
+  // reverse (kDiag -> M, kUp -> I [query-only], kLeft -> D [subject-only]).
+  result.score = best_score;
+  result.query_end = best_i;
+  result.subject_end = best_j;
+  std::vector<CigarOp> reversed;
+  const auto emit = [&reversed](char op) {
+    if (!reversed.empty() && reversed.back().op == op) {
+      ++reversed.back().length;
+    } else {
+      reversed.push_back({op, 1});
+    }
+  };
+  std::size_t i = best_i;
+  std::size_t j = best_j;
+  while (trace[i * stride + j] != kStop) {
+    switch (trace[i * stride + j]) {
+      case kDiag:
+        if (query[i - 1] == subject[j - 1]) ++result.matches;
+        emit('M');
+        --i;
+        --j;
+        break;
+      case kUp:
+        emit('I');
+        --i;
+        break;
+      case kLeft:
+        emit('D');
+        --j;
+        break;
+      default:
+        break;
+    }
+    ++result.columns;
+  }
+  result.query_begin = i;
+  result.subject_begin = j;
+
+  // Assemble forward CIGAR with soft clips for the unaligned query ends.
+  if (result.query_begin > 0) {
+    out.cigar.push_back(
+        {'S', static_cast<std::uint32_t>(result.query_begin)});
+  }
+  out.cigar.insert(out.cigar.end(), reversed.rbegin(), reversed.rend());
+  if (result.query_end < qn) {
+    out.cigar.push_back(
+        {'S', static_cast<std::uint32_t>(qn - result.query_end)});
+  }
+  return out;
+}
+
+std::string cigar_string(const std::vector<CigarOp>& cigar) {
+  if (cigar.empty()) return "*";
+  std::string out;
+  for (const CigarOp& op : cigar) {
+    out += std::to_string(op.length);
+    out.push_back(op.op);
+  }
+  return out;
+}
+
+std::uint64_t cigar_query_span(const std::vector<CigarOp>& ops) {
+  std::uint64_t span = 0;
+  for (const CigarOp& op : ops) {
+    if (op.op == 'M' || op.op == 'I' || op.op == 'S') span += op.length;
+  }
+  return span;
+}
+
+std::uint64_t cigar_subject_span(const std::vector<CigarOp>& ops) {
+  std::uint64_t span = 0;
+  for (const CigarOp& op : ops) {
+    if (op.op == 'M' || op.op == 'D') span += op.length;
+  }
+  return span;
+}
+
+}  // namespace jem::align

@@ -1,0 +1,103 @@
+// Exact alignment kernels used to verify mapping quality (the paper used
+// BLAST for its Fig 9 percent-identity measurement; these provide the same
+// number from an exact dynamic program).
+//
+//  * edit_distance           — full Levenshtein DP, O(mn), small inputs.
+//  * banded_edit_distance    — banded Levenshtein; returns nullopt when the
+//                              true distance exceeds the band.
+//  * semiglobal_identity     — glocal alignment of a query against a longer
+//                              subject window (free gaps at the subject
+//                              ends), returning percent identity of the best
+//                              placement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::align {
+
+/// Classic Levenshtein distance (unit costs).
+[[nodiscard]] std::uint64_t edit_distance(std::string_view a,
+                                          std::string_view b);
+
+/// Banded Levenshtein with band half-width `band`. Exact when the true
+/// distance is <= band; otherwise returns nullopt.
+[[nodiscard]] std::optional<std::uint64_t> banded_edit_distance(
+    std::string_view a, std::string_view b, std::uint64_t band);
+
+/// Result of a semi-global alignment of `query` inside `subject`.
+struct SemiglobalResult {
+  std::uint64_t edit_distance = 0;  // of the best placement
+  std::uint64_t subject_begin = 0;  // best-placement window on the subject
+  std::uint64_t subject_end = 0;
+  double identity = 0.0;  // 1 - dist / max(|query|, window length)
+};
+
+/// Aligns `query` against `subject` with free leading/trailing subject gaps
+/// (the query must be consumed entirely). O(|q|·|s|) — callers pass a
+/// pre-localized subject window, not a whole contig.
+[[nodiscard]] SemiglobalResult semiglobal_align(std::string_view query,
+                                                std::string_view subject);
+
+/// Result of a local (Smith-Waterman) alignment with unit scores
+/// (+1 match, -1 mismatch, -1 gap).
+struct LocalResult {
+  std::int64_t score = 0;
+  std::uint64_t matches = 0;       // matched columns in the best alignment
+  std::uint64_t columns = 0;       // total alignment columns
+  std::uint64_t query_begin = 0;   // aligned query range [begin, end)
+  std::uint64_t query_end = 0;
+  std::uint64_t subject_begin = 0;
+  std::uint64_t subject_end = 0;
+
+  /// BLAST-style percent identity: matches / alignment columns.
+  [[nodiscard]] double identity() const noexcept {
+    return columns == 0 ? 0.0
+                        : static_cast<double>(matches) /
+                              static_cast<double>(columns);
+  }
+};
+
+/// Smith-Waterman local alignment with full traceback — the measurement the
+/// paper's Fig 9 takes from BLAST: identity over the best-aligned region
+/// only, so a segment that half-overlaps a contig still scores its
+/// overlapping half. O(|q|·|s|) time and space.
+[[nodiscard]] LocalResult local_align(std::string_view query,
+                                      std::string_view subject);
+
+/// One CIGAR operation (SAM semantics): M (align column), I (insertion to
+/// the subject, i.e. query-only base), D (deletion from the subject),
+/// S (soft clip).
+struct CigarOp {
+  char op = 'M';
+  std::uint32_t length = 0;
+
+  friend bool operator==(const CigarOp&, const CigarOp&) = default;
+};
+
+/// Local alignment that also returns the CIGAR of the best placement, with
+/// soft clips covering the unaligned query ends — ready for SAM emission.
+struct CigarResult {
+  LocalResult local;
+  std::vector<CigarOp> cigar;  // includes leading/trailing S ops
+};
+
+[[nodiscard]] CigarResult local_align_cigar(std::string_view query,
+                                            std::string_view subject);
+
+/// Renders a CIGAR vector as the SAM string ("5S90M1I4M..."); empty input
+/// renders as "*".
+[[nodiscard]] std::string cigar_string(const std::vector<CigarOp>& cigar);
+
+/// Total query bases consumed by a CIGAR (M + I + S) — must equal the query
+/// length of the record it annotates.
+[[nodiscard]] std::uint64_t cigar_query_span(const std::vector<CigarOp>& ops);
+
+/// Total subject bases consumed (M + D).
+[[nodiscard]] std::uint64_t cigar_subject_span(
+    const std::vector<CigarOp>& ops);
+
+}  // namespace jem::align

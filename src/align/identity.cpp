@@ -1,0 +1,103 @@
+#include "align/identity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "core/dna.hpp"
+
+namespace jem::align {
+
+namespace {
+
+/// Median offset (subject_pos - query_pos) of shared minimizers between the
+/// query and one orientation of the subject; nullopt when nothing is shared.
+std::optional<std::int64_t> anchor_offset(
+    const std::vector<core::Minimizer>& query,
+    const std::vector<core::Minimizer>& subject) {
+  std::unordered_map<core::KmerCode, std::vector<std::uint32_t>> query_pos;
+  for (const core::Minimizer& m : query) query_pos[m.kmer].push_back(m.position);
+
+  std::vector<std::int64_t> offsets;
+  for (const core::Minimizer& m : subject) {
+    const auto it = query_pos.find(m.kmer);
+    if (it == query_pos.end()) continue;
+    for (std::uint32_t qp : it->second) {
+      offsets.push_back(static_cast<std::int64_t>(m.position) -
+                        static_cast<std::int64_t>(qp));
+    }
+  }
+  if (offsets.empty()) return std::nullopt;
+  const std::size_t mid = offsets.size() / 2;
+  std::nth_element(offsets.begin(),
+                   offsets.begin() + static_cast<std::ptrdiff_t>(mid),
+                   offsets.end());
+  return offsets[mid];
+}
+
+/// Aligns the query against the subject window around `offset` with a local
+/// (Smith-Waterman) alignment — BLAST semantics: identity is measured over
+/// the best-aligned region, so a segment that only partially overlaps the
+/// contig scores the identity of its overlapping part.
+IdentityResult align_at(std::string_view segment, std::string_view subject,
+                        std::int64_t offset, const IdentityParams& params,
+                        bool reverse) {
+  const auto margin = static_cast<std::int64_t>(params.window_margin);
+  const std::int64_t lo = std::max<std::int64_t>(0, offset - margin);
+  const std::int64_t hi = std::min<std::int64_t>(
+      static_cast<std::int64_t>(subject.size()),
+      offset + static_cast<std::int64_t>(segment.size()) + margin);
+  IdentityResult result;
+  result.reverse = reverse;
+  if (hi <= lo) return result;
+
+  const std::string_view window = subject.substr(
+      static_cast<std::size_t>(lo), static_cast<std::size_t>(hi - lo));
+  CigarResult aligned = local_align_cigar(segment, window);
+  result.identity = aligned.local.identity();
+  result.subject_begin =
+      static_cast<std::uint64_t>(lo) + aligned.local.subject_begin;
+  result.subject_end =
+      static_cast<std::uint64_t>(lo) + aligned.local.subject_end;
+  result.cigar = std::move(aligned.cigar);
+  return result;
+}
+
+}  // namespace
+
+std::optional<IdentityResult> segment_identity(std::string_view segment,
+                                               std::string_view subject,
+                                               const IdentityParams& params) {
+  const std::vector<core::Minimizer> query_minimizers =
+      core::minimizer_scan(segment, params.minimizer);
+  if (query_minimizers.empty()) return std::nullopt;
+
+  // Canonical minimizers match across strands, so one subject scan anchors
+  // both orientations; the orientation is disambiguated by aligning the
+  // forward and reverse-complemented segment and keeping the better.
+  const std::vector<core::Minimizer> subject_minimizers =
+      core::minimizer_scan(subject, params.minimizer);
+
+  const auto fwd_offset = anchor_offset(query_minimizers, subject_minimizers);
+
+  const std::string rc_segment = core::reverse_complement(segment);
+  const std::vector<core::Minimizer> rc_minimizers =
+      core::minimizer_scan(rc_segment, params.minimizer);
+  const auto rc_offset = anchor_offset(rc_minimizers, subject_minimizers);
+
+  std::optional<IdentityResult> best;
+  if (fwd_offset.has_value()) {
+    best = align_at(segment, subject, *fwd_offset, params, /*reverse=*/false);
+  }
+  if (rc_offset.has_value()) {
+    const IdentityResult rc_result =
+        align_at(rc_segment, subject, *rc_offset, params, /*reverse=*/true);
+    if (!best.has_value() || rc_result.identity > best->identity) {
+      best = rc_result;
+    }
+  }
+  return best;
+}
+
+}  // namespace jem::align

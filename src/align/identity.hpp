@@ -1,0 +1,38 @@
+// Percent-identity verification of mappings (the paper's Fig 9 pipeline,
+// which used BLAST): for a mapped <segment, contig> pair, localize the
+// segment on the contig via shared minimizers, extract a window with margin,
+// and compute identity with an exact semi-global alignment — trying both
+// orientations, since contigs and reads have arbitrary strands.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "align/banded.hpp"
+#include "core/minimizer.hpp"
+
+namespace jem::align {
+
+struct IdentityParams {
+  core::MinimizerParams minimizer{16, 100};
+  std::uint32_t window_margin = 400;  // extra subject bases on each side
+};
+
+struct IdentityResult {
+  double identity = 0.0;      // best of the two orientations
+  bool reverse = false;       // true if the reverse-complement strand won
+  std::uint64_t subject_begin = 0;
+  std::uint64_t subject_end = 0;
+  // CIGAR of the winning local alignment (query as aligned, i.e. already
+  // reverse-complemented when `reverse` is set), with soft-clipped ends.
+  std::vector<CigarOp> cigar;
+};
+
+/// Localizes `segment` on `subject` and returns its percent identity, or
+/// nullopt when no shared minimizer anchors the placement.
+[[nodiscard]] std::optional<IdentityResult> segment_identity(
+    std::string_view segment, std::string_view subject,
+    const IdentityParams& params = {});
+
+}  // namespace jem::align

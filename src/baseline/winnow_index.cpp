@@ -1,0 +1,51 @@
+#include "baseline/winnow_index.hpp"
+
+#include <algorithm>
+
+namespace jem::baseline {
+
+WinnowIndex::WinnowIndex(const io::SequenceSet& subjects,
+                         const core::MinimizerParams& params)
+    : params_(params) {
+  subject_positions_.resize(subjects.size());
+  for (io::SeqId id = 0; id < subjects.size(); ++id) {
+    const std::vector<core::Minimizer> minimizers =
+        core::minimizer_scan(subjects.bases(id), params_);
+    auto& positions = subject_positions_[id];
+    positions.reserve(minimizers.size());
+    for (const core::Minimizer& m : minimizers) {
+      index_[m.kmer].push_back({id, m.position});
+      positions.push_back(m.position);
+      ++postings_;
+    }
+  }
+}
+
+std::span<const Occurrence> WinnowIndex::lookup(core::KmerCode kmer) const {
+  const auto it = index_.find(kmer);
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+std::span<const Occurrence> WinnowIndex::lookup_masked(
+    core::KmerCode kmer, std::size_t cap) const {
+  const auto occurrences = lookup(kmer);
+  if (occurrences.size() > cap) return {};
+  return occurrences;
+}
+
+std::span<const std::uint32_t> WinnowIndex::subject_positions(
+    io::SeqId subject) const {
+  return subject_positions_.at(subject);
+}
+
+std::uint32_t WinnowIndex::count_in_window(io::SeqId subject,
+                                           std::uint32_t begin,
+                                           std::uint32_t end) const {
+  const auto& positions = subject_positions_.at(subject);
+  const auto lo = std::lower_bound(positions.begin(), positions.end(), begin);
+  const auto hi = std::upper_bound(positions.begin(), positions.end(), end);
+  return static_cast<std::uint32_t>(std::distance(lo, hi));
+}
+
+}  // namespace jem::baseline

@@ -1,0 +1,60 @@
+// WinnowIndex — the positional minimizer index shared by the comparator
+// mappers (Mashmap-like and minimap2-like): for every canonical minimizer
+// of every subject, the list of (subject, position) occurrences, plus the
+// per-subject position-sorted minimizer lists used for windowed density
+// queries. Highly repetitive minimizers can be masked at query time via the
+// occurrence cap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/minimizer.hpp"
+#include "io/sequence_set.hpp"
+
+namespace jem::baseline {
+
+struct Occurrence {
+  io::SeqId subject = 0;
+  std::uint32_t position = 0;
+};
+
+class WinnowIndex {
+ public:
+  WinnowIndex(const io::SequenceSet& subjects,
+              const core::MinimizerParams& params);
+
+  [[nodiscard]] const core::MinimizerParams& params() const noexcept {
+    return params_;
+  }
+
+  /// All occurrences of `kmer` (empty when absent).
+  [[nodiscard]] std::span<const Occurrence> lookup(
+      core::KmerCode kmer) const;
+
+  /// Occurrences of `kmer`, or empty when its frequency exceeds `cap`
+  /// (the repeat mask).
+  [[nodiscard]] std::span<const Occurrence> lookup_masked(
+      core::KmerCode kmer, std::size_t cap) const;
+
+  /// Position-sorted minimizer positions of one subject.
+  [[nodiscard]] std::span<const std::uint32_t> subject_positions(
+      io::SeqId subject) const;
+
+  /// Number of minimizers of `subject` with position in [begin, end].
+  [[nodiscard]] std::uint32_t count_in_window(io::SeqId subject,
+                                              std::uint32_t begin,
+                                              std::uint32_t end) const;
+
+  [[nodiscard]] std::size_t postings() const noexcept { return postings_; }
+
+ private:
+  core::MinimizerParams params_;
+  std::unordered_map<core::KmerCode, std::vector<Occurrence>> index_;
+  std::vector<std::vector<std::uint32_t>> subject_positions_;
+  std::size_t postings_ = 0;
+};
+
+}  // namespace jem::baseline

@@ -1,0 +1,436 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace jem::core {
+
+std::vector<std::pair<io::SeqId, io::SeqId>> partition_by_bases(
+    const io::SequenceSet& set, int ranks) {
+  if (ranks < 1) {
+    throw std::invalid_argument("partition_by_bases: ranks must be >= 1");
+  }
+  const auto p = static_cast<std::size_t>(ranks);
+  std::vector<std::pair<io::SeqId, io::SeqId>> ranges(p);
+
+  const double total = static_cast<double>(set.total_bases());
+  io::SeqId cursor = 0;
+  std::uint64_t consumed = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    const io::SeqId begin = cursor;
+    // Advance until this rank's cumulative share reaches (r+1)/p of the
+    // total bases; the last rank absorbs any floating-point remainder.
+    const double target =
+        total * static_cast<double>(r + 1) / static_cast<double>(p);
+    while (cursor < set.size() && static_cast<double>(consumed) < target) {
+      consumed += set.length(cursor);
+      ++cursor;
+    }
+    ranges[r] = {begin, cursor};
+  }
+  ranges.back().second = static_cast<io::SeqId>(set.size());
+  return ranges;
+}
+
+MappingWire to_wire(const SegmentMapping& mapping) noexcept {
+  return {mapping.read,   static_cast<std::uint32_t>(mapping.end),
+          mapping.offset, mapping.segment_length,
+          mapping.result.subject, mapping.result.votes};
+}
+
+SegmentMapping from_wire(const MappingWire& wire) noexcept {
+  SegmentMapping mapping;
+  mapping.read = wire.read;
+  mapping.end = static_cast<ReadEnd>(wire.end);
+  mapping.offset = wire.offset;
+  mapping.segment_length = wire.segment_length;
+  mapping.result.subject = wire.subject;
+  mapping.result.votes = wire.votes;
+  return mapping;
+}
+
+namespace {
+
+void sort_by_read(std::vector<SegmentMapping>& mappings) {
+  std::sort(mappings.begin(), mappings.end(),
+            [](const SegmentMapping& a, const SegmentMapping& b) {
+              if (a.read != b.read) return a.read < b.read;
+              return static_cast<int>(a.end) < static_cast<int>(b.end);
+            });
+}
+
+}  // namespace
+
+DistributedResult run_distributed(const io::SequenceSet& subjects,
+                                  const io::SequenceSet& reads,
+                                  const MapParams& params, int ranks,
+                                  SketchScheme scheme, int threads_per_rank) {
+  params.validate();
+  if (threads_per_rank < 1) {
+    throw std::invalid_argument(
+        "run_distributed: threads_per_rank must be >= 1");
+  }
+  DistributedResult result;
+  result.report.ranks = ranks;
+
+  std::vector<SegmentMapping> gathered;
+  std::mutex report_mutex;
+  double max_sketch_s = 0.0;
+  double max_map_s = 0.0;
+  double allgather_s = 0.0;
+  double build_global_s = 0.0;
+  std::uint64_t sketch_bytes = 0;
+  std::uint64_t table_entries_max = 0;
+  std::uint64_t queries_mapped = 0;
+
+  util::WallTimer load_timer;
+  const auto subject_ranges = partition_by_bases(subjects, ranks);
+  const auto read_ranges = partition_by_bases(reads, ranks);
+  const double load_s = load_timer.elapsed_s();
+
+  mpisim::run_spmd(ranks, [&](mpisim::Comm& comm) {
+    const int rank = comm.rank();
+    const auto [s_begin, s_end] =
+        subject_ranges[static_cast<std::size_t>(rank)];
+    const auto [q_begin, q_end] = read_ranges[static_cast<std::size_t>(rank)];
+
+    // Every rank derives the shared hash family from the experiment seed.
+    const HashFamily hashes(params.trials, params.seed);
+
+    // S2: sketch local subjects.
+    util::WallTimer sketch_timer;
+    const SketchTable local =
+        sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+    const std::vector<SketchEntry> local_entries = local.to_entries();
+    const double sketch_s = sketch_timer.elapsed_s();
+
+    // S3: allgatherv the sketch entries; rebuild the replicated table.
+    util::WallTimer gather_timer;
+    const std::vector<SketchEntry> global_entries =
+        comm.allgatherv<SketchEntry>(local_entries);
+    const double gather_s = gather_timer.elapsed_s();
+
+    util::WallTimer build_timer;
+    SketchTable global =
+        SketchTable::from_entries(params.trials, global_entries);
+    const double build_s = build_timer.elapsed_s();
+
+    // S4: map local queries — sequentially, or with a rank-private thread
+    // pool in hybrid mode.
+    util::WallTimer map_timer;
+    const JemMapper mapper(subjects, params, scheme, std::move(global));
+    std::vector<SegmentMapping> local_mappings;
+    if (threads_per_rank == 1) {
+      local_mappings = mapper.map_reads(reads, q_begin, q_end);
+    } else {
+      util::ThreadPool pool(static_cast<std::size_t>(threads_per_rank));
+      std::vector<std::vector<SegmentMapping>> partials(pool.size());
+      util::parallel_for_blocks(
+          pool, q_begin, q_end, pool.size(),
+          [&](std::size_t block, std::size_t begin, std::size_t end) {
+            partials[block] = mapper.map_reads(
+                reads, static_cast<io::SeqId>(begin),
+                static_cast<io::SeqId>(end));
+          });
+      for (auto& partial : partials) {
+        local_mappings.insert(local_mappings.end(), partial.begin(),
+                              partial.end());
+      }
+    }
+    const double map_s = map_timer.elapsed_s();
+
+    // Gather results at rank 0.
+    std::vector<MappingWire> wire;
+    wire.reserve(local_mappings.size());
+    for (const SegmentMapping& mapping : local_mappings) {
+      wire.push_back(to_wire(mapping));
+    }
+    const auto all_wire = comm.gatherv<MappingWire>(wire, /*root=*/0);
+
+    std::lock_guard lock(report_mutex);
+    max_sketch_s = std::max(max_sketch_s, sketch_s);
+    max_map_s = std::max(max_map_s, map_s);
+    allgather_s = std::max(allgather_s, gather_s);
+    build_global_s = std::max(build_global_s, build_s);
+    table_entries_max = std::max(
+        table_entries_max, static_cast<std::uint64_t>(mapper.table().size()));
+    queries_mapped += local_mappings.size();
+    if (rank == 0) {
+      sketch_bytes = global_entries.size() * sizeof(SketchEntry);
+      for (const auto& part : all_wire) {
+        for (const MappingWire& w : part) gathered.push_back(from_wire(w));
+      }
+    }
+  });
+
+  sort_by_read(gathered);
+  result.mappings = std::move(gathered);
+  result.report.load_s = load_s;
+  result.report.sketch_subjects_s = max_sketch_s;
+  result.report.allgather_s = allgather_s;
+  result.report.build_global_s = build_global_s;
+  result.report.map_queries_s = max_map_s;
+  result.report.sketch_bytes = sketch_bytes;
+  result.report.queries_mapped = queries_mapped;
+  result.report.table_entries_max = table_entries_max;
+  return result;
+}
+
+namespace {
+
+/// Owner rank of a k-mer under the partitioned-table strategy.
+int kmer_owner(KmerCode kmer, int ranks) {
+  return static_cast<int>(util::mix64(kmer) %
+                          static_cast<std::uint64_t>(ranks));
+}
+
+/// Wire records for the query-routing all-to-alls.
+struct QueryProbe {
+  std::uint32_t segment = 0;  // local segment index at the origin rank
+  std::uint32_t trial = 0;
+  KmerCode kmer = 0;
+};
+static_assert(sizeof(QueryProbe) == 16);
+
+struct HitReply {
+  std::uint32_t segment = 0;
+  std::uint32_t trial = 0;
+  io::SeqId subject = 0;
+};
+static_assert(sizeof(HitReply) == 12);
+
+}  // namespace
+
+DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
+                                              const io::SequenceSet& reads,
+                                              const MapParams& params,
+                                              int ranks,
+                                              SketchScheme scheme) {
+  params.validate();
+  DistributedResult result;
+  result.report.ranks = ranks;
+
+  const auto subject_ranges = partition_by_bases(subjects, ranks);
+  const auto read_ranges = partition_by_bases(reads, ranks);
+
+  std::vector<SegmentMapping> gathered;
+  std::mutex report_mutex;
+  std::uint64_t table_entries_max = 0;
+  std::uint64_t queries_mapped = 0;
+
+  const mpisim::CommStats comm_stats =
+      mpisim::run_spmd(ranks, [&](mpisim::Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    const auto [s_begin, s_end] =
+        subject_ranges[static_cast<std::size_t>(rank)];
+    const auto [q_begin, q_end] = read_ranges[static_cast<std::size_t>(rank)];
+    const HashFamily hashes(params.trials, params.seed);
+
+    // S2: sketch local subjects, then route every entry to its k-mer's
+    // owner rank (one all-to-all replaces the allgather union).
+    const SketchTable local =
+        sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+    std::vector<std::vector<SketchEntry>> outgoing(
+        static_cast<std::size_t>(p));
+    for (const SketchEntry& entry : local.to_entries()) {
+      outgoing[static_cast<std::size_t>(kmer_owner(entry.kmer, p))]
+          .push_back(entry);
+    }
+    const auto incoming = comm.all_to_allv<SketchEntry>(outgoing);
+    std::vector<SketchEntry> shard_entries;
+    for (const auto& part : incoming) {
+      shard_entries.insert(shard_entries.end(), part.begin(), part.end());
+    }
+    const SketchTable shard =
+        SketchTable::from_entries(params.trials, shard_entries);
+
+    // S4a: sketch local query segments and bucket the probes by owner.
+    std::vector<SegmentMapping> local_segments;
+    std::vector<std::vector<QueryProbe>> probes(static_cast<std::size_t>(p));
+    for (io::SeqId read = q_begin; read < q_end; ++read) {
+      for (const EndSegment& segment : extract_end_segments(
+               read, reads.bases(read), params.segment_length)) {
+        const auto segment_id =
+            static_cast<std::uint32_t>(local_segments.size());
+        SegmentMapping mapping;
+        mapping.read = read;
+        mapping.end = segment.end;
+        mapping.offset = segment.offset;
+        mapping.segment_length =
+            static_cast<std::uint32_t>(segment.bases.size());
+        local_segments.push_back(mapping);
+
+        const Sketch sketch =
+            make_sketch(segment.bases, params, scheme, hashes);
+        for (int t = 0; t < params.trials; ++t) {
+          for (KmerCode kmer :
+               sketch.per_trial[static_cast<std::size_t>(t)]) {
+            probes[static_cast<std::size_t>(kmer_owner(kmer, p))].push_back(
+                {segment_id, static_cast<std::uint32_t>(t), kmer});
+          }
+        }
+      }
+    }
+
+    // S4b: exchange probes; owners answer with every matching posting.
+    const auto incoming_probes = comm.all_to_allv<QueryProbe>(probes);
+    std::vector<std::vector<HitReply>> replies(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      for (const QueryProbe& probe :
+           incoming_probes[static_cast<std::size_t>(src)]) {
+        for (io::SeqId subject :
+             shard.lookup(static_cast<int>(probe.trial), probe.kmer)) {
+          replies[static_cast<std::size_t>(src)].push_back(
+              {probe.segment, probe.trial, subject});
+        }
+      }
+    }
+    auto incoming_replies = comm.all_to_allv<HitReply>(replies);
+
+    // S4c: aggregate votes locally. Sorting by (segment, trial, subject)
+    // and deduplicating realizes the per-trial hit *sets* of Algorithm 2.
+    std::vector<HitReply> hits;
+    for (auto& part : incoming_replies) {
+      hits.insert(hits.end(), part.begin(), part.end());
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const HitReply& a, const HitReply& b) {
+                if (a.segment != b.segment) return a.segment < b.segment;
+                if (a.trial != b.trial) return a.trial < b.trial;
+                return a.subject < b.subject;
+              });
+    hits.erase(std::unique(hits.begin(), hits.end(),
+                           [](const HitReply& a, const HitReply& b) {
+                             return a.segment == b.segment &&
+                                    a.trial == b.trial &&
+                                    a.subject == b.subject;
+                           }),
+               hits.end());
+
+    LazyHitCounter votes(subjects.size());
+    std::size_t cursor = 0;
+    while (cursor < hits.size()) {
+      const std::uint32_t segment = hits[cursor].segment;
+      votes.new_round();
+      MapResult best;
+      while (cursor < hits.size() && hits[cursor].segment == segment) {
+        const io::SeqId subject = hits[cursor].subject;
+        const std::uint32_t count = votes.increment(subject);
+        if (count > best.votes ||
+            (count == best.votes && subject < best.subject)) {
+          best.votes = count;
+          best.subject = subject;
+        }
+        ++cursor;
+      }
+      if (best.votes >= params.min_votes) {
+        local_segments[segment].result = best;
+      }
+    }
+
+    // Gather results at rank 0 (same as the replicated driver).
+    std::vector<MappingWire> wire;
+    wire.reserve(local_segments.size());
+    for (const SegmentMapping& mapping : local_segments) {
+      wire.push_back(to_wire(mapping));
+    }
+    const auto all_wire = comm.gatherv<MappingWire>(wire, /*root=*/0);
+
+    std::lock_guard lock(report_mutex);
+    table_entries_max =
+        std::max(table_entries_max,
+                 static_cast<std::uint64_t>(shard.size()));
+    queries_mapped += local_segments.size();
+    if (rank == 0) {
+      for (const auto& part : all_wire) {
+        for (const MappingWire& w : part) gathered.push_back(from_wire(w));
+      }
+    }
+  });
+
+  sort_by_read(gathered);
+  result.mappings = std::move(gathered);
+  result.report.queries_mapped = queries_mapped;
+  result.report.table_entries_max = table_entries_max;
+  // For the partitioned strategy the interesting volume is everything the
+  // collectives moved (entry routing + probes + replies + result gather).
+  result.report.sketch_bytes = comm_stats.collective_bytes;
+  return result;
+}
+
+DistributedResult run_staged(const io::SequenceSet& subjects,
+                             const io::SequenceSet& reads,
+                             const MapParams& params, int ranks,
+                             const mpisim::NetworkModel& model,
+                             SketchScheme scheme) {
+  params.validate();
+  mpisim::StagedExecutor executor(ranks, model);
+  DistributedResult result;
+  result.report.ranks = ranks;
+
+  util::WallTimer load_timer;
+  const auto subject_ranges = partition_by_bases(subjects, ranks);
+  const auto read_ranges = partition_by_bases(reads, ranks);
+  const HashFamily hashes(params.trials, params.seed);
+  result.report.load_s = load_timer.elapsed_s();
+
+  // S2: sketch local subjects, one rank at a time (timed in isolation).
+  std::vector<std::vector<SketchEntry>> per_rank_entries(
+      static_cast<std::size_t>(ranks));
+  executor.compute_step("S2:sketch-subjects", [&](int rank) {
+    const auto [begin, end] = subject_ranges[static_cast<std::size_t>(rank)];
+    per_rank_entries[static_cast<std::size_t>(rank)] =
+        sketch_subjects(subjects, begin, end, params, scheme, hashes)
+            .to_entries();
+  });
+
+  // S3: allgatherv of the union volume, then each rank rebuilds the global
+  // table. The rebuild is identical work at every rank, so it is performed
+  // once and charged uniformly.
+  std::vector<SketchEntry> global_entries;
+  for (const auto& entries : per_rank_entries) {
+    global_entries.insert(global_entries.end(), entries.begin(),
+                          entries.end());
+  }
+  const std::uint64_t volume = global_entries.size() * sizeof(SketchEntry);
+  executor.comm_allgatherv("S3:allgather", volume);
+
+  // Each rank performs an identical rebuild of the global table; measure it
+  // once and charge that uniform cost (running it p times would only repeat
+  // the same measurement).
+  SketchTable global(params.trials);
+  const double build_s = util::time_void([&] {
+    global = SketchTable::from_entries(params.trials, global_entries);
+  });
+  const JemMapper mapper(subjects, params, scheme, std::move(global));
+
+  // S4: map local queries per rank.
+  std::vector<std::vector<SegmentMapping>> per_rank_mappings(
+      static_cast<std::size_t>(ranks));
+  executor.compute_step("S4:map-queries", [&](int rank) {
+    const auto [begin, end] = read_ranges[static_cast<std::size_t>(rank)];
+    per_rank_mappings[static_cast<std::size_t>(rank)] =
+        mapper.map_reads(reads, begin, end);
+  });
+
+  for (auto& partial : per_rank_mappings) {
+    result.mappings.insert(result.mappings.end(), partial.begin(),
+                           partial.end());
+    result.report.queries_mapped += partial.size();
+  }
+  sort_by_read(result.mappings);
+
+  result.report.sketch_subjects_s = executor.step_s("S2:sketch-subjects");
+  result.report.allgather_s = executor.comm_s();
+  result.report.build_global_s = build_s;
+  result.report.map_queries_s = executor.step_s("S4:map-queries");
+  result.report.sketch_bytes = volume;
+  return result;
+}
+
+}  // namespace jem::core

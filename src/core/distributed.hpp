@@ -1,0 +1,114 @@
+// Distributed-memory JEM-mapper (paper §III-C, steps S1-S4):
+//
+//   S1 load/partition input so each rank holds ~M/p query bases and ~N/p
+//      subject bases (contiguous ranges chosen by cumulative base count);
+//   S2 each rank sketches its local subjects into S_local;
+//   S3 allgatherv unions every S_local into the replicated S_global;
+//   S4 each rank maps its local queries against S_global.
+//
+// Two execution modes share these per-rank kernels:
+//  * run_distributed   — real SPMD over mpisim threads (one thread per
+//    rank, real Allgatherv). Used for correctness: the output must equal
+//    the sequential mapper's bit-for-bit.
+//  * run_staged        — bulk-synchronous performance mode: per-rank compute
+//    is executed sequentially and wall-timed, communication is charged via
+//    the α-β network model. Produces the per-step breakdown behind
+//    Table II / Fig 7 / Fig 8.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "core/params.hpp"
+#include "io/sequence_set.hpp"
+#include "mpisim/communicator.hpp"
+#include "mpisim/network_model.hpp"
+#include "mpisim/staged_executor.hpp"
+
+namespace jem::core {
+
+/// Contiguous [begin, end) sequence ranges balancing total bases across p
+/// ranks (the S1 partitioning rule).
+[[nodiscard]] std::vector<std::pair<io::SeqId, io::SeqId>> partition_by_bases(
+    const io::SequenceSet& set, int ranks);
+
+/// Wire format for one mapped segment in the result gather.
+struct MappingWire {
+  io::SeqId read = 0;
+  std::uint32_t end = 0;  // ReadEnd as integer
+  std::uint32_t offset = 0;
+  std::uint32_t segment_length = 0;
+  io::SeqId subject = io::kInvalidSeqId;
+  std::uint32_t votes = 0;
+};
+static_assert(sizeof(MappingWire) == 24);
+
+[[nodiscard]] MappingWire to_wire(const SegmentMapping& mapping) noexcept;
+[[nodiscard]] SegmentMapping from_wire(const MappingWire& wire) noexcept;
+
+/// Per-step timing/volume record of one distributed run (Fig 7a / Fig 8).
+struct DistributedStepReport {
+  int ranks = 1;
+  double load_s = 0.0;          // S1: partition bookkeeping
+  double sketch_subjects_s = 0.0;  // S2 (max over ranks in staged mode)
+  double allgather_s = 0.0;     // S3: communication
+  double build_global_s = 0.0;  // S3: table reconstruction (compute)
+  double map_queries_s = 0.0;   // S4 (max over ranks in staged mode)
+  std::uint64_t sketch_bytes = 0;  // union volume moved by S3
+  std::uint64_t queries_mapped = 0;
+  // Largest per-rank sketch-table size (entries). For the replicated
+  // strategy this is the full table at every rank; for the partitioned
+  // strategy it is the biggest shard — the memory-scaling story.
+  std::uint64_t table_entries_max = 0;
+
+  [[nodiscard]] double total_s() const noexcept {
+    return load_s + sketch_subjects_s + allgather_s + build_global_s +
+           map_queries_s;
+  }
+  [[nodiscard]] double compute_s() const noexcept {
+    return total_s() - allgather_s;
+  }
+  /// Query throughput (segments mapped per second of S4 time), Fig 7b.
+  [[nodiscard]] double query_throughput() const noexcept {
+    return map_queries_s > 0.0
+               ? static_cast<double>(queries_mapped) / map_queries_s
+               : 0.0;
+  }
+};
+
+struct DistributedResult {
+  std::vector<SegmentMapping> mappings;  // ordered by read id then end
+  DistributedStepReport report;
+};
+
+/// Real SPMD execution on `ranks` mpisim threads. `threads_per_rank` > 1
+/// enables the hybrid MPI+threads mode (the paper's platform supported
+/// OpenMPI and OpenMP side by side): each rank maps its local queries with a
+/// rank-private thread pool. Results are identical for any configuration.
+[[nodiscard]] DistributedResult run_distributed(
+    const io::SequenceSet& subjects, const io::SequenceSet& reads,
+    const MapParams& params, int ranks,
+    SketchScheme scheme = SketchScheme::kJem, int threads_per_rank = 1);
+
+/// Partitioned-table strategy: instead of replicating S_global at every
+/// rank (the paper's S3, space O(n·m_s·T) *per process* — its §III-C1
+/// space note), the table is sharded by k-mer hash across ranks and queries
+/// are routed with two all-to-all exchanges (probes out, hits back).
+/// Memory per rank drops to ~1/p of the table at the price of all-to-all
+/// communication in the query phase. Mappings are bit-identical to the
+/// replicated strategy.
+[[nodiscard]] DistributedResult run_distributed_partitioned(
+    const io::SequenceSet& subjects, const io::SequenceSet& reads,
+    const MapParams& params, int ranks,
+    SketchScheme scheme = SketchScheme::kJem);
+
+/// Staged bulk-synchronous execution with modeled communication.
+[[nodiscard]] DistributedResult run_staged(
+    const io::SequenceSet& subjects, const io::SequenceSet& reads,
+    const MapParams& params, int ranks,
+    const mpisim::NetworkModel& model = {},
+    SketchScheme scheme = SketchScheme::kJem);
+
+}  // namespace jem::core

@@ -1,0 +1,34 @@
+#include "core/dna.hpp"
+
+namespace jem::core {
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out;
+  out.resize(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[i] = complement_base(seq[seq.size() - 1 - i]);
+  }
+  return out;
+}
+
+bool is_acgt(std::string_view seq) noexcept {
+  for (char c : seq) {
+    if (base_code(c) == kInvalidBase) return false;
+  }
+  return true;
+}
+
+double gc_content(std::string_view seq) noexcept {
+  std::size_t gc = 0;
+  std::size_t total = 0;
+  for (char c : seq) {
+    const std::uint8_t code = base_code(c);
+    if (code == kInvalidBase) continue;
+    ++total;
+    if (code == 1 || code == 2) ++gc;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(gc) / static_cast<double>(total);
+}
+
+}  // namespace jem::core

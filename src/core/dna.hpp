@@ -1,0 +1,65 @@
+// DNA alphabet primitives: 2-bit base codes, complements, and reverse
+// complement of ASCII sequences.
+//
+// Base codes are chosen so that the numeric order of codes equals the
+// lexicographic order of bases (A=0 < C=1 < G=2 < T=3). Packing a k-mer
+// MSB-first therefore makes unsigned integer comparison of encoded k-mers
+// identical to lexicographic comparison of the strings — the ordering the
+// paper's canonical k-mer ranks Π*_k are defined over.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jem::core {
+
+inline constexpr std::uint8_t kInvalidBase = 0xff;
+
+/// 2-bit code for an ASCII base (case-insensitive); kInvalidBase for
+/// anything outside ACGT (N, IUPAC ambiguity codes, garbage).
+[[nodiscard]] constexpr std::uint8_t base_code(char base) noexcept {
+  switch (base) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kInvalidBase;
+  }
+}
+
+/// ASCII base for a 2-bit code (code must be < 4).
+[[nodiscard]] constexpr char code_base(std::uint8_t code) noexcept {
+  constexpr std::array<char, 4> kBases{'A', 'C', 'G', 'T'};
+  return kBases[code & 3u];
+}
+
+/// Complement of a 2-bit code (A<->T, C<->G): 3 - code.
+[[nodiscard]] constexpr std::uint8_t complement_code(
+    std::uint8_t code) noexcept {
+  return static_cast<std::uint8_t>(3u - code);
+}
+
+/// Complement of an ASCII base; 'N' maps to 'N', anything unknown maps to
+/// 'N' as well.
+[[nodiscard]] constexpr char complement_base(char base) noexcept {
+  switch (base) {
+    case 'A': case 'a': return 'T';
+    case 'C': case 'c': return 'G';
+    case 'G': case 'g': return 'C';
+    case 'T': case 't': return 'A';
+    default: return 'N';
+  }
+}
+
+/// Reverse complement of an ASCII sequence.
+[[nodiscard]] std::string reverse_complement(std::string_view seq);
+
+/// True if every base of `seq` is one of ACGT (case-insensitive).
+[[nodiscard]] bool is_acgt(std::string_view seq) noexcept;
+
+/// Fraction of G/C bases among ACGT bases (0 when the sequence has none).
+[[nodiscard]] double gc_content(std::string_view seq) noexcept;
+
+}  // namespace jem::core

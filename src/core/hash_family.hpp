@@ -1,0 +1,65 @@
+// The family of T random linear-congruential hash functions used for the
+// MinHash trials (paper §III-B2, implementation notes):
+//
+//     h_t(x) = (A_t · x + B_t) mod P_t
+//
+// where x is the k-mer rank (its 2-bit encoding) and A_t, B_t, P_t are
+// random constants generated a priori from the experiment seed. P_t is a
+// random prime (distinct per trial) so each h_t is drawn from a universal
+// family; A_t ∈ [1, P_t), B_t ∈ [0, P_t).
+//
+// Primality is checked with a deterministic Miller-Rabin test valid for all
+// 64-bit inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kmer.hpp"
+
+namespace jem::core {
+
+/// Deterministic Miller-Rabin for any n < 2^64.
+[[nodiscard]] bool is_prime_u64(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n must leave room below 2^64; valid for all inputs
+/// this library generates, which are < 2^62).
+[[nodiscard]] std::uint64_t next_prime_u64(std::uint64_t n) noexcept;
+
+/// One trial's hash function.
+struct LcgHash {
+  std::uint64_t a = 1;
+  std::uint64_t b = 0;
+  std::uint64_t p = 2;  // prime modulus
+
+  [[nodiscard]] std::uint64_t operator()(KmerCode x) const noexcept {
+    const auto wide = static_cast<__uint128_t>(a) * x + b;
+    return static_cast<std::uint64_t>(wide % p);
+  }
+};
+
+/// The T-member family. Constants are generated from `seed`; the same seed
+/// always yields the same family, which is what makes subject and query
+/// sketches comparable across processes (every rank derives the family from
+/// the shared experiment seed rather than communicating it).
+class HashFamily {
+ public:
+  HashFamily(int trials, std::uint64_t seed);
+
+  [[nodiscard]] int trials() const noexcept {
+    return static_cast<int>(hashes_.size());
+  }
+
+  [[nodiscard]] const LcgHash& operator[](int t) const noexcept {
+    return hashes_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] std::uint64_t hash(int t, KmerCode x) const noexcept {
+    return hashes_[static_cast<std::size_t>(t)](x);
+  }
+
+ private:
+  std::vector<LcgHash> hashes_;
+};
+
+}  // namespace jem::core

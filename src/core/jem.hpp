@@ -1,0 +1,25 @@
+// Umbrella header for the JEM-mapper public API. Downstream users include
+// this and link against jem_core.
+//
+// Quick tour:
+//   io::SequenceSet      — load contigs/reads (io/fasta.hpp)
+//   core::MapParams      — k, w, T, ℓ, seed
+//   core::JemMapper      — sequential/threaded Algorithm 2
+//   core::run_distributed / run_staged — the parallel drivers (S1-S4)
+//   core::SketchScheme   — JEM sketch vs classical MinHash
+#pragma once
+
+#include "core/distributed.hpp"
+#include "core/dna.hpp"
+#include "core/end_segments.hpp"
+#include "core/hash_family.hpp"
+#include "core/hit_counter.hpp"
+#include "core/kmer.hpp"
+#include "core/mapper.hpp"
+#include "core/minimizer.hpp"
+#include "core/params.hpp"
+#include "core/sketch.hpp"
+#include "core/sketch_table.hpp"
+#include "io/fasta.hpp"
+#include "io/mapping_writer.hpp"
+#include "io/sequence_set.hpp"

@@ -1,0 +1,50 @@
+#include "core/kmer.hpp"
+
+#include <stdexcept>
+
+namespace jem::core {
+
+KmerCodec::KmerCodec(int k) : k_(k), rc_shift_(2 * (k - 1)) {
+  if (k < 1 || k > kMaxK) {
+    throw std::invalid_argument("KmerCodec: k must be in [1, 32]");
+  }
+  mask_ = k == 32 ? ~KmerCode{0} : ((KmerCode{1} << (2 * k)) - 1);
+}
+
+std::optional<KmerCode> KmerCodec::encode(std::string_view seq) const noexcept {
+  if (seq.size() < static_cast<std::size_t>(k_)) return std::nullopt;
+  KmerCode code = 0;
+  for (int i = 0; i < k_; ++i) {
+    const std::uint8_t b = base_code(seq[static_cast<std::size_t>(i)]);
+    if (b == kInvalidBase) return std::nullopt;
+    code = (code << 2) | b;
+  }
+  return code;
+}
+
+std::string KmerCodec::decode(KmerCode code) const {
+  std::string out(static_cast<std::size_t>(k_), 'A');
+  for (int i = k_ - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] =
+        code_base(static_cast<std::uint8_t>(code & 3u));
+    code >>= 2;
+  }
+  return out;
+}
+
+KmerCode KmerCodec::reverse_complement(KmerCode code) const noexcept {
+  // Complement all bases at once (code -> 3-code per 2-bit group is XOR with
+  // 0b11), then reverse the 2-bit groups with a byte/word swap network.
+  KmerCode x = ~code;
+  // Reverse 2-bit groups within the full 64-bit word.
+  x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+  x = ((x & 0x0f0f0f0f0f0f0f0fULL) << 4) | ((x >> 4) & 0x0f0f0f0f0f0f0f0fULL);
+  x = ((x & 0x00ff00ff00ff00ffULL) << 8) | ((x >> 8) & 0x00ff00ff00ff00ffULL);
+  x = ((x & 0x0000ffff0000ffffULL) << 16) |
+      ((x >> 16) & 0x0000ffff0000ffffULL);
+  x = (x << 32) | (x >> 32);
+  // The groups now sit in the high bits; shift down to the low 2k bits.
+  return (x >> (64 - 2 * k_)) & mask_;
+}
+
+}  // namespace jem::core

@@ -1,0 +1,74 @@
+// k-mer encoding: 2-bit packed, MSB-first, k <= 32 in a std::uint64_t.
+//
+// The encoded value of a k-mer *is* its rank x in the canonical
+// lexicographic ordering Π*_k of all |Σ|^k k-mers (§III-A of the paper),
+// because base codes preserve lexicographic order and packing is MSB-first.
+// The JEM hash family h_t(x) = (A_t·x + B_t) mod P_t operates directly on
+// these ranks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/dna.hpp"
+
+namespace jem::core {
+
+using KmerCode = std::uint64_t;
+
+inline constexpr int kMaxK = 32;
+
+/// Stateless codec for a fixed k.
+class KmerCodec {
+ public:
+  /// k must be in [1, 32].
+  explicit KmerCodec(int k);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// Mask with the low 2k bits set.
+  [[nodiscard]] KmerCode mask() const noexcept { return mask_; }
+
+  /// Encodes seq[0..k); returns nullopt if any base is not ACGT or the view
+  /// is shorter than k.
+  [[nodiscard]] std::optional<KmerCode> encode(
+      std::string_view seq) const noexcept;
+
+  /// Decodes a code back to an ACGT string of length k.
+  [[nodiscard]] std::string decode(KmerCode code) const;
+
+  /// Rolls one base onto the 3' end: (prev << 2 | code) & mask. `base_code`
+  /// must be a valid 2-bit code.
+  [[nodiscard]] KmerCode roll(KmerCode prev,
+                              std::uint8_t base_code) const noexcept {
+    return ((prev << 2) | base_code) & mask_;
+  }
+
+  /// Rolls one base onto the 5' end of the reverse-complement track:
+  /// prev >> 2 | complement(code) << 2(k-1).
+  [[nodiscard]] KmerCode roll_rc(KmerCode prev,
+                                 std::uint8_t base_code) const noexcept {
+    return (prev >> 2) |
+           (static_cast<KmerCode>(complement_code(base_code)) << rc_shift_);
+  }
+
+  /// Reverse complement of an encoded k-mer.
+  [[nodiscard]] KmerCode reverse_complement(KmerCode code) const noexcept;
+
+  /// Canonical form: min(code, reverse_complement(code)) — lexicographically
+  /// smaller of the k-mer and its reverse complement, as in the paper's
+  /// "canonical minimizer" definition.
+  [[nodiscard]] KmerCode canonical(KmerCode code) const noexcept {
+    const KmerCode rc = reverse_complement(code);
+    return code < rc ? code : rc;
+  }
+
+ private:
+  int k_;
+  int rc_shift_;  // 2*(k-1)
+  KmerCode mask_;
+};
+
+}  // namespace jem::core

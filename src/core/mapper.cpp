@@ -1,0 +1,282 @@
+#include "core/mapper.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <mutex>
+
+namespace jem::core {
+
+Sketch make_sketch(std::string_view seq, const MapParams& params,
+                   SketchScheme scheme, const HashFamily& hashes) {
+  switch (scheme) {
+    case SketchScheme::kJem: {
+      const SketchParams sp{{params.k, params.w, params.ordering},
+                            params.segment_length};
+      return sketch_by_jem(seq, sp, hashes);
+    }
+    case SketchScheme::kClassicMinhash:
+      return classic_minhash(seq, params.k, hashes);
+  }
+  return {};
+}
+
+SketchTable sketch_subjects(const io::SequenceSet& subjects, io::SeqId begin,
+                            io::SeqId end, const MapParams& params,
+                            SketchScheme scheme, const HashFamily& hashes) {
+  SketchTable table(params.trials);
+  for (io::SeqId id = begin; id < end; ++id) {
+    table.insert(make_sketch(subjects.bases(id), params, scheme, hashes), id);
+  }
+  return table;
+}
+
+JemMapper::JemMapper(const io::SequenceSet& subjects, MapParams params,
+                     SketchScheme scheme)
+    : subjects_(subjects),
+      params_(params),
+      scheme_(scheme),
+      hashes_(params.trials, params.seed),
+      table_(sketch_subjects(subjects, 0,
+                             static_cast<io::SeqId>(subjects.size()), params_,
+                             scheme, hashes_)) {
+  params_.validate();
+  table_.freeze();  // CSR form: faster, cache-friendly query lookups
+}
+
+JemMapper::JemMapper(const io::SequenceSet& subjects, MapParams params,
+                     SketchScheme scheme, SketchTable table)
+    : subjects_(subjects),
+      params_(params),
+      scheme_(scheme),
+      hashes_(params.trials, params.seed),
+      table_(std::move(table)) {
+  params_.validate();
+  if (table_.trials() != params_.trials) {
+    throw std::invalid_argument("JemMapper: table trial count mismatch");
+  }
+}
+
+MapResult JemMapper::map_segment(std::string_view segment,
+                                 MapScratch& scratch) const {
+  const Sketch sketch = make_sketch(segment, params_, scheme_, hashes_);
+
+  MapResult best;
+  scratch.votes().new_round();
+  for (int t = 0; t < params_.trials; ++t) {
+    // Hits_r[t] is a *set* of subjects: a subject colliding via several
+    // sketch k-mers within one trial still earns a single vote, enforced by
+    // the per-trial `seen` round.
+    scratch.seen().new_round();
+    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
+      for (io::SeqId subject : table_.lookup(t, kmer)) {
+        if (!scratch.seen().first_time(subject)) continue;
+        const std::uint32_t count = scratch.votes().increment(subject);
+        // Final winner = max votes, ties to the smallest subject id; the
+        // online update below realizes exactly that order without a final
+        // scan over all subjects.
+        if (count > best.votes ||
+            (count == best.votes && subject < best.subject)) {
+          best.votes = count;
+          best.subject = subject;
+        }
+      }
+    }
+  }
+
+  if (best.votes < params_.min_votes) return {};
+  return best;
+}
+
+MapResult JemMapper::map_segment(std::string_view segment) const {
+  MapScratch scratch(subjects_.size());
+  return map_segment(segment, scratch);
+}
+
+std::vector<MapResult> JemMapper::map_segment_topx(std::string_view segment,
+                                                   std::size_t x,
+                                                   MapScratch& scratch) const {
+  const Sketch sketch = make_sketch(segment, params_, scheme_, hashes_);
+
+  // Same vote counting as map_segment, but remember every subject touched
+  // this round so the full ranking can be materialized afterwards.
+  std::vector<io::SeqId> touched;
+  scratch.votes().new_round();
+  for (int t = 0; t < params_.trials; ++t) {
+    scratch.seen().new_round();
+    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
+      for (io::SeqId subject : table_.lookup(t, kmer)) {
+        if (!scratch.seen().first_time(subject)) continue;
+        if (scratch.votes().increment(subject) == 1) {
+          touched.push_back(subject);
+        }
+      }
+    }
+  }
+
+  std::sort(touched.begin(), touched.end(),
+            [&](io::SeqId a, io::SeqId b) {
+              const std::uint32_t va = scratch.votes().count(a);
+              const std::uint32_t vb = scratch.votes().count(b);
+              if (va != vb) return va > vb;
+              return a < b;
+            });
+
+  std::vector<MapResult> hits;
+  hits.reserve(std::min(x, touched.size()));
+  for (io::SeqId subject : touched) {
+    if (hits.size() >= x) break;
+    const std::uint32_t votes = scratch.votes().count(subject);
+    if (votes < params_.min_votes) break;  // sorted: all later are weaker
+    hits.push_back({subject, votes});
+  }
+  return hits;
+}
+
+std::vector<SegmentTopX> JemMapper::map_reads_topx(const io::SequenceSet& reads,
+                                                   std::size_t x) const {
+  std::vector<SegmentTopX> mappings;
+  MapScratch scratch(subjects_.size());
+  for (io::SeqId read = 0; read < reads.size(); ++read) {
+    for (const EndSegment& segment : extract_end_segments(
+             read, reads.bases(read), params_.segment_length)) {
+      SegmentTopX mapping;
+      mapping.read = read;
+      mapping.end = segment.end;
+      mapping.segment_length =
+          static_cast<std::uint32_t>(segment.bases.size());
+      mapping.hits = map_segment_topx(segment.bases, x, scratch);
+      mappings.push_back(std::move(mapping));
+    }
+  }
+  return mappings;
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads(const io::SequenceSet& reads,
+                                                 io::SeqId begin,
+                                                 io::SeqId end) const {
+  std::vector<SegmentMapping> mappings;
+  MapScratch scratch(subjects_.size());
+  for (io::SeqId read = begin; read < end; ++read) {
+    for (const EndSegment& segment : extract_end_segments(
+             read, reads.bases(read), params_.segment_length)) {
+      SegmentMapping mapping;
+      mapping.read = read;
+      mapping.end = segment.end;
+      mapping.offset = segment.offset;
+      mapping.segment_length =
+          static_cast<std::uint32_t>(segment.bases.size());
+      mapping.result = map_segment(segment.bases, scratch);
+      mappings.push_back(mapping);
+    }
+  }
+  return mappings;
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads(
+    const io::SequenceSet& reads) const {
+  return map_reads(reads, 0, static_cast<io::SeqId>(reads.size()));
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads_tiled(
+    const io::SequenceSet& reads) const {
+  std::vector<SegmentMapping> mappings;
+  MapScratch scratch(subjects_.size());
+  for (io::SeqId read = 0; read < reads.size(); ++read) {
+    for (const EndSegment& segment : extract_tiled_segments(
+             read, reads.bases(read), params_.segment_length)) {
+      SegmentMapping mapping;
+      mapping.read = read;
+      mapping.end = segment.end;
+      mapping.offset = segment.offset;
+      mapping.segment_length =
+          static_cast<std::uint32_t>(segment.bases.size());
+      mapping.result = map_segment(segment.bases, scratch);
+      mappings.push_back(mapping);
+    }
+  }
+  return mappings;
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads_openmp(
+    const io::SequenceSet& reads) const {
+#ifdef _OPENMP
+  const auto n = static_cast<std::int64_t>(reads.size());
+  std::vector<std::vector<SegmentMapping>> partials(
+      static_cast<std::size_t>(omp_get_max_threads()));
+#pragma omp parallel
+  {
+    MapScratch scratch(subjects_.size());
+    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t read = 0; read < n; ++read) {
+      const auto id = static_cast<io::SeqId>(read);
+      for (const EndSegment& segment : extract_end_segments(
+               id, reads.bases(id), params_.segment_length)) {
+        SegmentMapping mapping;
+        mapping.read = id;
+        mapping.end = segment.end;
+        mapping.offset = segment.offset;
+        mapping.segment_length =
+            static_cast<std::uint32_t>(segment.bases.size());
+        mapping.result = map_segment(segment.bases, scratch);
+        local.push_back(mapping);
+      }
+    }
+  }
+  std::vector<SegmentMapping> mappings;
+  for (auto& partial : partials) {
+    mappings.insert(mappings.end(), partial.begin(), partial.end());
+  }
+  // Dynamic scheduling interleaves reads across threads; restore the
+  // sequential output order.
+  std::sort(mappings.begin(), mappings.end(),
+            [](const SegmentMapping& a, const SegmentMapping& b) {
+              if (a.read != b.read) return a.read < b.read;
+              return a.offset < b.offset;
+            });
+  return mappings;
+#else
+  return map_reads(reads);
+#endif
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads_parallel(
+    const io::SequenceSet& reads, util::ThreadPool& pool) const {
+  std::vector<std::vector<SegmentMapping>> partials(pool.size());
+  util::parallel_for_blocks(
+      pool, 0, reads.size(), pool.size(),
+      [&](std::size_t block, std::size_t begin, std::size_t end) {
+        partials[block] = map_reads(reads, static_cast<io::SeqId>(begin),
+                                    static_cast<io::SeqId>(end));
+      });
+  std::vector<SegmentMapping> mappings;
+  for (auto& partial : partials) {
+    mappings.insert(mappings.end(), partial.begin(), partial.end());
+  }
+  return mappings;
+}
+
+std::vector<io::MappingLine> JemMapper::to_mapping_lines(
+    const io::SequenceSet& reads,
+    const std::vector<SegmentMapping>& mappings) const {
+  std::vector<io::MappingLine> lines;
+  lines.reserve(mappings.size());
+  for (const SegmentMapping& mapping : mappings) {
+    io::MappingLine line;
+    line.query = std::string(reads.name(mapping.read));
+    line.end = read_end_tag(mapping.end);
+    line.segment_length = mapping.segment_length;
+    if (mapping.result.mapped()) {
+      line.subject = std::string(subjects_.name(mapping.result.subject));
+    }
+    line.votes = mapping.result.votes;
+    line.trials = static_cast<std::uint32_t>(params_.trials);
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace jem::core

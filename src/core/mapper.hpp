@@ -1,0 +1,162 @@
+// JemMapper — Algorithm 2 (L2C mapping): build the sketch table over the
+// subjects, then map every long-read end segment to its best-hit contig.
+//
+// The class is immutable after construction; map_segment is const and
+// thread-safe given a per-thread MapScratch, which is how the threaded and
+// distributed drivers parallelize the query phase.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/end_segments.hpp"
+#include "core/hash_family.hpp"
+#include "core/hit_counter.hpp"
+#include "core/params.hpp"
+#include "core/sketch.hpp"
+#include "core/sketch_table.hpp"
+#include "io/mapping_writer.hpp"
+#include "io/sequence_set.hpp"
+#include "util/thread_pool.hpp"
+
+namespace jem::core {
+
+/// Which sketch drives the mapping: the paper's JEM sketch or the classical
+/// MinHash it is compared against (Fig 6).
+enum class SketchScheme { kJem, kClassicMinhash };
+
+/// Result of mapping one segment.
+struct MapResult {
+  io::SeqId subject = io::kInvalidSeqId;
+  std::uint32_t votes = 0;  // trials in which the subject hit
+
+  [[nodiscard]] bool mapped() const noexcept {
+    return subject != io::kInvalidSeqId;
+  }
+};
+
+/// One mapped end segment with provenance — the unit of the tool's output
+/// and of the quality evaluation.
+struct SegmentMapping {
+  io::SeqId read = 0;
+  ReadEnd end = ReadEnd::kPrefix;
+  std::uint32_t offset = 0;  // segment start within the read
+  std::uint32_t segment_length = 0;
+  MapResult result;
+};
+
+/// Top-x variant (the extension the paper sketches in §IV-C: "if we are to
+/// extend our method to report a fixed number, say top x hits per read,
+/// then several of the missing contig hits could possibly be recovered").
+/// `hits` is ordered by votes descending, ties to the smaller subject id.
+struct SegmentTopX {
+  io::SeqId read = 0;
+  ReadEnd end = ReadEnd::kPrefix;
+  std::uint32_t segment_length = 0;
+  std::vector<MapResult> hits;
+};
+
+/// Per-thread mutable state for the query phase (the lazy counters of the
+/// paper's S4 implementation notes).
+class MapScratch {
+ public:
+  explicit MapScratch(std::size_t num_subjects)
+      : votes_(num_subjects), seen_(num_subjects) {}
+
+  LazyHitCounter& votes() noexcept { return votes_; }
+  LazyHitCounter& seen() noexcept { return seen_; }
+
+ private:
+  LazyHitCounter votes_;
+  LazyHitCounter seen_;
+};
+
+/// Computes the sketch of one sequence under the given scheme.
+[[nodiscard]] Sketch make_sketch(std::string_view seq, const MapParams& params,
+                                 SketchScheme scheme,
+                                 const HashFamily& hashes);
+
+/// Sketches subjects [begin, end) of `subjects` into a fresh table (the
+/// local S2 step of the distributed algorithm; the sequential driver calls
+/// it with the full range).
+[[nodiscard]] SketchTable sketch_subjects(const io::SequenceSet& subjects,
+                                          io::SeqId begin, io::SeqId end,
+                                          const MapParams& params,
+                                          SketchScheme scheme,
+                                          const HashFamily& hashes);
+
+class JemMapper {
+ public:
+  /// Builds the table over all subjects (sequential S2).
+  JemMapper(const io::SequenceSet& subjects, MapParams params,
+            SketchScheme scheme = SketchScheme::kJem);
+
+  /// Adopts a pre-built (e.g. allgathered) table.
+  JemMapper(const io::SequenceSet& subjects, MapParams params,
+            SketchScheme scheme, SketchTable table);
+
+  [[nodiscard]] const MapParams& params() const noexcept { return params_; }
+  [[nodiscard]] SketchScheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const HashFamily& hashes() const noexcept { return hashes_; }
+  [[nodiscard]] const SketchTable& table() const noexcept { return table_; }
+  [[nodiscard]] const io::SequenceSet& subjects() const noexcept {
+    return subjects_;
+  }
+
+  /// Maps one segment (steps 4-8 of Algorithm 2).
+  [[nodiscard]] MapResult map_segment(std::string_view segment,
+                                      MapScratch& scratch) const;
+
+  /// Convenience overload allocating its own scratch (tests, examples).
+  [[nodiscard]] MapResult map_segment(std::string_view segment) const;
+
+  /// Maps one segment and returns up to `x` candidate subjects ordered by
+  /// votes (descending, ties to smaller id). Subjects below min_votes are
+  /// not reported; the front element equals map_segment's result.
+  [[nodiscard]] std::vector<MapResult> map_segment_topx(
+      std::string_view segment, std::size_t x, MapScratch& scratch) const;
+
+  /// Maps the end segments of all reads in top-x mode.
+  [[nodiscard]] std::vector<SegmentTopX> map_reads_topx(
+      const io::SequenceSet& reads, std::size_t x) const;
+
+  /// Maps the end segments of reads [begin, end) sequentially.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads(
+      const io::SequenceSet& reads, io::SeqId begin, io::SeqId end) const;
+
+  /// Maps all reads sequentially.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads(
+      const io::SequenceSet& reads) const;
+
+  /// Maps all reads using the thread pool (block partitioning over reads).
+  [[nodiscard]] std::vector<SegmentMapping> map_reads_parallel(
+      const io::SequenceSet& reads, util::ThreadPool& pool) const;
+
+  /// Containment mode (paper §III-B1's noted extension): tiles each whole
+  /// read with ℓ-length segments and maps every tile, so contigs contained
+  /// in read interiors are found too.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads_tiled(
+      const io::SequenceSet& reads) const;
+
+  /// OpenMP variant of map_reads (the paper's platform supported OpenMP
+  /// alongside MPI). Falls back to the sequential path when the build has
+  /// no OpenMP support. Output order and content match map_reads exactly.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads_openmp(
+      const io::SequenceSet& reads) const;
+
+  /// Renders mappings as output lines (query/subject names resolved).
+  [[nodiscard]] std::vector<io::MappingLine> to_mapping_lines(
+      const io::SequenceSet& reads,
+      const std::vector<SegmentMapping>& mappings) const;
+
+ private:
+  const io::SequenceSet& subjects_;
+  MapParams params_;
+  SketchScheme scheme_;
+  HashFamily hashes_;
+  SketchTable table_;
+};
+
+}  // namespace jem::core

@@ -1,0 +1,160 @@
+#include "core/minimizer.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace jem::core {
+
+namespace {
+
+/// Ordering key of a canonical k-mer under the configured scheme. Smaller
+/// key = preferred minimizer.
+std::uint64_t ordering_key(KmerCode canon, MinimizerOrdering ordering) {
+  return ordering == MinimizerOrdering::kLexicographic ? canon
+                                                       : util::mix64(canon);
+}
+
+/// A maximal run of ACGT bases: [begin, end) over the original sequence.
+struct Run {
+  std::size_t begin;
+  std::size_t end;
+};
+
+std::vector<Run> acgt_runs(std::string_view seq) {
+  std::vector<Run> runs;
+  std::size_t begin = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const bool valid = base_code(seq[i]) != kInvalidBase;
+    if (valid && !in_run) {
+      begin = i;
+      in_run = true;
+    } else if (!valid && in_run) {
+      runs.push_back({begin, i});
+      in_run = false;
+    }
+  }
+  if (in_run) runs.push_back({begin, seq.size()});
+  return runs;
+}
+
+void validate(const MinimizerParams& p) {
+  if (p.k < 1 || p.k > kMaxK) {
+    throw std::invalid_argument("minimizer_scan: k out of range");
+  }
+  if (p.w < 1) {
+    throw std::invalid_argument("minimizer_scan: w must be >= 1");
+  }
+}
+
+/// Appends the distinct minimizers of one ACGT run using a monotone deque.
+/// Ties are broken toward the leftmost occurrence (values equal to the new
+/// candidate are kept in the deque, so an earlier equal minimum stays at the
+/// front).
+void scan_run(std::string_view seq, Run run, const MinimizerParams& p,
+              const KmerCodec& codec, std::vector<Minimizer>& out) {
+  const std::size_t run_len = run.end - run.begin;
+  if (run_len < static_cast<std::size_t>(p.k)) return;
+  const std::size_t num_kmers = run_len - static_cast<std::size_t>(p.k) + 1;
+  const std::size_t window =
+      std::min<std::size_t>(static_cast<std::size_t>(p.w), num_kmers);
+
+  struct Entry {
+    std::uint64_t key;  // ordering key (lexicographic code or mixed hash)
+    KmerCode canon;
+    std::uint32_t pos;  // absolute position in seq
+  };
+  std::deque<Entry> deque;
+
+  KmerCode fwd = 0;
+  KmerCode rc = 0;
+  for (std::size_t i = 0; i < num_kmers; ++i) {
+    // Roll the forward and reverse-complement tracks.
+    if (i == 0) {
+      for (int j = 0; j < p.k; ++j) {
+        const std::uint8_t code =
+            base_code(seq[run.begin + static_cast<std::size_t>(j)]);
+        fwd = codec.roll(fwd, code);
+        rc = codec.roll_rc(rc, code);
+      }
+    } else {
+      const std::uint8_t code = base_code(
+          seq[run.begin + i + static_cast<std::size_t>(p.k) - 1]);
+      fwd = codec.roll(fwd, code);
+      rc = codec.roll_rc(rc, code);
+    }
+    const KmerCode canon = fwd < rc ? fwd : rc;
+    const std::uint64_t key = ordering_key(canon, p.ordering);
+    const auto pos = static_cast<std::uint32_t>(run.begin + i);
+
+    // Maintain monotone (strictly increasing) keys front to back; equal
+    // keys are kept so the leftmost minimum wins ties.
+    while (!deque.empty() && deque.back().key > key) deque.pop_back();
+    deque.push_back({key, canon, pos});
+
+    // Window covering k-mers [i - window + 1, i] is complete once
+    // i + 1 >= window. Evict entries that fell out of it.
+    if (i + 1 >= window) {
+      const auto window_begin = static_cast<std::uint32_t>(
+          run.begin + i + 1 - window);
+      while (deque.front().pos < window_begin) deque.pop_front();
+      const Entry& min_entry = deque.front();
+      if (out.empty() || out.back().kmer != min_entry.canon ||
+          out.back().position != min_entry.pos) {
+        out.push_back({min_entry.canon, min_entry.pos});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Minimizer> minimizer_scan(std::string_view seq,
+                                      const MinimizerParams& p) {
+  validate(p);
+  const KmerCodec codec(p.k);
+  std::vector<Minimizer> out;
+  for (const Run& run : acgt_runs(seq)) {
+    scan_run(seq, run, p, codec, out);
+  }
+  return out;
+}
+
+std::vector<Minimizer> minimizer_scan_naive(std::string_view seq,
+                                            const MinimizerParams& p) {
+  validate(p);
+  const KmerCodec codec(p.k);
+  std::vector<Minimizer> out;
+  for (const Run& run : acgt_runs(seq)) {
+    const std::size_t run_len = run.end - run.begin;
+    if (run_len < static_cast<std::size_t>(p.k)) continue;
+    const std::size_t num_kmers = run_len - static_cast<std::size_t>(p.k) + 1;
+    const std::size_t window =
+        std::min<std::size_t>(static_cast<std::size_t>(p.w), num_kmers);
+
+    // Pre-encode every canonical k-mer of the run and its ordering key.
+    std::vector<KmerCode> canon(num_kmers);
+    std::vector<std::uint64_t> keys(num_kmers);
+    for (std::size_t i = 0; i < num_kmers; ++i) {
+      const auto code = codec.encode(
+          seq.substr(run.begin + i, static_cast<std::size_t>(p.k)));
+      canon[i] = codec.canonical(*code);
+      keys[i] = ordering_key(canon[i], p.ordering);
+    }
+
+    for (std::size_t w_begin = 0; w_begin + window <= num_kmers; ++w_begin) {
+      std::size_t best = w_begin;
+      for (std::size_t j = w_begin + 1; j < w_begin + window; ++j) {
+        if (keys[j] < keys[best]) best = j;  // leftmost tie-break via <
+      }
+      const Minimizer m{canon[best],
+                        static_cast<std::uint32_t>(run.begin + best)};
+      if (out.empty() || out.back() != m) out.push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace jem::core

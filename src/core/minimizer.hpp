@@ -1,0 +1,66 @@
+// Canonical lexicographic minimizers (Roberts et al. 2004), the base sampling
+// layer of the JEM sketch.
+//
+// Definition used by the paper (§III-B2, implementation notes): for window
+// size w, the minimizer of w consecutive k-mers is the lexicographically
+// smallest *canonical* k-mer (the smaller of the k-mer and its reverse
+// complement). A minimizer is appended to the ordered list M_o(s, w) only
+// when it changes or the current one slides out of scope, yielding the
+// position-sorted list of distinct minimizer occurrences.
+//
+// The scan is O(|s|) using a monotone deque; k-mers containing non-ACGT
+// bases break the sequence into independent runs (no window spans an
+// ambiguous base).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/kmer.hpp"
+
+namespace jem::core {
+
+/// One minimizer occurrence: the canonical k-mer code and the start position
+/// of the k-mer occurrence it was selected from.
+struct Minimizer {
+  KmerCode kmer = 0;
+  std::uint32_t position = 0;
+
+  friend bool operator==(const Minimizer&, const Minimizer&) = default;
+};
+
+/// How window minima are selected. The paper uses the lexicographically
+/// smallest canonical k-mer ("consistent with previous works [23], [24]").
+/// kRandomHash orders k-mers by a mixed hash of the canonical code instead —
+/// the improvement of Marçais et al. 2017 (the paper's ref [24]): it avoids
+/// the poly-A/low-complexity bias of lexicographic ordering and gives a
+/// density closer to the theoretical 2/(w+1). Exposed for the ordering
+/// ablation; all paper experiments use kLexicographic.
+enum class MinimizerOrdering : std::uint8_t { kLexicographic, kRandomHash };
+
+struct MinimizerParams {
+  int k = 16;   // k-mer size
+  int w = 100;  // number of consecutive k-mers per window
+  MinimizerOrdering ordering = MinimizerOrdering::kLexicographic;
+};
+
+/// Computes M_o(s, w): the position-sorted list of distinct minimizer
+/// occurrences of `seq`. Sequences shorter than one full window (k + w - 1
+/// bases) within an ACGT run contribute the minimizer of each partial run
+/// only if at least one k-mer exists (the window is truncated to the run) —
+/// matching how short contigs still produce sketches in practice.
+[[nodiscard]] std::vector<Minimizer> minimizer_scan(std::string_view seq,
+                                                    const MinimizerParams& p);
+
+/// Reference O(n·w) implementation used by property tests to validate the
+/// deque-based scan.
+[[nodiscard]] std::vector<Minimizer> minimizer_scan_naive(
+    std::string_view seq, const MinimizerParams& p);
+
+/// Expected density of distinct minimizers: 2/(w+1) per k-mer position.
+[[nodiscard]] constexpr double expected_minimizer_density(int w) noexcept {
+  return 2.0 / (static_cast<double>(w) + 1.0);
+}
+
+}  // namespace jem::core

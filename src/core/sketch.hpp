@@ -1,0 +1,79 @@
+// Sketch generation — the paper's Algorithm 1 (Sketch_byJEM) and the
+// classical MinHash scheme it is compared against in Fig 6.
+//
+// Sketch_byJEM(s, ℓ, H):
+//   M_o(s, w) = position-sorted distinct minimizers of s
+//   for each minimizer tuple <k_i, p_i>:
+//     M_i = { <k_j, p_j> : p_i <= p_j <= p_i + ℓ }       (the interval)
+//     for each trial t: emit argmin_{x ∈ M_i} h_t(x)
+//
+// The result, per trial, is the SET of interval minhashes (duplicate emits
+// of the same k-mer collapse: the sketch table keys on the k-mer, and
+// Algorithm 2 counts at most one hit per (trial, subject)).
+//
+// Two implementations are provided:
+//  * sketch_by_jem        — O(|M_o|·T) amortized via T simultaneous
+//                           sliding-window-minimum deques;
+//  * sketch_by_jem_naive  — the literal per-interval argmin loop of
+//                           Algorithm 1 (O(|M_o|·I·T)); used for validation
+//                           and as the ablation baseline.
+//
+// Classical MinHash (classic_minhash): per trial, the single argmin of h_t
+// over ALL canonical k-mers of the sequence — no minimizer thinning, no
+// interval resolution. This is the scheme Fig 6 shows needing ~150 trials
+// to match JEM's 30.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/hash_family.hpp"
+#include "core/minimizer.hpp"
+
+namespace jem::core {
+
+/// Per-trial sketch sets: per_trial[t] is the sorted, deduplicated list of
+/// minhash k-mer codes for trial t.
+struct Sketch {
+  std::vector<std::vector<KmerCode>> per_trial;
+
+  [[nodiscard]] int trials() const noexcept {
+    return static_cast<int>(per_trial.size());
+  }
+
+  /// Total number of (trial, kmer) entries.
+  [[nodiscard]] std::size_t total_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : per_trial) n += v.size();
+    return n;
+  }
+};
+
+struct SketchParams {
+  MinimizerParams minimizer;          // k and w
+  std::uint32_t interval_length = 1000;  // ℓ, in bp
+};
+
+/// Algorithm 1 over a precomputed minimizer list (fast path).
+[[nodiscard]] Sketch sketch_by_jem(std::span<const Minimizer> minimizers,
+                                   std::uint32_t interval_length,
+                                   const HashFamily& hashes);
+
+/// Algorithm 1 from the raw sequence (runs the minimizer scan first).
+[[nodiscard]] Sketch sketch_by_jem(std::string_view seq,
+                                   const SketchParams& params,
+                                   const HashFamily& hashes);
+
+/// Literal per-interval reference implementation.
+[[nodiscard]] Sketch sketch_by_jem_naive(std::span<const Minimizer> minimizers,
+                                         std::uint32_t interval_length,
+                                         const HashFamily& hashes);
+
+/// Classical MinHash over all canonical k-mers of `seq`. per_trial[t] has
+/// exactly one k-mer (or zero if the sequence has no valid k-mer).
+[[nodiscard]] Sketch classic_minhash(std::string_view seq, int k,
+                                     const HashFamily& hashes);
+
+}  // namespace jem::core

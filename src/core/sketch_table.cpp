@@ -1,0 +1,220 @@
+#include "core/sketch_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jem::core {
+
+SketchTable::SketchTable(int trials) : trials_(trials) {
+  if (trials < 1) {
+    throw std::invalid_argument("SketchTable: trials must be >= 1");
+  }
+  bins_.resize(static_cast<std::size_t>(trials));
+}
+
+void SketchTable::insert(const Sketch& sketch, io::SeqId subject) {
+  if (sketch.trials() != trials()) {
+    throw std::invalid_argument("SketchTable::insert: trial count mismatch");
+  }
+  for (int t = 0; t < trials(); ++t) {
+    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
+      insert(t, kmer, subject);
+    }
+  }
+}
+
+void SketchTable::insert(int trial, KmerCode kmer, io::SeqId subject) {
+  if (frozen_) {
+    throw std::logic_error("SketchTable::insert: table is frozen");
+  }
+  auto& postings = bins_[static_cast<std::size_t>(trial)][kmer];
+  // Postings are kept sorted; every driver inserts subjects in
+  // non-decreasing id order, so the common case is an O(1) append, and
+  // arbitrary-order inserts still preserve set semantics via binary search.
+  if (postings.empty() || postings.back() < subject) {
+    postings.push_back(subject);
+  } else {
+    const auto it =
+        std::lower_bound(postings.begin(), postings.end(), subject);
+    if (it != postings.end() && *it == subject) return;
+    postings.insert(it, subject);
+  }
+  ++entries_;
+}
+
+void SketchTable::freeze() {
+  if (frozen_) return;
+  frozen_trials_.resize(bins_.size());
+  for (std::size_t t = 0; t < bins_.size(); ++t) {
+    Bin& bin = bins_[t];
+    FrozenTrial& frozen = frozen_trials_[t];
+
+    std::vector<std::pair<KmerCode, io::SeqId>> flat;
+    flat.reserve(entries_);
+    for (auto& [kmer, postings] : bin) {
+      for (io::SeqId subject : postings) flat.emplace_back(kmer, subject);
+    }
+    std::sort(flat.begin(), flat.end());
+
+    frozen.keys.reserve(bin.size());
+    frozen.offsets.reserve(bin.size() + 1);
+    frozen.subjects.reserve(flat.size());
+    for (const auto& [kmer, subject] : flat) {
+      if (frozen.keys.empty() || frozen.keys.back() != kmer) {
+        frozen.keys.push_back(kmer);
+        frozen.offsets.push_back(
+            static_cast<std::uint32_t>(frozen.subjects.size()));
+      }
+      frozen.subjects.push_back(subject);
+    }
+    frozen.offsets.push_back(
+        static_cast<std::uint32_t>(frozen.subjects.size()));
+    bin.clear();
+  }
+  bins_.clear();
+  bins_.shrink_to_fit();
+  frozen_ = true;
+}
+
+std::span<const io::SeqId> SketchTable::lookup(int trial,
+                                               KmerCode kmer) const {
+  if (frozen_) {
+    const FrozenTrial& frozen =
+        frozen_trials_[static_cast<std::size_t>(trial)];
+    const auto it =
+        std::lower_bound(frozen.keys.begin(), frozen.keys.end(), kmer);
+    if (it == frozen.keys.end() || *it != kmer) return {};
+    const auto index =
+        static_cast<std::size_t>(std::distance(frozen.keys.begin(), it));
+    const std::uint32_t begin = frozen.offsets[index];
+    const std::uint32_t end = frozen.offsets[index + 1];
+    return std::span<const io::SeqId>(frozen.subjects)
+        .subspan(begin, end - begin);
+  }
+  const Bin& bin = bins_[static_cast<std::size_t>(trial)];
+  const auto it = bin.find(kmer);
+  if (it == bin.end()) return {};
+  return it->second;
+}
+
+std::size_t SketchTable::key_count() const noexcept {
+  std::size_t keys = 0;
+  if (frozen_) {
+    for (const FrozenTrial& frozen : frozen_trials_) {
+      keys += frozen.keys.size();
+    }
+  } else {
+    for (const Bin& bin : bins_) keys += bin.size();
+  }
+  return keys;
+}
+
+std::vector<SketchEntry> SketchTable::to_entries() const {
+  std::vector<SketchEntry> entries;
+  entries.reserve(entries_);
+  for (int t = 0; t < trials(); ++t) {
+    if (frozen_) {
+      const FrozenTrial& frozen =
+          frozen_trials_[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < frozen.keys.size(); ++i) {
+        for (std::uint32_t j = frozen.offsets[i]; j < frozen.offsets[i + 1];
+             ++j) {
+          entries.push_back({frozen.keys[i], static_cast<std::uint32_t>(t),
+                             frozen.subjects[j]});
+        }
+      }
+    } else {
+      for (const auto& [kmer, postings] :
+           bins_[static_cast<std::size_t>(t)]) {
+        for (io::SeqId subject : postings) {
+          entries.push_back({kmer, static_cast<std::uint32_t>(t), subject});
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+SketchTable SketchTable::from_entries(int trials,
+                                      std::span<const SketchEntry> entries) {
+  SketchTable table(trials);
+
+  // Bucket entries per trial, then sort each trial's postings by
+  // (kmer, subject) and emit the CSR arrays directly — no hash maps, one
+  // sort per trial. Duplicate triples (a subject whose sketches were
+  // computed by two ranks can never occur with contiguous partitions, but
+  // the wire format does not forbid it) collapse during the linear pass.
+  std::vector<std::vector<std::pair<KmerCode, io::SeqId>>> per_trial(
+      static_cast<std::size_t>(trials));
+  for (const SketchEntry& entry : entries) {
+    if (entry.trial >= static_cast<std::uint32_t>(trials)) {
+      throw std::invalid_argument("SketchTable::from_entries: bad trial id");
+    }
+    per_trial[entry.trial].emplace_back(entry.kmer, entry.subject);
+  }
+
+  table.frozen_trials_.resize(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    auto& flat = per_trial[static_cast<std::size_t>(t)];
+    std::sort(flat.begin(), flat.end());
+    flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+
+    FrozenTrial& frozen = table.frozen_trials_[static_cast<std::size_t>(t)];
+    frozen.subjects.reserve(flat.size());
+    for (const auto& [kmer, subject] : flat) {
+      if (frozen.keys.empty() || frozen.keys.back() != kmer) {
+        frozen.keys.push_back(kmer);
+        frozen.offsets.push_back(
+            static_cast<std::uint32_t>(frozen.subjects.size()));
+      }
+      frozen.subjects.push_back(subject);
+    }
+    frozen.offsets.push_back(
+        static_cast<std::uint32_t>(frozen.subjects.size()));
+    table.entries_ += flat.size();
+  }
+  table.bins_.clear();
+  table.frozen_ = true;
+  return table;
+}
+
+namespace {
+constexpr std::uint64_t kTableMagic = 0x4a454d5f54424c31ULL;  // "JEM_TBL1"
+}  // namespace
+
+void SketchTable::save(std::ostream& out) const {
+  const std::vector<SketchEntry> entries = to_entries();
+  const std::uint64_t magic = kTableMagic;
+  const auto trial_count = static_cast<std::uint64_t>(trials_);
+  const auto entry_count = static_cast<std::uint64_t>(entries.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&trial_count), sizeof(trial_count));
+  out.write(reinterpret_cast<const char*>(&entry_count), sizeof(entry_count));
+  out.write(reinterpret_cast<const char*>(entries.data()),
+            static_cast<std::streamsize>(entries.size() *
+                                         sizeof(SketchEntry)));
+  if (!out) throw std::runtime_error("SketchTable::save: write failed");
+}
+
+SketchTable SketchTable::load(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::uint64_t trial_count = 0;
+  std::uint64_t entry_count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&trial_count), sizeof(trial_count));
+  in.read(reinterpret_cast<char*>(&entry_count), sizeof(entry_count));
+  if (!in || magic != kTableMagic) {
+    throw std::runtime_error("SketchTable::load: bad header (not a JEM "
+                             "sketch table)");
+  }
+  if (trial_count == 0 || trial_count > 1'000'000) {
+    throw std::runtime_error("SketchTable::load: implausible trial count");
+  }
+  std::vector<SketchEntry> entries(entry_count);
+  in.read(reinterpret_cast<char*>(entries.data()),
+          static_cast<std::streamsize>(entry_count * sizeof(SketchEntry)));
+  if (!in) throw std::runtime_error("SketchTable::load: truncated file");
+  return from_entries(static_cast<int>(trial_count), entries);
+}
+
+}  // namespace jem::core

@@ -1,0 +1,101 @@
+// The sketch data structure S of Algorithm 2: T hash tables, one per trial,
+// mapping a minhash k-mer to the subjects that produced it. Includes the
+// flat serialization used for the MPI_Allgatherv union step (S3).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sketch.hpp"
+#include "io/sequence.hpp"
+
+namespace jem::core {
+
+/// One serialized table entry; trivially copyable for the allgatherv wire
+/// format.
+struct SketchEntry {
+  KmerCode kmer = 0;
+  std::uint32_t trial = 0;
+  io::SeqId subject = 0;
+
+  friend bool operator==(const SketchEntry&, const SketchEntry&) = default;
+};
+static_assert(sizeof(SketchEntry) == 16);
+
+// The table has two representations:
+//  * a mutable hash-map form used while sketching local subjects (S2), and
+//  * a frozen CSR form — per trial, a position-sorted key array with a
+//    postings array — matching the paper's description of S_global as
+//    "T lists" (Fig 2). from_entries builds the frozen form directly by
+//    sorting the allgathered wire entries, which is markedly cheaper than
+//    re-inserting hundreds of thousands of entries into hash maps at every
+//    rank, and lookups become cache-friendly binary searches.
+class SketchTable {
+ public:
+  /// Creates an empty (mutable) table with `trials` trial bins.
+  explicit SketchTable(int trials);
+
+  [[nodiscard]] int trials() const noexcept { return trials_; }
+
+  /// Inserts every (trial, kmer) of `sketch` with value `subject`.
+  /// Duplicate (trial, kmer, subject) triples are collapsed.
+  /// Throws std::logic_error on a frozen table.
+  void insert(const Sketch& sketch, io::SeqId subject);
+
+  /// Inserts one entry. Throws std::logic_error on a frozen table.
+  void insert(int trial, KmerCode kmer, io::SeqId subject);
+
+  /// Converts the mutable form into the frozen CSR form (idempotent).
+  void freeze();
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+  /// Subjects that produced `kmer` in trial `t` (empty span if none).
+  [[nodiscard]] std::span<const io::SeqId> lookup(int trial,
+                                                  KmerCode kmer) const;
+
+  /// Number of stored (trial, kmer, subject) entries.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+
+  /// Number of distinct (trial, kmer) keys.
+  [[nodiscard]] std::size_t key_count() const noexcept;
+
+  /// Flattens to the wire format (entries ordered by trial, then key order
+  /// of the underlying map — order is irrelevant to reconstruction).
+  [[nodiscard]] std::vector<SketchEntry> to_entries() const;
+
+  /// Rebuilds a (frozen) table from concatenated per-rank entry lists.
+  /// Duplicate triples across ranks are collapsed.
+  [[nodiscard]] static SketchTable from_entries(
+      int trials, std::span<const SketchEntry> entries);
+
+  /// Index persistence: a versioned binary dump (magic + trials + entry
+  /// list). Subjects are only sketched once per project in practice, so
+  /// tools save the table alongside the contig set and reload it for each
+  /// read batch. load() returns a frozen table.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static SketchTable load(std::istream& in);
+
+ private:
+  using Bin = std::unordered_map<KmerCode, std::vector<io::SeqId>>;
+
+  /// One trial's frozen list: postings sorted by (kmer, subject); keys/
+  /// key_offsets index the distinct k-mers (CSR layout).
+  struct FrozenTrial {
+    std::vector<KmerCode> keys;              // sorted distinct k-mers
+    std::vector<std::uint32_t> offsets;      // keys.size() + 1 entries
+    std::vector<io::SeqId> subjects;         // concatenated postings
+  };
+
+  int trials_ = 0;
+  std::vector<Bin> bins_;
+  std::vector<FrozenTrial> frozen_trials_;
+  bool frozen_ = false;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace jem::core

@@ -1,0 +1,47 @@
+#include "eval/metrics.hpp"
+
+namespace jem::eval {
+
+QualityCounts evaluate(std::span<const core::SegmentMapping> mappings,
+                       const TruthSet& truth) {
+  QualityCounts counts;
+  for (const core::SegmentMapping& mapping : mappings) {
+    ++counts.segments;
+    const bool bench_has = truth.has_any(mapping.read, mapping.end);
+    if (mapping.result.mapped()) {
+      ++counts.mapped;
+      if (truth.is_true(mapping.read, mapping.end, mapping.result.subject)) {
+        ++counts.tp;
+      } else {
+        ++counts.fp;
+        if (bench_has) ++counts.fn;  // the true hit was missed
+      }
+    } else {
+      if (bench_has) {
+        ++counts.fn;
+      } else {
+        ++counts.tn;
+      }
+    }
+  }
+  return counts;
+}
+
+TopXRecall evaluate_topx(std::span<const core::SegmentTopX> mappings,
+                         const TruthSet& truth) {
+  TopXRecall result;
+  for (const core::SegmentTopX& mapping : mappings) {
+    if (!truth.has_any(mapping.read, mapping.end)) continue;
+    ++result.with_truth;
+    for (const core::MapResult& hit : mapping.hits) {
+      if (hit.mapped() &&
+          truth.is_true(mapping.read, mapping.end, hit.subject)) {
+        ++result.recalled;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace jem::eval

@@ -1,0 +1,66 @@
+// Precision/recall evaluation of a mapping against the TruthSet, using the
+// paper's accounting (§IV-B):
+//   TP — output pair is in Bench;
+//   FP — output pair is not in Bench;
+//   FN — a bench-having read end whose output is wrong or missing (a false
+//        positive on such an end is "by implication also a false negative");
+//   TN — no output and no bench pair.
+// precision = TP/(TP+FP), recall = TP/(TP+FN); as in the paper, recall is
+// bounded above by precision whenever every end has some true mapping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/mapper.hpp"
+#include "eval/truth.hpp"
+
+namespace jem::eval {
+
+struct QualityCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t segments = 0;  // total evaluated end segments
+  std::uint64_t mapped = 0;    // segments with an output mapping
+
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t denom = tp + fp;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+  [[nodiscard]] double recall() const noexcept {
+    const std::uint64_t denom = tp + fn;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores `mappings` (one entry per evaluated end segment) against `truth`.
+[[nodiscard]] QualityCounts evaluate(
+    std::span<const core::SegmentMapping> mappings, const TruthSet& truth);
+
+/// Recall of top-x mapping (the paper's §IV-C extension): an end segment
+/// counts as recalled if *any* of its reported candidates is in Bench.
+/// Denominator = segments with at least one true mapping.
+struct TopXRecall {
+  std::uint64_t recalled = 0;
+  std::uint64_t with_truth = 0;
+
+  [[nodiscard]] double recall() const noexcept {
+    return with_truth == 0 ? 0.0
+                           : static_cast<double>(recalled) /
+                                 static_cast<double>(with_truth);
+  }
+};
+
+[[nodiscard]] TopXRecall evaluate_topx(
+    std::span<const core::SegmentTopX> mappings, const TruthSet& truth);
+
+}  // namespace jem::eval

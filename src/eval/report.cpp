@@ -1,0 +1,90 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace jem::eval {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  if (header.empty()) {
+    throw std::invalid_argument("TextTable: header must not be empty");
+  }
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_.front().size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  const std::size_t cols = rows_.front().size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << row[c];
+      if (c + 1 < cols) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(rows_.front());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c + 1 < cols ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  return out.str();
+}
+
+std::vector<HistogramBin> make_histogram(const std::vector<double>& values,
+                                         double lo, double hi, int bins) {
+  if (bins < 1 || hi <= lo) {
+    throw std::invalid_argument("make_histogram: bad bin specification");
+  }
+  std::vector<HistogramBin> histogram(static_cast<std::size_t>(bins));
+  const double width = (hi - lo) / bins;
+  for (int b = 0; b < bins; ++b) {
+    histogram[static_cast<std::size_t>(b)].lo = lo + b * width;
+    histogram[static_cast<std::size_t>(b)].hi = lo + (b + 1) * width;
+  }
+  for (double v : values) {
+    if (v < lo || v > hi) continue;
+    auto b = static_cast<std::size_t>((v - lo) / width);
+    if (b >= histogram.size()) b = histogram.size() - 1;  // v == hi edge
+    ++histogram[b].count;
+  }
+  return histogram;
+}
+
+std::string render_histogram(const std::vector<HistogramBin>& bins,
+                             int max_bar_width) {
+  std::uint64_t max_count = 1;
+  for (const HistogramBin& bin : bins) {
+    max_count = std::max(max_count, bin.count);
+  }
+  std::ostringstream out;
+  for (const HistogramBin& bin : bins) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(bin.count) / static_cast<double>(max_count) *
+        max_bar_width);
+    out << '[' << util::fixed(bin.lo, 2) << ", " << util::fixed(bin.hi, 2)
+        << ")  " << std::string(bar, '#') << ' ' << bin.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace jem::eval

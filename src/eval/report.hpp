@@ -1,0 +1,41 @@
+// Fixed-width text tables and histogram rendering for the table/figure
+// drivers: every bench binary prints the same rows/series the paper reports
+// using these helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jem::eval {
+
+/// A simple right-padded text table. Column widths auto-fit the content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline; columns separated by two spaces.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+/// Renders a unicode-free ASCII bar histogram: one line per bin with a
+/// proportional bar of '#' characters, used for Fig 9's identity
+/// distribution.
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+[[nodiscard]] std::vector<HistogramBin> make_histogram(
+    const std::vector<double>& values, double lo, double hi, int bins);
+
+[[nodiscard]] std::string render_histogram(
+    const std::vector<HistogramBin>& bins, int max_bar_width = 50);
+
+}  // namespace jem::eval

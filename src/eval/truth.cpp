@@ -1,0 +1,114 @@
+#include "eval/truth.hpp"
+
+#include <algorithm>
+
+namespace jem::eval {
+
+sim::Interval end_segment_interval(const sim::ReadTruth& read,
+                                   core::ReadEnd end,
+                                   std::uint32_t segment_length) {
+  const sim::Interval& span = read.interval;
+  const std::uint64_t len =
+      std::min<std::uint64_t>(segment_length, span.length());
+
+  // On the forward strand the read's prefix is the left end of the span; on
+  // the reverse strand the read sequence is the reverse complement, so its
+  // prefix corresponds to the right end (and the suffix to the left end).
+  const bool left_end = (end == core::ReadEnd::kPrefix) != read.reverse;
+  if (left_end) return {span.begin, span.begin + len};
+  return {span.end - len, span.end};
+}
+
+sim::Interval segment_interval_at(const sim::ReadTruth& read,
+                                  std::uint32_t offset,
+                                  std::uint32_t length) {
+  const sim::Interval& span = read.interval;
+  const std::uint64_t read_length = span.length();
+  const std::uint64_t begin_in_read =
+      std::min<std::uint64_t>(offset, read_length);
+  const std::uint64_t end_in_read =
+      std::min<std::uint64_t>(begin_in_read + length, read_length);
+
+  if (!read.reverse) {
+    return {span.begin + begin_in_read, span.begin + end_in_read};
+  }
+  // Reverse strand: read position i corresponds to genome position
+  // span.end - 1 - i, so read range [b, e) maps to genome [end - e, end - b).
+  return {span.end - end_in_read, span.end - begin_in_read};
+}
+
+TruthSet::TruthSet(std::span<const sim::Interval> contig_truth,
+                   std::span<const sim::ReadTruth> read_truth,
+                   std::uint32_t segment_length, std::uint32_t min_overlap)
+    : contig_truth_(contig_truth.begin(), contig_truth.end()),
+      read_truth_(read_truth.begin(), read_truth.end()),
+      segment_length_(segment_length),
+      min_overlap_(min_overlap) {}
+
+namespace {
+
+/// Contigs (by index) overlapping `segment` by at least `min_overlap`,
+/// assuming `contigs` is position-sorted and non-overlapping.
+std::vector<io::SeqId> overlapping_contigs(
+    const std::vector<sim::Interval>& contigs, const sim::Interval& segment,
+    std::uint32_t min_overlap) {
+  std::vector<io::SeqId> subjects;
+  const auto first = std::partition_point(
+      contigs.begin(), contigs.end(),
+      [&](const sim::Interval& c) { return c.end <= segment.begin; });
+  for (auto it = first; it != contigs.end() && it->begin < segment.end;
+       ++it) {
+    if (sim::overlap(*it, segment) >= min_overlap) {
+      subjects.push_back(
+          static_cast<io::SeqId>(std::distance(contigs.begin(), it)));
+    }
+  }
+  return subjects;
+}
+
+}  // namespace
+
+std::vector<io::SeqId> TruthSet::true_subjects(io::SeqId read,
+                                               core::ReadEnd end) const {
+  return overlapping_contigs(
+      contig_truth_,
+      end_segment_interval(read_truth_[read], end, segment_length_),
+      min_overlap_);
+}
+
+std::vector<io::SeqId> TruthSet::true_subjects_at(io::SeqId read,
+                                                  std::uint32_t offset,
+                                                  std::uint32_t length) const {
+  return overlapping_contigs(
+      contig_truth_, segment_interval_at(read_truth_[read], offset, length),
+      min_overlap_);
+}
+
+std::vector<io::SeqId> TruthSet::true_subjects_whole_read(
+    io::SeqId read) const {
+  return overlapping_contigs(contig_truth_, read_truth_[read].interval,
+                             min_overlap_);
+}
+
+bool TruthSet::is_true(io::SeqId read, core::ReadEnd end,
+                       io::SeqId subject) const {
+  if (subject >= contig_truth_.size()) return false;
+  const sim::Interval segment =
+      end_segment_interval(read_truth_[read], end, segment_length_);
+  return sim::overlap(contig_truth_[subject], segment) >= min_overlap_;
+}
+
+bool TruthSet::has_any(io::SeqId read, core::ReadEnd end) const {
+  return !true_subjects(read, end).empty();
+}
+
+std::uint64_t TruthSet::total_pairs() const noexcept {
+  std::uint64_t total = 0;
+  for (io::SeqId read = 0; read < read_truth_.size(); ++read) {
+    total += true_subjects(read, core::ReadEnd::kPrefix).size();
+    total += true_subjects(read, core::ReadEnd::kSuffix).size();
+  }
+  return total;
+}
+
+}  // namespace jem::eval

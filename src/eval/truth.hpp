@@ -1,0 +1,78 @@
+// Benchmark (ground-truth) construction, following the paper's evaluation
+// methodology (§IV-B, Fig 4): an end segment e of a long read truly maps to
+// contig c iff their genome coordinate intervals intersect in at least k
+// positions. The paper recovered coordinates by re-mapping contigs and reads
+// with Minimap2; our simulators record them directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/end_segments.hpp"
+#include "core/mapper.hpp"
+#include "sim/contigs.hpp"
+#include "sim/hifi_reads.hpp"
+
+namespace jem::eval {
+
+/// Genome interval covered by one end segment of a read. For a
+/// reverse-strand read the *prefix* of the read sequence corresponds to the
+/// *end* of the genome interval (the read is the reverse complement of its
+/// source span).
+[[nodiscard]] sim::Interval end_segment_interval(const sim::ReadTruth& read,
+                                                 core::ReadEnd end,
+                                                 std::uint32_t segment_length);
+
+/// Genome interval covered by the read positions [offset, offset + length)
+/// — the general form used by tiled (containment-mode) segments. Clamps to
+/// the read span; strand-aware like end_segment_interval.
+[[nodiscard]] sim::Interval segment_interval_at(const sim::ReadTruth& read,
+                                                std::uint32_t offset,
+                                                std::uint32_t length);
+
+/// The set Bench of true <read end, contig> pairs.
+class TruthSet {
+ public:
+  /// `contig_truth` must be position-sorted (the simulator emits it so);
+  /// `min_overlap` is the k of the Fig 4 rule.
+  TruthSet(std::span<const sim::Interval> contig_truth,
+           std::span<const sim::ReadTruth> read_truth,
+           std::uint32_t segment_length, std::uint32_t min_overlap);
+
+  /// True contigs for one read end (sorted by id).
+  [[nodiscard]] std::vector<io::SeqId> true_subjects(
+      io::SeqId read, core::ReadEnd end) const;
+
+  /// True contigs for an arbitrary read segment [offset, offset + length)
+  /// (containment-mode evaluation).
+  [[nodiscard]] std::vector<io::SeqId> true_subjects_at(
+      io::SeqId read, std::uint32_t offset, std::uint32_t length) const;
+
+  /// True contigs for a whole read (any overlap >= min_overlap) — the
+  /// benchmark set for read-to-contig pair recovery.
+  [[nodiscard]] std::vector<io::SeqId> true_subjects_whole_read(
+      io::SeqId read) const;
+
+  /// Is <read end, subject> in Bench?
+  [[nodiscard]] bool is_true(io::SeqId read, core::ReadEnd end,
+                             io::SeqId subject) const;
+
+  /// Does this read end have any true mapping at all?
+  [[nodiscard]] bool has_any(io::SeqId read, core::ReadEnd end) const;
+
+  /// Total number of <read end, contig> pairs in Bench.
+  [[nodiscard]] std::uint64_t total_pairs() const noexcept;
+
+  [[nodiscard]] std::size_t num_reads() const noexcept {
+    return read_truth_.size();
+  }
+
+ private:
+  std::vector<sim::Interval> contig_truth_;
+  std::vector<sim::ReadTruth> read_truth_;
+  std::uint32_t segment_length_;
+  std::uint32_t min_overlap_;
+};
+
+}  // namespace jem::eval

@@ -1,0 +1,203 @@
+#include "io/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "io/gzip.hpp"
+#include "util/string_util.hpp"
+
+namespace jem::io {
+
+namespace {
+
+/// getline that also strips a trailing '\r' (CRLF input).
+bool get_logical_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+void split_header(std::string_view header, SequenceRecord& rec) {
+  const std::size_t ws = header.find_first_of(" \t");
+  if (ws == std::string_view::npos) {
+    rec.name = std::string(header);
+  } else {
+    rec.name = std::string(header.substr(0, ws));
+    rec.comment = std::string(util::trim(header.substr(ws + 1)));
+  }
+}
+
+void append_bases(std::string& dst, std::string_view line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    dst.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+}
+
+}  // namespace
+
+std::vector<SequenceRecord> read_fasta(std::istream& in) {
+  std::vector<SequenceRecord> records;
+  std::string line;
+  SequenceRecord current;
+  bool in_record = false;
+
+  while (get_logical_line(in, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      if (in_record) {
+        if (current.bases.empty()) {
+          throw ParseError("FASTA record '" + current.name +
+                           "' has no sequence");
+        }
+        records.push_back(std::move(current));
+        current = {};
+      }
+      split_header(std::string_view(line).substr(1), current);
+      if (current.name.empty()) {
+        throw ParseError("FASTA header with empty sequence name");
+      }
+      in_record = true;
+    } else {
+      if (!in_record) {
+        throw ParseError("FASTA input does not start with '>'");
+      }
+      append_bases(current.bases, line);
+    }
+  }
+  if (in_record) {
+    if (current.bases.empty()) {
+      throw ParseError("FASTA record '" + current.name + "' has no sequence");
+    }
+    records.push_back(std::move(current));
+  }
+  return records;
+}
+
+std::vector<SequenceRecord> read_fastq(std::istream& in) {
+  std::vector<SequenceRecord> records;
+  std::string line;
+  while (true) {
+    // Skip blank separator lines between records.
+    bool got = false;
+    while ((got = get_logical_line(in, line)) && line.empty()) {
+    }
+    if (!got) break;
+
+    if (line.front() != '@') {
+      throw ParseError("FASTQ record does not start with '@': " + line);
+    }
+    SequenceRecord rec;
+    split_header(std::string_view(line).substr(1), rec);
+    if (rec.name.empty()) {
+      throw ParseError("FASTQ header with empty sequence name");
+    }
+
+    if (!get_logical_line(in, line)) {
+      throw ParseError("FASTQ record '" + rec.name + "' truncated (no bases)");
+    }
+    append_bases(rec.bases, line);
+
+    if (!get_logical_line(in, line) || line.empty() || line.front() != '+') {
+      throw ParseError("FASTQ record '" + rec.name + "' missing '+' line");
+    }
+    if (!get_logical_line(in, line)) {
+      throw ParseError("FASTQ record '" + rec.name +
+                       "' truncated (no quality)");
+    }
+    rec.quality = line;
+    if (rec.quality.size() != rec.bases.size()) {
+      throw ParseError("FASTQ record '" + rec.name +
+                       "': quality length != sequence length");
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<SequenceRecord> read_sequences(std::istream& in) {
+  // Peek past leading whitespace to find the format marker.
+  int c = in.peek();
+  while (c != std::char_traits<char>::eof() &&
+         std::isspace(static_cast<unsigned char>(c)) != 0) {
+    in.get();
+    c = in.peek();
+  }
+  if (c == std::char_traits<char>::eof()) return {};
+  if (c == '>') return read_fasta(in);
+  if (c == '@') return read_fastq(in);
+  throw ParseError("input is neither FASTA ('>') nor FASTQ ('@')");
+}
+
+std::vector<SequenceRecord> read_sequences_file(const std::string& path) {
+  // Transparently accepts gzip-compressed files (.fa.gz / .fastq.gz).
+  std::string content;
+  try {
+    content = read_file_auto(path);
+  } catch (const std::exception& error) {
+    throw ParseError(error.what());
+  }
+  std::istringstream in(std::move(content));
+  return read_sequences(in);
+}
+
+void load_into(const std::string& path, SequenceSet& out) {
+  const auto records = read_sequences_file(path);
+  for (const SequenceRecord& rec : records) out.add(rec.name, rec.bases);
+}
+
+namespace {
+void write_wrapped(std::ostream& out, std::string_view bases,
+                   std::size_t line_width) {
+  if (line_width == 0) {
+    out << bases << '\n';
+    return;
+  }
+  for (std::size_t pos = 0; pos < bases.size(); pos += line_width) {
+    out << bases.substr(pos, line_width) << '\n';
+  }
+}
+}  // namespace
+
+void write_fasta(std::ostream& out, std::span<const SequenceRecord> records,
+                 std::size_t line_width) {
+  for (const SequenceRecord& rec : records) {
+    out << '>' << rec.name;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n';
+    write_wrapped(out, rec.bases, line_width);
+  }
+}
+
+void write_fasta(std::ostream& out, const SequenceSet& set,
+                 std::size_t line_width) {
+  for (SeqId id = 0; id < set.size(); ++id) {
+    out << '>' << set.name(id) << '\n';
+    write_wrapped(out, set.bases(id), line_width);
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      std::span<const SequenceRecord> records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open file for writing: " + path);
+  write_fasta(out, records, line_width);
+}
+
+void write_fastq(std::ostream& out, std::span<const SequenceRecord> records) {
+  for (const SequenceRecord& rec : records) {
+    out << '@' << rec.name;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n' << rec.bases << "\n+\n";
+    if (rec.quality.size() == rec.bases.size()) {
+      out << rec.quality << '\n';
+    } else {
+      out << std::string(rec.bases.size(), 'I') << '\n';
+    }
+  }
+}
+
+}  // namespace jem::io

@@ -1,0 +1,85 @@
+#include "io/gzip.hpp"
+
+#include <zlib.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jem::io {
+
+bool is_gzip(std::string_view data) noexcept {
+  return data.size() >= 2 && static_cast<unsigned char>(data[0]) == 0x1f &&
+         static_cast<unsigned char>(data[1]) == 0x8b;
+}
+
+std::string gzip_decompress(std::string_view data) {
+  z_stream stream{};
+  // 15 window bits + 16 selects gzip decoding.
+  if (inflateInit2(&stream, 15 + 16) != Z_OK) {
+    throw std::runtime_error("gzip: inflateInit2 failed");
+  }
+
+  std::string out;
+  std::string buffer(1 << 16, '\0');
+  stream.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  stream.avail_in = static_cast<uInt>(data.size());
+
+  int rc = Z_OK;
+  do {
+    stream.next_out = reinterpret_cast<Bytef*>(buffer.data());
+    stream.avail_out = static_cast<uInt>(buffer.size());
+    rc = inflate(&stream, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      inflateEnd(&stream);
+      throw std::runtime_error("gzip: corrupt stream (inflate rc=" +
+                               std::to_string(rc) + ")");
+    }
+    out.append(buffer.data(), buffer.size() - stream.avail_out);
+  } while (rc != Z_STREAM_END);
+
+  inflateEnd(&stream);
+  return out;
+}
+
+std::string gzip_compress(std::string_view data, int level) {
+  z_stream stream{};
+  if (deflateInit2(&stream, level, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw std::runtime_error("gzip: deflateInit2 failed");
+  }
+
+  std::string out;
+  std::string buffer(1 << 16, '\0');
+  stream.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  stream.avail_in = static_cast<uInt>(data.size());
+
+  int rc = Z_OK;
+  do {
+    stream.next_out = reinterpret_cast<Bytef*>(buffer.data());
+    stream.avail_out = static_cast<uInt>(buffer.size());
+    rc = deflate(&stream, Z_FINISH);
+    if (rc == Z_STREAM_ERROR) {
+      deflateEnd(&stream);
+      throw std::runtime_error("gzip: deflate failed");
+    }
+    out.append(buffer.data(), buffer.size() - stream.avail_out);
+  } while (rc != Z_STREAM_END);
+
+  deflateEnd(&stream);
+  return out;
+}
+
+std::string read_file_auto(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::string data = std::move(raw).str();
+  if (is_gzip(data)) return gzip_decompress(data);
+  return data;
+}
+
+}  // namespace jem::io

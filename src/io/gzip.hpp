@@ -1,0 +1,24 @@
+// Minimal gzip (RFC 1952) support via zlib: real long-read data ships as
+// .fastq.gz, so the readers transparently accept gzip-compressed files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace jem::io {
+
+/// True if the buffer starts with the gzip magic bytes (0x1f 0x8b).
+[[nodiscard]] bool is_gzip(std::string_view data) noexcept;
+
+/// Inflates a whole gzip stream. Throws std::runtime_error on corrupt input.
+[[nodiscard]] std::string gzip_decompress(std::string_view data);
+
+/// Deflates to a gzip stream (used by tests and the demo writers).
+[[nodiscard]] std::string gzip_compress(std::string_view data,
+                                        int level = 6);
+
+/// Reads a whole file; transparently decompresses when gzip-compressed.
+/// Throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::string read_file_auto(const std::string& path);
+
+}  // namespace jem::io

@@ -1,0 +1,58 @@
+#include "io/mapping_writer.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace jem::io {
+
+void write_mappings(std::ostream& out, const std::vector<MappingLine>& lines) {
+  for (const MappingLine& line : lines) {
+    out << line.query << '\t' << line.end << '\t' << line.segment_length
+        << '\t' << (line.mapped() ? line.subject : std::string("*")) << '\t'
+        << line.votes << '\t' << line.trials << '\n';
+  }
+}
+
+namespace {
+std::uint32_t parse_u32(std::string_view field, const char* what) {
+  std::uint32_t value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("mapping file: bad ") + what +
+                             " field '" + std::string(field) + "'");
+  }
+  return value;
+}
+}  // namespace
+
+std::vector<MappingLine> read_mappings(std::istream& in) {
+  std::vector<MappingLine> lines;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (raw.empty()) continue;
+    const auto fields = util::split(raw, '\t');
+    if (fields.size() != 6) {
+      throw std::runtime_error("mapping file: expected 6 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    MappingLine line;
+    line.query = std::string(fields[0]);
+    if (fields[1].size() != 1 ||
+        (fields[1][0] != 'P' && fields[1][0] != 'S' && fields[1][0] != 'I')) {
+      throw std::runtime_error("mapping file: bad end field '" +
+                               std::string(fields[1]) + "'");
+    }
+    line.end = fields[1][0];
+    line.segment_length = parse_u32(fields[2], "segment_length");
+    if (fields[3] != "*") line.subject = std::string(fields[3]);
+    line.votes = parse_u32(fields[4], "votes");
+    line.trials = parse_u32(fields[5], "trials");
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace jem::io

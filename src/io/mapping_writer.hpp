@@ -1,0 +1,29 @@
+// Tab-separated mapping output, a PAF-flavoured record per mapped query end:
+//   query_name  end(P|S)  segment_len  contig_name  votes  trials
+// plus a reader for round-tripping in tests and downstream tools.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jem::io {
+
+struct MappingLine {
+  std::string query;
+  char end = 'P';  // 'P' prefix segment, 'S' suffix segment
+  std::uint32_t segment_length = 0;
+  std::string subject;     // empty when unmapped (written as '*')
+  std::uint32_t votes = 0;  // trials that voted for the winning subject
+  std::uint32_t trials = 0;
+
+  [[nodiscard]] bool mapped() const noexcept { return !subject.empty(); }
+  friend bool operator==(const MappingLine&, const MappingLine&) = default;
+};
+
+void write_mappings(std::ostream& out, const std::vector<MappingLine>& lines);
+[[nodiscard]] std::vector<MappingLine> read_mappings(std::istream& in);
+
+}  // namespace jem::io

@@ -1,0 +1,131 @@
+#include "io/packed_sequence_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jem::io {
+
+namespace {
+
+// Local 2-bit codec (io must not depend on core): A=0 C=1 G=2 T=3.
+constexpr std::uint8_t kBad = 0xff;
+
+constexpr std::uint8_t pack_code(char base) noexcept {
+  switch (base) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kBad;
+  }
+}
+
+constexpr char unpack_code(std::uint8_t code) noexcept {
+  constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  return kBases[code & 3u];
+}
+
+}  // namespace
+
+SeqId PackedSequenceSet::add(std::string_view name, std::string_view bases) {
+  if (names_.size() >= kInvalidSeqId) {
+    throw std::length_error("PackedSequenceSet: too many sequences");
+  }
+  Meta meta;
+  meta.word_offset = words_.size();
+  meta.length = bases.size();
+  meta.n_offset = n_positions_.size();
+
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    std::uint8_t code = pack_code(bases[i]);
+    if (code == kBad) {
+      n_positions_.push_back(i);
+      ++meta.n_count;
+      code = 0;  // placeholder bits under the exception
+    }
+    word |= static_cast<std::uint64_t>(code) << (2 * filled);
+    if (++filled == 32) {
+      words_.push_back(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) words_.push_back(word);
+
+  names_.emplace_back(name);
+  meta_.push_back(meta);
+  total_bases_ += bases.size();
+  return static_cast<SeqId>(names_.size() - 1);
+}
+
+std::string_view PackedSequenceSet::name(SeqId id) const {
+  return names_.at(id);
+}
+
+std::size_t PackedSequenceSet::length(SeqId id) const {
+  if (id >= meta_.size()) {
+    throw std::out_of_range("PackedSequenceSet::length: bad id");
+  }
+  return static_cast<std::size_t>(meta_[id].length);
+}
+
+std::string PackedSequenceSet::decode(SeqId id) const {
+  return decode(id, 0, length(id));
+}
+
+std::string PackedSequenceSet::decode(SeqId id, std::size_t begin,
+                                      std::size_t count) const {
+  if (id >= meta_.size()) {
+    throw std::out_of_range("PackedSequenceSet::decode: bad id");
+  }
+  const Meta& meta = meta_[id];
+  if (begin > meta.length) begin = static_cast<std::size_t>(meta.length);
+  count = std::min<std::size_t>(count,
+                                static_cast<std::size_t>(meta.length) - begin);
+
+  std::string out(count, 'A');
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t pos = begin + i;
+    const std::uint64_t word = words_[meta.word_offset + pos / 32];
+    const auto code =
+        static_cast<std::uint8_t>((word >> (2 * (pos % 32))) & 3u);
+    out[i] = unpack_code(code);
+  }
+
+  // Restore exception positions intersecting [begin, begin + count).
+  const auto n_begin = n_positions_.begin() +
+                       static_cast<std::ptrdiff_t>(meta.n_offset);
+  const auto n_end = n_begin + static_cast<std::ptrdiff_t>(meta.n_count);
+  for (auto it = std::lower_bound(n_begin, n_end, begin);
+       it != n_end && *it < begin + count; ++it) {
+    out[static_cast<std::size_t>(*it - begin)] = 'N';
+  }
+  return out;
+}
+
+std::size_t PackedSequenceSet::payload_bytes() const noexcept {
+  return words_.size() * sizeof(std::uint64_t) +
+         n_positions_.size() * sizeof(std::uint64_t);
+}
+
+PackedSequenceSet PackedSequenceSet::from_sequence_set(
+    const SequenceSet& set) {
+  PackedSequenceSet packed;
+  for (SeqId id = 0; id < set.size(); ++id) {
+    packed.add(set.name(id), set.bases(id));
+  }
+  return packed;
+}
+
+SequenceSet PackedSequenceSet::to_sequence_set() const {
+  SequenceSet set;
+  set.reserve(size(), total_bases_);
+  for (SeqId id = 0; id < size(); ++id) {
+    set.add(name(id), decode(id));
+  }
+  return set;
+}
+
+}  // namespace jem::io

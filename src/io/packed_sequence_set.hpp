@@ -1,0 +1,74 @@
+// PackedSequenceSet — 2-bit-packed DNA storage with N-position exceptions.
+//
+// The paper's full-scale inputs reach 4.4 Gbp of query data; at one byte
+// per base that is 4.4 GB of sequence alone. Packing ACGT into 2 bits cuts
+// memory 4x, which is what lets a single node hold the working set. Bases
+// outside ACGT (N and IUPAC codes, rare in practice) are stored as a sorted
+// exception list per sequence and restored on decode.
+//
+// The packed store trades random-access string_views for explicit decode
+// calls; it targets cold storage of large read sets (decode a batch, map,
+// discard), while the arena-based SequenceSet remains the hot-path
+// container.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/sequence.hpp"
+#include "io/sequence_set.hpp"
+
+namespace jem::io {
+
+class PackedSequenceSet {
+ public:
+  PackedSequenceSet() = default;
+
+  /// Appends a sequence (case-insensitive; anything outside ACGT is
+  /// preserved as 'N'). Returns its dense id.
+  SeqId add(std::string_view name, std::string_view bases);
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return names_.empty(); }
+  [[nodiscard]] std::uint64_t total_bases() const noexcept {
+    return total_bases_;
+  }
+
+  [[nodiscard]] std::string_view name(SeqId id) const;
+  [[nodiscard]] std::size_t length(SeqId id) const;
+
+  /// Decodes the full sequence.
+  [[nodiscard]] std::string decode(SeqId id) const;
+
+  /// Decodes bases [begin, begin + count) of the sequence (clamped to its
+  /// length).
+  [[nodiscard]] std::string decode(SeqId id, std::size_t begin,
+                                   std::size_t count) const;
+
+  /// Approximate heap footprint of the stored bases (packed words +
+  /// exception lists), for the compression-ratio accounting.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept;
+
+  /// Converts to/from the plain arena container.
+  [[nodiscard]] static PackedSequenceSet from_sequence_set(
+      const SequenceSet& set);
+  [[nodiscard]] SequenceSet to_sequence_set() const;
+
+ private:
+  struct Meta {
+    std::uint64_t word_offset = 0;  // first packed word of this sequence
+    std::uint64_t length = 0;       // bases
+    std::uint64_t n_offset = 0;     // first entry in n_positions_
+    std::uint64_t n_count = 0;      // exception count
+  };
+
+  std::vector<std::string> names_;
+  std::vector<Meta> meta_;
+  std::vector<std::uint64_t> words_;        // 32 bases per word, LSB-first
+  std::vector<std::uint64_t> n_positions_;  // per-sequence sorted positions
+  std::uint64_t total_bases_ = 0;
+};
+
+}  // namespace jem::io

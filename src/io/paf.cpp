@@ -1,0 +1,68 @@
+#include "io/paf.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace jem::io {
+
+void write_paf(std::ostream& out, const std::vector<PafRecord>& records) {
+  for (const PafRecord& rec : records) {
+    out << rec.query_name << '\t' << rec.query_length << '\t'
+        << rec.query_begin << '\t' << rec.query_end << '\t' << rec.strand
+        << '\t' << rec.target_name << '\t' << rec.target_length << '\t'
+        << rec.target_begin << '\t' << rec.target_end << '\t' << rec.matches
+        << '\t' << rec.alignment_length << '\t' << rec.mapq << '\n';
+  }
+}
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view field, const char* what) {
+  std::uint64_t value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("PAF: bad ") + what + " field '" +
+                             std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<PafRecord> read_paf(std::istream& in) {
+  std::vector<PafRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() < 12) {
+      throw std::runtime_error("PAF: expected >= 12 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    PafRecord rec;
+    rec.query_name = std::string(fields[0]);
+    rec.query_length = parse_u64(fields[1], "query_length");
+    rec.query_begin = parse_u64(fields[2], "query_begin");
+    rec.query_end = parse_u64(fields[3], "query_end");
+    if (fields[4].size() != 1 ||
+        (fields[4][0] != '+' && fields[4][0] != '-')) {
+      throw std::runtime_error("PAF: bad strand field '" +
+                               std::string(fields[4]) + "'");
+    }
+    rec.strand = fields[4][0];
+    rec.target_name = std::string(fields[5]);
+    rec.target_length = parse_u64(fields[6], "target_length");
+    rec.target_begin = parse_u64(fields[7], "target_begin");
+    rec.target_end = parse_u64(fields[8], "target_end");
+    rec.matches = parse_u64(fields[9], "matches");
+    rec.alignment_length = parse_u64(fields[10], "alignment_length");
+    rec.mapq = static_cast<std::uint32_t>(parse_u64(fields[11], "mapq"));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace jem::io

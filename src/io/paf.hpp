@@ -1,0 +1,39 @@
+// PAF (Pairwise mApping Format) records — the de-facto standard output of
+// long-read mappers (introduced by minimap). The positional comparators
+// (MinimapLikeMapper, MashmapLikeMapper) emit PAF for downstream tools;
+// JEM-mapper itself reports best-hit contigs without coordinates, matching
+// the paper's tool, so it keeps its TSV format.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jem::io {
+
+struct PafRecord {
+  std::string query_name;
+  std::uint64_t query_length = 0;
+  std::uint64_t query_begin = 0;  // 0-based, half-open
+  std::uint64_t query_end = 0;
+  char strand = '+';  // '+' or '-'
+  std::string target_name;
+  std::uint64_t target_length = 0;
+  std::uint64_t target_begin = 0;
+  std::uint64_t target_end = 0;
+  std::uint64_t matches = 0;        // residue matches
+  std::uint64_t alignment_length = 0;  // alignment block length
+  std::uint32_t mapq = 0;           // 0..255, 255 = missing
+
+  friend bool operator==(const PafRecord&, const PafRecord&) = default;
+};
+
+void write_paf(std::ostream& out, const std::vector<PafRecord>& records);
+
+/// Parses PAF; tolerates (and ignores) optional SAM-style tag columns.
+/// Throws std::runtime_error on malformed mandatory columns.
+[[nodiscard]] std::vector<PafRecord> read_paf(std::istream& in);
+
+}  // namespace jem::io

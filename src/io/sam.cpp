@@ -1,0 +1,24 @@
+#include "io/sam.hpp"
+
+namespace jem::io {
+
+void write_sam_header(std::ostream& out, const SequenceSet& references,
+                      std::string_view program) {
+  out << "@HD\tVN:1.6\tSO:unknown\n";
+  for (SeqId id = 0; id < references.size(); ++id) {
+    out << "@SQ\tSN:" << references.name(id) << "\tLN:"
+        << references.length(id) << '\n';
+  }
+  out << "@PG\tID:" << program << "\tPN:" << program << '\n';
+}
+
+void write_sam_records(std::ostream& out,
+                       const std::vector<SamRecord>& records) {
+  for (const SamRecord& rec : records) {
+    out << rec.qname << '\t' << rec.flag << '\t' << rec.rname << '\t'
+        << rec.pos << '\t' << rec.mapq << '\t' << rec.cigar
+        << "\t*\t0\t0\t" << rec.seq << "\t*\n";
+  }
+}
+
+}  // namespace jem::io

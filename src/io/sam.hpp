@@ -1,0 +1,37 @@
+// Minimal SAM (Sequence Alignment/Map) emission: header (@HD, @SQ, @PG)
+// plus the 11 mandatory record columns. Enough for downstream tools
+// (samtools view/sort, IGV) to consume verified mappings produced by the
+// alignment layer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "io/sequence_set.hpp"
+
+namespace jem::io {
+
+struct SamRecord {
+  std::string qname;
+  std::uint32_t flag = 0;  // 0x4 unmapped, 0x10 reverse strand
+  std::string rname = "*";
+  std::uint64_t pos = 0;  // 1-based leftmost mapping position (0 = unmapped)
+  std::uint32_t mapq = 255;
+  std::string cigar = "*";
+  std::string seq = "*";
+
+  static constexpr std::uint32_t kUnmapped = 0x4;
+  static constexpr std::uint32_t kReverse = 0x10;
+};
+
+/// Writes the header: @HD + one @SQ per reference sequence + @PG.
+void write_sam_header(std::ostream& out, const SequenceSet& references,
+                      std::string_view program = "jem-mapper");
+
+/// Writes records (RNEXT/PNEXT/TLEN/QUAL are emitted as */0/0/*).
+void write_sam_records(std::ostream& out,
+                       const std::vector<SamRecord>& records);
+
+}  // namespace jem::io

@@ -1,0 +1,26 @@
+// Plain sequence record types shared between the readers, the simulators and
+// the mappers. Sequences are ASCII (`ACGT` plus optionally `N`); the core
+// module owns the 2-bit world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace jem::io {
+
+/// One FASTA/FASTQ record. `quality` is empty for FASTA.
+struct SequenceRecord {
+  std::string name;
+  std::string comment;  // text after the first whitespace on the header line
+  std::string bases;
+  std::string quality;
+
+  [[nodiscard]] std::size_t length() const noexcept { return bases.size(); }
+};
+
+/// Identifier of a sequence inside a SequenceSet.
+using SeqId = std::uint32_t;
+inline constexpr SeqId kInvalidSeqId = 0xffffffffu;
+
+}  // namespace jem::io

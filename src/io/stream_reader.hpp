@@ -1,0 +1,52 @@
+// SequenceStreamReader — incremental FASTA/FASTQ parsing for batch
+// processing. The paper's query sets reach 4.4 Gbp; loading them whole
+// costs more memory than the sketch table itself. The mapping phase is
+// embarrassingly parallel over reads, so the CLI can stream: read a batch,
+// map it, emit, discard (jem_map --batch).
+//
+// Same tolerances as the whole-file readers (multi-line FASTA, CRLF,
+// lowercase normalization); same ParseError on malformed records.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "io/fasta.hpp"
+#include "io/sequence.hpp"
+#include "io/sequence_set.hpp"
+
+namespace jem::io {
+
+class SequenceStreamReader {
+ public:
+  /// The stream must outlive the reader. Format is detected from the first
+  /// non-blank byte.
+  explicit SequenceStreamReader(std::istream& in);
+
+  /// Parses the next record into `record` (contents overwritten). Returns
+  /// false at end of input. Throws ParseError on malformed input.
+  [[nodiscard]] bool next(SequenceRecord& record);
+
+  /// Reads up to `max_records` records into a fresh SequenceSet; an empty
+  /// set signals end of input.
+  [[nodiscard]] SequenceSet next_batch(std::size_t max_records);
+
+  /// Records returned so far.
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return records_read_;
+  }
+
+ private:
+  enum class Format { kUnknown, kFasta, kFastq, kEmpty };
+
+  void detect_format();
+  [[nodiscard]] bool get_line(std::string& line);
+
+  std::istream& in_;
+  Format format_ = Format::kUnknown;
+  std::string pending_header_;  // FASTA: the next record's header line
+  bool has_pending_header_ = false;
+  std::uint64_t records_read_ = 0;
+};
+
+}  // namespace jem::io

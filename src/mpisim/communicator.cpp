@@ -1,0 +1,100 @@
+#include "mpisim/communicator.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace jem::mpisim {
+
+namespace detail {
+
+SharedState::Snapshot SharedState::exchange(int rank,
+                                            std::vector<std::byte> bytes) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    stats_.collective_bytes += bytes.size();
+  }
+  slots_[static_cast<std::size_t>(rank)] = std::move(bytes);
+  ++arrived_;
+  if (arrived_ == size_) {
+    // Last arriver publishes the snapshot and resets the exchange area for
+    // the next collective. Earlier ranks may already be blocked in the next
+    // exchange; the generation counter keeps the rounds separate.
+    snapshot_ = std::make_shared<const std::vector<std::vector<std::byte>>>(
+        std::move(slots_));
+    slots_.assign(static_cast<std::size_t>(size_), {});
+    arrived_ = 0;
+    ++generation_;
+    {
+      std::lock_guard stats_lock(stats_mutex_);
+      ++stats_.collective_calls;
+    }
+    cv_.notify_all();
+    return snapshot_;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  return snapshot_;
+}
+
+void SharedState::send(int from, int to, int tag,
+                       std::vector<std::byte> bytes) {
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.p2p_messages;
+    stats_.p2p_bytes += bytes.size();
+  }
+  std::lock_guard lock(mutex_);
+  mailboxes_[ChannelKey{from, to, tag}].push_back(std::move(bytes));
+  cv_.notify_all();
+}
+
+std::vector<std::byte> SharedState::recv(int to, int from, int tag) {
+  std::unique_lock lock(mutex_);
+  const ChannelKey key{from, to, tag};
+  cv_.wait(lock, [&] {
+    const auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = mailboxes_[key];
+  std::vector<std::byte> bytes = std::move(queue.front());
+  queue.pop_front();
+  return bytes;
+}
+
+CommStats SharedState::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace detail
+
+CommStats run_spmd(int size, const std::function<void(Comm&)>& body) {
+  if (size <= 0) {
+    throw std::invalid_argument("run_spmd: size must be positive");
+  }
+  auto state = std::make_shared<detail::SharedState>(size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    threads.emplace_back([rank, state, &body, &errors] {
+      Comm comm(rank, state);
+      try {
+        body(comm);
+      } catch (...) {
+        // Note: if the program was mid-collective on other ranks, they will
+        // deadlock — exactly as an aborting MPI rank would hang its peers.
+        // Well-formed SPMD programs either all throw or none do.
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return state->stats();
+}
+
+}  // namespace jem::mpisim

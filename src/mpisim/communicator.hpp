@@ -1,0 +1,290 @@
+// mpisim: an in-process SPMD message-passing runtime.
+//
+// The paper's JEM-mapper is a distributed-memory MPI program (steps S1-S4,
+// one MPI_Allgatherv collective). This container has no MPI implementation
+// installed, so mpisim provides the message-passing programming model the
+// LLNL MPI tutorial describes — ranks with private state, explicit
+// cooperative communication — executed as one thread per rank inside a
+// single process. Each rank's "address space" is its own stack/locals;
+// all data movement goes through the Comm object, mirroring how the real
+// implementation would use MPI_Allgatherv / MPI_Reduce / point-to-point.
+//
+// Semantics notes:
+//  * Collectives are blocking and must be called by every rank of the
+//    communicator in the same order (as in MPI).
+//  * Payloads are trivially-copyable element types (the same restriction the
+//    MPI datatype system effectively imposes for contiguous buffers).
+//  * Point-to-point send/recv match on (source, tag) with FIFO order per
+//    (source, dest, tag) channel; send is buffered (never blocks on the
+//    receiver), recv blocks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace jem::mpisim {
+
+class Comm;
+
+/// Statistics about communication volume, gathered per run so the drivers
+/// can charge modeled network time to the measured byte counts.
+struct CommStats {
+  std::uint64_t collective_calls = 0;
+  std::uint64_t collective_bytes = 0;  // total payload across all ranks
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+};
+
+namespace detail {
+
+/// State shared by all ranks of one run: the collective exchange area and
+/// the point-to-point mailboxes.
+class SharedState {
+ public:
+  explicit SharedState(int size) : size_(size), slots_(size) {}
+
+  /// All-to-all deposit/exchange: every rank deposits `bytes`; once the last
+  /// rank arrives, a snapshot of all deposits becomes visible to every rank.
+  /// This single primitive implements barrier (empty payload), allgatherv,
+  /// gather, bcast and reduce.
+  using Snapshot = std::shared_ptr<const std::vector<std::vector<std::byte>>>;
+  [[nodiscard]] Snapshot exchange(int rank, std::vector<std::byte> bytes);
+
+  void send(int from, int to, int tag, std::vector<std::byte> bytes);
+  [[nodiscard]] std::vector<std::byte> recv(int to, int from, int tag);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] CommStats stats() const;
+
+ private:
+  struct ChannelKey {
+    int from;
+    int to;
+    int tag;
+    auto operator<=>(const ChannelKey&) const = default;
+  };
+
+  const int size_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::vector<std::byte>> slots_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  Snapshot snapshot_;
+
+  std::map<ChannelKey, std::deque<std::vector<std::byte>>> mailboxes_;
+
+  mutable std::mutex stats_mutex_;
+  CommStats stats_;
+};
+
+template <typename T>
+std::vector<std::byte> to_bytes(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mpisim payloads must be trivially copyable");
+  std::vector<std::byte> bytes(data.size_bytes());
+  if (!data.empty()) {
+    std::memcpy(bytes.data(), data.data(), data.size_bytes());
+  }
+  return bytes;
+}
+
+template <typename T>
+std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() % sizeof(T) != 0) {
+    throw std::logic_error("mpisim: payload size not a multiple of element");
+  }
+  std::vector<T> data(bytes.size() / sizeof(T));
+  if (!bytes.empty()) {
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+  }
+  return data;
+}
+
+}  // namespace detail
+
+/// Per-rank handle to the communicator (analogous to MPI_COMM_WORLD plus the
+/// caller's rank). Cheap to copy within the rank's thread; not shared across
+/// ranks.
+class Comm {
+ public:
+  Comm(int rank, std::shared_ptr<detail::SharedState> state)
+      : rank_(rank), state_(std::move(state)) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return state_->size(); }
+
+  /// MPI_Barrier.
+  void barrier() { (void)state_->exchange(rank_, {}); }
+
+  /// MPI_Allgatherv: concatenation of every rank's vector, in rank order,
+  /// visible at every rank.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgatherv(std::span<const T> local) {
+    const auto snapshot =
+        state_->exchange(rank_, detail::to_bytes<T>(local));
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (const auto& part : *snapshot) total += part.size() / sizeof(T);
+    out.reserve(total);
+    for (const auto& part : *snapshot) {
+      const auto decoded = detail::from_bytes<T>(part);
+      out.insert(out.end(), decoded.begin(), decoded.end());
+    }
+    return out;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& local) {
+    return allgatherv(std::span<const T>(local));
+  }
+
+  /// MPI_Gatherv to `root`: root receives per-rank vectors; others get {}.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gatherv(std::span<const T> local,
+                                                    int root) {
+    const auto snapshot = state_->exchange(rank_, detail::to_bytes<T>(local));
+    std::vector<std::vector<T>> out;
+    if (rank_ == root) {
+      out.reserve(snapshot->size());
+      for (const auto& part : *snapshot) {
+        out.push_back(detail::from_bytes<T>(part));
+      }
+    }
+    return out;
+  }
+
+  /// MPI_Bcast from `root`.
+  template <typename T>
+  [[nodiscard]] std::vector<T> bcast(std::span<const T> local, int root) {
+    std::vector<std::byte> payload;
+    if (rank_ == root) payload = detail::to_bytes<T>(local);
+    const auto snapshot = state_->exchange(rank_, std::move(payload));
+    return detail::from_bytes<T>((*snapshot)[static_cast<std::size_t>(root)]);
+  }
+
+  /// MPI_Allreduce with a binary combiner over single values.
+  template <typename T, typename Op>
+  [[nodiscard]] T all_reduce(const T& local, Op op) {
+    const auto snapshot = state_->exchange(
+        rank_, detail::to_bytes<T>(std::span<const T>(&local, 1)));
+    T acc = detail::from_bytes<T>((*snapshot)[0])[0];
+    for (int r = 1; r < size(); ++r) {
+      acc = op(acc, detail::from_bytes<T>(
+                        (*snapshot)[static_cast<std::size_t>(r)])[0]);
+    }
+    return acc;
+  }
+
+  /// Element-wise all-reduce over equal-length vectors.
+  template <typename T, typename Op>
+  [[nodiscard]] std::vector<T> all_reduce_vec(std::span<const T> local,
+                                              Op op) {
+    const auto snapshot = state_->exchange(rank_, detail::to_bytes<T>(local));
+    std::vector<T> acc = detail::from_bytes<T>((*snapshot)[0]);
+    for (int r = 1; r < size(); ++r) {
+      const auto part =
+          detail::from_bytes<T>((*snapshot)[static_cast<std::size_t>(r)]);
+      if (part.size() != acc.size()) {
+        throw std::logic_error("all_reduce_vec: mismatched lengths");
+      }
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = op(acc[i], part[i]);
+      }
+    }
+    return acc;
+  }
+
+  /// MPI_Alltoallv: `per_dest[d]` is this rank's payload for rank d; the
+  /// result's element [s] is the payload rank s sent to this rank.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> all_to_allv(
+      const std::vector<std::vector<T>>& per_dest) {
+    if (per_dest.size() != static_cast<std::size_t>(size())) {
+      throw std::logic_error("all_to_allv: need one payload per rank");
+    }
+    // Serialize as [u64 count per dest]*size + concatenated payloads.
+    std::vector<std::byte> blob;
+    std::size_t total = 0;
+    for (const auto& payload : per_dest) total += payload.size();
+    blob.reserve(per_dest.size() * sizeof(std::uint64_t) +
+                 total * sizeof(T));
+    for (const auto& payload : per_dest) {
+      const std::uint64_t count = payload.size();
+      const auto* bytes = reinterpret_cast<const std::byte*>(&count);
+      blob.insert(blob.end(), bytes, bytes + sizeof(count));
+    }
+    for (const auto& payload : per_dest) {
+      const auto encoded = detail::to_bytes<T>(std::span<const T>(payload));
+      blob.insert(blob.end(), encoded.begin(), encoded.end());
+    }
+
+    const auto snapshot = state_->exchange(rank_, std::move(blob));
+    std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
+    for (int src = 0; src < size(); ++src) {
+      const auto& src_blob = (*snapshot)[static_cast<std::size_t>(src)];
+      // Walk the header to find this rank's slice.
+      const std::size_t header =
+          static_cast<std::size_t>(size()) * sizeof(std::uint64_t);
+      if (src_blob.size() < header) {
+        throw std::logic_error("all_to_allv: malformed payload");
+      }
+      std::size_t offset = header;
+      std::uint64_t my_count = 0;
+      for (int d = 0; d < size(); ++d) {
+        std::uint64_t count = 0;
+        std::memcpy(&count, src_blob.data() + d * sizeof(std::uint64_t),
+                    sizeof(count));
+        if (d == rank_) {
+          my_count = count;
+          break;
+        }
+        offset += static_cast<std::size_t>(count) * sizeof(T);
+      }
+      received[static_cast<std::size_t>(src)] = detail::from_bytes<T>(
+          std::span<const std::byte>(src_blob)
+              .subspan(offset, static_cast<std::size_t>(my_count) *
+                                   sizeof(T)));
+    }
+    return received;
+  }
+
+  /// Buffered MPI_Send.
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag = 0) {
+    state_->send(rank_, dest, tag, detail::to_bytes<T>(data));
+  }
+
+  /// Blocking MPI_Recv; returns the payload.
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int source, int tag = 0) {
+    return detail::from_bytes<T>(state_->recv(rank_, source, tag));
+  }
+
+  [[nodiscard]] CommStats stats() const { return state_->stats(); }
+
+ private:
+  int rank_;
+  std::shared_ptr<detail::SharedState> state_;
+};
+
+/// Launches `size` ranks, each running `body(comm)` on its own thread, and
+/// joins them (analogous to mpirun -np size). Exceptions thrown by any rank
+/// are rethrown (the first one, by rank order) after all ranks finish or die.
+/// Returns the aggregate communication statistics of the run.
+CommStats run_spmd(int size, const std::function<void(Comm&)>& body);
+
+}  // namespace jem::mpisim

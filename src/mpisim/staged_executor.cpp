@@ -1,0 +1,79 @@
+#include "mpisim/staged_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace jem::mpisim {
+
+StagedExecutor::StagedExecutor(int num_ranks, NetworkModel model)
+    : num_ranks_(num_ranks), model_(model) {
+  if (num_ranks <= 0) {
+    throw std::invalid_argument("StagedExecutor: num_ranks must be positive");
+  }
+}
+
+void StagedExecutor::compute_step(std::string_view name,
+                                  const std::function<void(int)>& fn) {
+  StepRecord record;
+  record.name = std::string(name);
+  record.per_rank_s.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int rank = 0; rank < num_ranks_; ++rank) {
+    util::WallTimer timer;
+    fn(rank);
+    record.per_rank_s.push_back(timer.elapsed_s());
+  }
+  record.cost_s =
+      *std::max_element(record.per_rank_s.begin(), record.per_rank_s.end());
+  steps_.push_back(std::move(record));
+}
+
+void StagedExecutor::comm_allgatherv(std::string_view name,
+                                     std::uint64_t total_bytes) {
+  steps_.push_back({std::string(name), true,
+                    model_.allgatherv_s(num_ranks_, total_bytes), {},
+                    total_bytes});
+}
+
+void StagedExecutor::comm_barrier(std::string_view name) {
+  steps_.push_back(
+      {std::string(name), true, model_.barrier_s(num_ranks_), {}, 0});
+}
+
+void StagedExecutor::comm_reduce(std::string_view name, std::uint64_t bytes) {
+  steps_.push_back(
+      {std::string(name), true, model_.reduce_s(num_ranks_, bytes), {}, bytes});
+}
+
+double StagedExecutor::total_s() const noexcept {
+  double sum = 0.0;
+  for (const StepRecord& step : steps_) sum += step.cost_s;
+  return sum;
+}
+
+double StagedExecutor::compute_s() const noexcept {
+  double sum = 0.0;
+  for (const StepRecord& step : steps_) {
+    if (!step.is_comm) sum += step.cost_s;
+  }
+  return sum;
+}
+
+double StagedExecutor::comm_s() const noexcept {
+  double sum = 0.0;
+  for (const StepRecord& step : steps_) {
+    if (step.is_comm) sum += step.cost_s;
+  }
+  return sum;
+}
+
+double StagedExecutor::step_s(std::string_view name) const noexcept {
+  double sum = 0.0;
+  for (const StepRecord& step : steps_) {
+    if (step.name == name) sum += step.cost_s;
+  }
+  return sum;
+}
+
+}  // namespace jem::mpisim

@@ -1,0 +1,66 @@
+#include "scaffold/link_graph.hpp"
+
+#include <algorithm>
+
+namespace jem::scaffold {
+
+void LinkGraph::add_link(io::SeqId a, io::SeqId b) {
+  if (a == b) return;
+  if (a > b) std::swap(a, b);
+  if (++edges_[{a, b}] == 1) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+LinkGraph LinkGraph::from_mappings(
+    std::span<const core::SegmentMapping> mappings) {
+  LinkGraph graph;
+  for (std::size_t i = 0; i + 1 < mappings.size(); ++i) {
+    const core::SegmentMapping& prefix = mappings[i];
+    const core::SegmentMapping& suffix = mappings[i + 1];
+    if (prefix.read != suffix.read) continue;
+    if (prefix.end != core::ReadEnd::kPrefix ||
+        suffix.end != core::ReadEnd::kSuffix) {
+      continue;
+    }
+    if (!prefix.result.mapped() || !suffix.result.mapped()) continue;
+    graph.add_link(prefix.result.subject, suffix.result.subject);
+  }
+  return graph;
+}
+
+std::vector<Link> LinkGraph::links(std::uint64_t min_support) const {
+  std::vector<Link> out;
+  for (const auto& [pair, support] : edges_) {
+    if (support >= min_support) {
+      out.push_back({pair.first, pair.second, support});
+    }
+  }
+  return out;
+}
+
+std::uint64_t LinkGraph::support(io::SeqId a, io::SeqId b) const {
+  if (a > b) std::swap(a, b);
+  const auto it = edges_.find({a, b});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+std::vector<io::SeqId> LinkGraph::neighbours(io::SeqId contig,
+                                             std::uint64_t min_support) const {
+  std::vector<io::SeqId> out;
+  const auto it = adjacency_.find(contig);
+  if (it == adjacency_.end()) return out;
+  for (io::SeqId other : it->second) {
+    if (support(contig, other) >= min_support) out.push_back(other);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t LinkGraph::degree(io::SeqId contig,
+                              std::uint64_t min_support) const {
+  return neighbours(contig, min_support).size();
+}
+
+}  // namespace jem::scaffold

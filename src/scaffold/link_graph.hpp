@@ -1,0 +1,66 @@
+// LinkGraph — the contig-linking evidence structure of a hybrid scaffolding
+// workflow (the paper's motivating application, §I, and future-work item
+// ii): a long read whose prefix segment maps to contig a and whose suffix
+// segment maps to contig b ≠ a witnesses that a and b are nearby on the
+// genome. Accumulating these witnesses over all reads yields a weighted
+// undirected multigraph over contigs; edges with enough support drive
+// scaffold construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace jem::scaffold {
+
+/// An undirected contig pair (a < b) with its supporting-read count.
+struct Link {
+  io::SeqId a = 0;
+  io::SeqId b = 0;
+  std::uint64_t support = 0;
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+class LinkGraph {
+ public:
+  LinkGraph() = default;
+
+  /// Adds one supporting read for the (unordered) pair {a, b}; a == b is
+  /// ignored (a read inside one contig carries no linking evidence).
+  void add_link(io::SeqId a, io::SeqId b);
+
+  /// Builds the graph from end-segment mappings: consecutive (prefix,
+  /// suffix) entries of the same read that both mapped to different
+  /// contigs. Entries must be grouped by read (the order every mapper
+  /// driver emits).
+  static LinkGraph from_mappings(
+      std::span<const core::SegmentMapping> mappings);
+
+  /// All links with support >= min_support, ordered by (a, b).
+  [[nodiscard]] std::vector<Link> links(std::uint64_t min_support = 1) const;
+
+  /// Support of one pair (0 when absent).
+  [[nodiscard]] std::uint64_t support(io::SeqId a, io::SeqId b) const;
+
+  /// Neighbours of `contig` with support >= min_support, ascending id.
+  [[nodiscard]] std::vector<io::SeqId> neighbours(
+      io::SeqId contig, std::uint64_t min_support = 1) const;
+
+  /// Degree of `contig` counting only edges with support >= min_support.
+  [[nodiscard]] std::size_t degree(io::SeqId contig,
+                                   std::uint64_t min_support = 1) const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+ private:
+  std::map<std::pair<io::SeqId, io::SeqId>, std::uint64_t> edges_;
+  std::map<io::SeqId, std::vector<io::SeqId>> adjacency_;
+};
+
+}  // namespace jem::scaffold

@@ -1,0 +1,106 @@
+#include "scaffold/scaffolder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace jem::scaffold {
+
+std::size_t ScaffoldSet::multi_contig_count() const noexcept {
+  std::size_t count = 0;
+  for (const Scaffold& scaffold : scaffolds) {
+    if (scaffold.size() > 1) ++count;
+  }
+  return count;
+}
+
+std::size_t ScaffoldSet::largest() const noexcept {
+  std::size_t best = 0;
+  for (const Scaffold& scaffold : scaffolds) {
+    best = std::max(best, scaffold.size());
+  }
+  return best;
+}
+
+std::size_t ScaffoldSet::n50_contigs() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(scaffolds.size());
+  std::size_t total = 0;
+  for (const Scaffold& scaffold : scaffolds) {
+    sizes.push_back(scaffold.size());
+    total += scaffold.size();
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::size_t cumulative = 0;
+  for (std::size_t size : sizes) {
+    cumulative += size;
+    if (2 * cumulative >= total) return size;
+  }
+  return 0;
+}
+
+ScaffoldSet build_scaffolds(const LinkGraph& graph, std::size_t num_contigs,
+                            const ScaffolderParams& params) {
+  ScaffoldSet result;
+  std::vector<bool> used(num_contigs, false);
+
+  // A contig participates in chains only when its trusted degree is <= 2;
+  // branchy contigs stay singletons.
+  const auto chainable = [&](io::SeqId contig) {
+    return graph.degree(contig, params.min_support) <= 2;
+  };
+
+  // Extend a chain from `start` away from `avoid` while the continuation is
+  // unambiguous.
+  const auto walk = [&](io::SeqId start, io::SeqId avoid,
+                        std::vector<io::SeqId>& out) {
+    io::SeqId prev = avoid;
+    io::SeqId curr = start;
+    while (true) {
+      io::SeqId next = io::kInvalidSeqId;
+      for (io::SeqId n : graph.neighbours(curr, params.min_support)) {
+        if (n == prev || used[n] || !chainable(n)) continue;
+        next = n;
+        break;  // neighbours are sorted: lowest id wins
+      }
+      if (next == io::kInvalidSeqId) break;
+      used[next] = true;
+      out.push_back(next);
+      prev = curr;
+      curr = next;
+    }
+  };
+
+  // Pass 1: open chains from endpoints (trusted degree <= 1).
+  for (io::SeqId contig = 0; contig < num_contigs; ++contig) {
+    if (used[contig] || !chainable(contig)) continue;
+    if (graph.degree(contig, params.min_support) > 1) continue;
+    used[contig] = true;
+    Scaffold scaffold;
+    scaffold.contigs.push_back(contig);
+    walk(contig, io::kInvalidSeqId, scaffold.contigs);
+    result.scaffolds.push_back(std::move(scaffold));
+  }
+
+  // Pass 2: cycles — every remaining chainable contig has degree 2 among
+  // unused chainable contigs. Break each cycle at its lowest id.
+  for (io::SeqId contig = 0; contig < num_contigs; ++contig) {
+    if (used[contig] || !chainable(contig)) continue;
+    used[contig] = true;
+    Scaffold scaffold;
+    scaffold.contigs.push_back(contig);
+    walk(contig, io::kInvalidSeqId, scaffold.contigs);
+    result.scaffolds.push_back(std::move(scaffold));
+  }
+
+  // Pass 3: branch-point contigs (degree > 2) as singletons.
+  for (io::SeqId contig = 0; contig < num_contigs; ++contig) {
+    if (used[contig]) continue;
+    Scaffold scaffold;
+    scaffold.contigs.push_back(contig);
+    result.scaffolds.push_back(std::move(scaffold));
+  }
+  return result;
+}
+
+}  // namespace jem::scaffold

@@ -1,0 +1,48 @@
+// Scaffolder — turns the link graph into scaffold chains: maximal simple
+// paths through contigs whose (support-filtered) degree is at most 2. A
+// contig with three or more well-supported partners is a branch point
+// (repeat or mis-join evidence) and terminates chains, the standard
+// conservative policy of scaffolding tools.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scaffold/link_graph.hpp"
+
+namespace jem::scaffold {
+
+struct ScaffolderParams {
+  std::uint64_t min_support = 2;  // reads required to trust a link
+};
+
+/// One scaffold: an ordered walk over contig ids. Singletons (contigs with
+/// no trusted links) are reported as length-1 scaffolds so the output is a
+/// partition of the input contig set.
+struct Scaffold {
+  std::vector<io::SeqId> contigs;
+
+  [[nodiscard]] std::size_t size() const noexcept { return contigs.size(); }
+};
+
+struct ScaffoldSet {
+  std::vector<Scaffold> scaffolds;
+
+  /// Number of scaffolds spanning more than one contig.
+  [[nodiscard]] std::size_t multi_contig_count() const noexcept;
+
+  /// Size of the largest scaffold (in contigs).
+  [[nodiscard]] std::size_t largest() const noexcept;
+
+  /// N50 over scaffold sizes measured in contigs per scaffold.
+  [[nodiscard]] std::size_t n50_contigs() const;
+};
+
+/// Builds scaffolds for contigs [0, num_contigs) from the link graph.
+/// Deterministic: chains start from the lowest-id eligible endpoint and
+/// prefer the lowest-id continuation.
+[[nodiscard]] ScaffoldSet build_scaffolds(const LinkGraph& graph,
+                                          std::size_t num_contigs,
+                                          const ScaffolderParams& params = {});
+
+}  // namespace jem::scaffold

@@ -1,0 +1,93 @@
+#include "sim/contigs.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::sim {
+
+LogNormalSpec lognormal_from_mean_sd(double mean, double sd) {
+  if (mean <= 0.0 || sd <= 0.0) {
+    throw std::invalid_argument("lognormal_from_mean_sd: mean/sd must be > 0");
+  }
+  const double variance_ratio = (sd * sd) / (mean * mean);
+  LogNormalSpec spec;
+  spec.sigma = std::sqrt(std::log1p(variance_ratio));
+  spec.mu = std::log(mean) - 0.5 * spec.sigma * spec.sigma;
+  return spec;
+}
+
+namespace {
+
+void apply_substitutions(std::string& seq, double rate,
+                         util::Xoshiro256ss& rng) {
+  if (rate <= 0.0) return;
+  for (char& c : seq) {
+    if (rng.uniform() >= rate) continue;
+    const std::uint8_t old_code = core::base_code(c);
+    std::uint8_t new_code = old_code;
+    while (new_code == old_code) {
+      new_code = static_cast<std::uint8_t>(rng.bounded(4));
+    }
+    c = core::code_base(new_code);
+  }
+}
+
+}  // namespace
+
+SimulatedContigs simulate_contigs(std::string_view genome,
+                                  const ContigSimParams& params) {
+  if (genome.empty()) {
+    throw std::invalid_argument("simulate_contigs: empty genome");
+  }
+  if (params.coverage_fraction <= 0.0 || params.coverage_fraction > 1.0) {
+    throw std::invalid_argument(
+        "simulate_contigs: coverage_fraction must be in (0, 1]");
+  }
+
+  util::Xoshiro256ss rng(util::mix64(params.seed ^ 0x434f4e544947ULL));
+  const LogNormalSpec spec =
+      lognormal_from_mean_sd(params.mean_length, params.sd_length);
+  std::lognormal_distribution<double> length_dist(spec.mu, spec.sigma);
+  // Gaps sized so contigs cover coverage_fraction of the walk in expectation:
+  // E[gap] = E[contig] * (1 - f) / f.
+  const double mean_gap = params.mean_length *
+                          (1.0 - params.coverage_fraction) /
+                          params.coverage_fraction;
+  std::exponential_distribution<double> gap_dist(
+      mean_gap > 0.0 ? 1.0 / mean_gap : 1.0);
+
+  SimulatedContigs out;
+  std::uint64_t pos = 0;
+  std::uint32_t index = 0;
+  while (pos < genome.size()) {
+    auto length = static_cast<std::uint64_t>(length_dist(rng));
+    length = std::max(length, params.min_length);
+    length = std::min(length, static_cast<std::uint64_t>(genome.size()) - pos);
+
+    if (length >= params.min_length) {
+      std::string bases(genome.substr(pos, length));
+      const bool reverse =
+          params.random_orientation && rng.uniform() < 0.5;
+      if (reverse) bases = core::reverse_complement(bases);
+      apply_substitutions(bases, params.error_rate, rng);
+
+      out.contigs.add("contig_" + std::to_string(index), bases);
+      out.truth.push_back({pos, pos + length});
+      out.reversed.push_back(reverse);
+      ++index;
+    }
+    pos += length;
+    if (mean_gap > 0.0) {
+      pos += static_cast<std::uint64_t>(gap_dist(rng));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace jem::sim

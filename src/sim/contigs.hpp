@@ -1,0 +1,67 @@
+// Contig simulation — the stand-in for the paper's ART (100 bp Illumina
+// reads) + Minia (de Bruijn assembly) contig-construction pipeline.
+//
+// What the mapping experiments need from the contig set is its *shape*, not
+// the assembler: (a) a non-redundant tiling of most of the genome,
+// (b) the contig length distribution of Table I (mean ≈ stddev, i.e. a
+// heavy-tailed log-normal), (c) assembly gaps between contigs, and
+// (d) arbitrary strand orientation. The simulator walks the genome
+// alternating contig and gap segments drawn from calibrated distributions
+// and records each contig's true genome interval — which the paper had to
+// recover by re-mapping contigs with Minimap2, and we get exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "io/sequence_set.hpp"
+
+namespace jem::sim {
+
+/// Half-open interval of genome coordinates.
+struct Interval {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t length() const noexcept { return end - begin; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Overlap length of two intervals (0 when disjoint).
+[[nodiscard]] constexpr std::uint64_t overlap(const Interval& a,
+                                              const Interval& b) noexcept {
+  const std::uint64_t begin = a.begin > b.begin ? a.begin : b.begin;
+  const std::uint64_t end = a.end < b.end ? a.end : b.end;
+  return end > begin ? end - begin : 0;
+}
+
+struct ContigSimParams {
+  double mean_length = 3000.0;     // target contig length mean (Table I)
+  double sd_length = 4000.0;       // target contig length stddev
+  std::uint64_t min_length = 500;  // Table I counts contigs >= 500 bp
+  double coverage_fraction = 0.92; // fraction of the genome tiled by contigs
+  bool random_orientation = true;  // assemblers emit arbitrary strands
+  double error_rate = 0.0;         // per-base substitutions (short-read
+                                   // assemblies are near-exact)
+  std::uint64_t seed = 2;
+};
+
+struct SimulatedContigs {
+  io::SequenceSet contigs;
+  std::vector<Interval> truth;   // genome interval per contig
+  std::vector<bool> reversed;    // orientation per contig
+};
+
+[[nodiscard]] SimulatedContigs simulate_contigs(std::string_view genome,
+                                                const ContigSimParams& params);
+
+/// Log-normal (mu, sigma) such that the distribution has the given mean and
+/// standard deviation.
+struct LogNormalSpec {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+[[nodiscard]] LogNormalSpec lognormal_from_mean_sd(double mean, double sd);
+
+}  // namespace jem::sim

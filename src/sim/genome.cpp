@@ -1,0 +1,92 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::sim {
+
+namespace {
+
+char random_base(util::Xoshiro256ss& rng, double gc) {
+  const double u = rng.uniform();
+  if (u < gc) {
+    return u < gc / 2 ? 'G' : 'C';
+  }
+  return (u - gc) < (1.0 - gc) / 2 ? 'A' : 'T';
+}
+
+std::string random_sequence(util::Xoshiro256ss& rng, std::uint64_t length,
+                            double gc) {
+  std::string seq(length, 'A');
+  for (char& c : seq) c = random_base(rng, gc);
+  return seq;
+}
+
+/// Copies `unit` with per-base divergence (substitutions only — repeat
+/// copies in real genomes diverge mostly by point mutation).
+std::string mutate_copy(util::Xoshiro256ss& rng, const std::string& unit,
+                        double divergence, double gc) {
+  std::string copy = unit;
+  for (char& c : copy) {
+    if (rng.uniform() < divergence) {
+      char replacement = random_base(rng, gc);
+      while (replacement == c) replacement = random_base(rng, gc);
+      c = replacement;
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+std::string simulate_genome(const GenomeParams& params) {
+  if (params.length == 0) {
+    throw std::invalid_argument("simulate_genome: length must be > 0");
+  }
+  if (params.gc <= 0.0 || params.gc >= 1.0) {
+    throw std::invalid_argument("simulate_genome: gc must be in (0, 1)");
+  }
+  if (params.repeat_fraction < 0.0 || params.repeat_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "simulate_genome: repeat_fraction must be in [0, 1)");
+  }
+
+  util::Xoshiro256ss rng(util::mix64(params.seed ^ 0x47454e4f4d45ULL));
+  std::string genome = random_sequence(rng, params.length, params.gc);
+
+  if (params.repeat_fraction > 0.0 && params.repeat_families > 0 &&
+      params.repeat_unit_length > 0 &&
+      params.repeat_unit_length < params.length) {
+    // Ancestral repeat units.
+    std::vector<std::string> families;
+    families.reserve(static_cast<std::size_t>(params.repeat_families));
+    for (int f = 0; f < params.repeat_families; ++f) {
+      families.push_back(
+          random_sequence(rng, params.repeat_unit_length, params.gc));
+    }
+
+    const auto target_bases = static_cast<std::uint64_t>(
+        params.repeat_fraction * static_cast<double>(params.length));
+    std::uint64_t planted = 0;
+    while (planted + params.repeat_unit_length <= target_bases) {
+      const auto& unit =
+          families[rng.bounded(static_cast<std::uint64_t>(families.size()))];
+      std::string copy =
+          mutate_copy(rng, unit, params.repeat_divergence, params.gc);
+      if (rng.uniform() < 0.5) copy = core::reverse_complement(copy);
+      const std::uint64_t pos =
+          rng.bounded(params.length - params.repeat_unit_length + 1);
+      std::copy(copy.begin(), copy.end(),
+                genome.begin() + static_cast<std::ptrdiff_t>(pos));
+      planted += params.repeat_unit_length;
+    }
+  }
+
+  return genome;
+}
+
+}  // namespace jem::sim

@@ -1,0 +1,105 @@
+#include "sim/hifi_reads.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::sim {
+
+namespace {
+
+char random_acgt(util::Xoshiro256ss& rng) {
+  return core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+}
+
+char random_other(util::Xoshiro256ss& rng, char not_this) {
+  char c = not_this;
+  while (c == not_this) c = random_acgt(rng);
+  return c;
+}
+
+std::string apply_errors(std::string_view seq, const HiFiParams& params,
+                         util::Xoshiro256ss& rng) {
+  if (params.error_rate <= 0.0) return std::string(seq);
+  std::string out;
+  out.reserve(seq.size() + seq.size() / 64);
+  const double p_mismatch = params.mismatch_fraction;
+  const double p_insert = params.insertion_fraction;
+  for (char c : seq) {
+    if (rng.uniform() >= params.error_rate) {
+      out.push_back(c);
+      continue;
+    }
+    const double kind = rng.uniform();
+    if (kind < p_mismatch) {
+      out.push_back(random_other(rng, c));
+    } else if (kind < p_mismatch + p_insert) {
+      out.push_back(random_acgt(rng));
+      out.push_back(c);
+    }
+    // else: deletion — emit nothing for this base
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string apply_hifi_errors(std::string_view seq, const HiFiParams& params,
+                              std::uint64_t seed) {
+  util::Xoshiro256ss rng(util::mix64(seed ^ 0x4849464945525277ULL));
+  return apply_errors(seq, params, rng);
+}
+
+SimulatedReads simulate_hifi_reads(std::string_view genome,
+                                   const HiFiParams& params) {
+  if (genome.empty()) {
+    throw std::invalid_argument("simulate_hifi_reads: empty genome");
+  }
+  if (params.coverage <= 0.0) {
+    throw std::invalid_argument("simulate_hifi_reads: coverage must be > 0");
+  }
+  if (params.mean_length <= 0.0 || params.sd_length < 0.0) {
+    throw std::invalid_argument("simulate_hifi_reads: bad length model");
+  }
+  if (params.mismatch_fraction + params.insertion_fraction > 1.0) {
+    throw std::invalid_argument("simulate_hifi_reads: error split exceeds 1");
+  }
+
+  util::Xoshiro256ss rng(util::mix64(params.seed ^ 0x48494649ULL));
+  std::normal_distribution<double> length_dist(params.mean_length,
+                                               params.sd_length);
+
+  const double genome_length = static_cast<double>(genome.size());
+  const auto num_reads = static_cast<std::uint64_t>(
+      std::max(1.0, params.coverage * genome_length / params.mean_length));
+
+  SimulatedReads out;
+  out.reads.reserve(num_reads, static_cast<std::uint64_t>(
+                                   params.coverage * genome_length * 1.05));
+  out.truth.reserve(num_reads);
+
+  for (std::uint64_t i = 0; i < num_reads; ++i) {
+    auto length = static_cast<std::uint64_t>(
+        std::clamp(length_dist(rng), static_cast<double>(params.min_length),
+                   static_cast<double>(params.max_length)));
+    length = std::min(length, static_cast<std::uint64_t>(genome.size()));
+
+    const std::uint64_t begin =
+        rng.bounded(static_cast<std::uint64_t>(genome.size()) - length + 1);
+    std::string bases(genome.substr(begin, length));
+
+    const bool reverse = rng.uniform() < 0.5;
+    if (reverse) bases = core::reverse_complement(bases);
+    bases = apply_errors(bases, params, rng);
+
+    out.reads.add("read_" + std::to_string(i), bases);
+    out.truth.push_back({{begin, begin + length}, reverse});
+  }
+  return out;
+}
+
+}  // namespace jem::sim

@@ -1,0 +1,78 @@
+#include "sim/presets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace jem::sim {
+
+const std::vector<DatasetPreset>& table1_presets() {
+  // Columns from Table I of the paper; repeat fractions reflect the
+  // organism class (bacteria ~ none, invertebrates moderate, vertebrate
+  // chromosomes and rice repeat-rich).
+  static const std::vector<DatasetPreset> kPresets = {
+      {"E. coli", 4'641'652, 0.51, 0.02, 12388, 13997, 0.974, 10.0, 10205,
+       3418, false},
+      {"P. aeruginosa", 6'264'404, 0.66, 0.02, 13382, 18218, 0.983, 10.0,
+       10221, 3363, false},
+      {"C. elegans", 100'286'401, 0.35, 0.12, 2819, 4663, 0.854, 10.0, 10205,
+       3400, false},
+      {"D. busckii", 118'492'362, 0.40, 0.15, 2541, 3151, 0.922, 10.6, 10168,
+       3412, false},
+      {"Human chr 7", 159'345'973, 0.41, 0.28, 2007, 1934, 0.697, 10.0, 9612,
+       2988, false},
+      {"Human chr 8", 145'138'636, 0.40, 0.28, 2053, 1876, 0.762, 10.0, 10200,
+       3402, false},
+      {"B. splendens", 339'050'970, 0.44, 0.20, 3462, 4181, 0.999, 12.9,
+       10177, 3403, false},
+      {"O. sativa chr 8 (real)", 28'443'022, 0.44, 0.35, 1851, 2067, 0.647,
+       20.0, 19642, 4246, true},
+  };
+  return kPresets;
+}
+
+const DatasetPreset& preset_by_name(std::string_view name) {
+  for (const DatasetPreset& preset : table1_presets()) {
+    if (preset.name == name) return preset;
+  }
+  throw std::invalid_argument("unknown dataset preset: " + std::string(name));
+}
+
+Dataset generate_dataset(const DatasetPreset& preset, double scale,
+                         std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("generate_dataset: scale must be in (0, 1]");
+  }
+
+  Dataset dataset;
+  dataset.preset = preset;
+  dataset.scale = scale;
+
+  GenomeParams genome_params;
+  genome_params.length = std::max<std::uint64_t>(
+      50'000, static_cast<std::uint64_t>(
+                  static_cast<double>(preset.genome_length) * scale));
+  genome_params.gc = preset.gc;
+  genome_params.repeat_fraction = preset.repeat_fraction;
+  genome_params.seed = util::mix64(seed ^ 0x01);
+  dataset.genome = simulate_genome(genome_params);
+
+  ContigSimParams contig_params;
+  contig_params.mean_length = preset.contig_mean;
+  contig_params.sd_length = preset.contig_sd;
+  contig_params.coverage_fraction = std::min(preset.subject_coverage, 1.0);
+  contig_params.seed = util::mix64(seed ^ 0x02);
+  dataset.contigs = simulate_contigs(dataset.genome, contig_params);
+
+  HiFiParams read_params;
+  read_params.coverage = preset.read_coverage;
+  read_params.mean_length = preset.read_mean;
+  read_params.sd_length = preset.read_sd;
+  read_params.seed = util::mix64(seed ^ 0x03);
+  dataset.reads = simulate_hifi_reads(dataset.genome, read_params);
+
+  return dataset;
+}
+
+}  // namespace jem::sim

@@ -1,0 +1,101 @@
+#include "sim/variants.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::sim {
+
+DonorGenome apply_structural_variants(std::string_view genome,
+                                      const VariantParams& params) {
+  if (genome.empty()) {
+    throw std::invalid_argument("apply_structural_variants: empty genome");
+  }
+  if (params.deletion_fraction + params.insertion_fraction > 1.0) {
+    throw std::invalid_argument(
+        "apply_structural_variants: event-type fractions exceed 1");
+  }
+  if (params.min_length == 0 || params.min_length > params.max_length) {
+    throw std::invalid_argument(
+        "apply_structural_variants: bad length bounds");
+  }
+
+  util::Xoshiro256ss rng(util::mix64(params.seed ^ 0x5356534956ULL));
+  std::exponential_distribution<double> length_dist(
+      1.0 / static_cast<double>(params.mean_length));
+
+  const auto target_events = static_cast<std::size_t>(
+      params.events_per_mbp * static_cast<double>(genome.size()) / 1e6);
+
+  // Sample non-overlapping events by rejection: keep positions at least
+  // max_length apart from accepted ones (cheap at realistic densities).
+  DonorGenome result;
+  result.events.reserve(target_events);
+  std::size_t attempts = 0;
+  while (result.events.size() < target_events &&
+         attempts < target_events * 20 + 100) {
+    ++attempts;
+    auto length = static_cast<std::uint64_t>(length_dist(rng));
+    length = std::clamp(length, params.min_length, params.max_length);
+    if (length >= genome.size()) continue;
+    const std::uint64_t position = rng.bounded(genome.size() - length);
+
+    bool overlaps = false;
+    for (const VariantEvent& event : result.events) {
+      const std::uint64_t lo = event.position;
+      const std::uint64_t hi = event.position + event.length;
+      if (position < hi && position + length > lo) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+
+    const double kind = rng.uniform();
+    VariantType type = VariantType::kInversion;
+    if (kind < params.deletion_fraction) {
+      type = VariantType::kDeletion;
+    } else if (kind < params.deletion_fraction + params.insertion_fraction) {
+      type = VariantType::kInsertion;
+    }
+    result.events.push_back({type, position, length});
+  }
+  std::sort(result.events.begin(), result.events.end(),
+            [](const VariantEvent& a, const VariantEvent& b) {
+              return a.position < b.position;
+            });
+
+  // Build the donor genome left to right.
+  result.genome.reserve(genome.size() + genome.size() / 16);
+  std::uint64_t cursor = 0;
+  for (const VariantEvent& event : result.events) {
+    result.genome.append(genome.substr(cursor, event.position - cursor));
+    switch (event.type) {
+      case VariantType::kDeletion:
+        break;  // skip the span
+      case VariantType::kInsertion: {
+        // Novel sequence inserted *before* the span, which is kept.
+        std::string inserted(event.length, 'A');
+        for (char& c : inserted) {
+          c = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+        }
+        result.genome.append(inserted);
+        result.genome.append(genome.substr(event.position, event.length));
+        break;
+      }
+      case VariantType::kInversion: {
+        result.genome.append(core::reverse_complement(
+            genome.substr(event.position, event.length)));
+        break;
+      }
+    }
+    cursor = event.position + event.length;
+  }
+  result.genome.append(genome.substr(cursor));
+  return result;
+}
+
+}  // namespace jem::sim

@@ -1,0 +1,46 @@
+// Structural-variant simulation. The paper's read simulator (Sim-it, ref
+// [26]) is in fact an SV benchmark tool; hybrid workflows must keep mapping
+// reads from a *donor* genome that differs from the assembly's genome by
+// deletions, insertions and inversions. This module derives such a donor
+// genome and records the event list, enabling robustness studies of the
+// mapper under genuine biological divergence (bench/robustness_sv).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::sim {
+
+enum class VariantType : std::uint8_t { kDeletion, kInsertion, kInversion };
+
+struct VariantEvent {
+  VariantType type = VariantType::kDeletion;
+  std::uint64_t position = 0;  // on the *original* genome
+  std::uint64_t length = 0;
+
+  friend bool operator==(const VariantEvent&, const VariantEvent&) = default;
+};
+
+struct VariantParams {
+  double events_per_mbp = 20.0;    // total SV events per megabase
+  double deletion_fraction = 0.4;  // event-type mix (remainder: inversions)
+  double insertion_fraction = 0.3;
+  std::uint64_t mean_length = 500;  // exponential event-length model
+  std::uint64_t min_length = 50;
+  std::uint64_t max_length = 5000;
+  std::uint64_t seed = 4;
+};
+
+struct DonorGenome {
+  std::string genome;                // the variant-carrying donor sequence
+  std::vector<VariantEvent> events;  // sorted by position, non-overlapping
+};
+
+/// Derives a donor genome from `genome` by planting non-overlapping SV
+/// events. Deterministic in the seed.
+[[nodiscard]] DonorGenome apply_structural_variants(
+    std::string_view genome, const VariantParams& params);
+
+}  // namespace jem::sim

@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <utility>
+
+namespace jem::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+bool g_capturing = false;           // guarded by Log::mutex_
+std::string g_captured;             // guarded by Log::mutex_
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo:  return "[info ] ";
+    case LogLevel::kWarn:  return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff:   break;
+  }
+  return "[?    ] ";
+}
+}  // namespace
+
+std::mutex Log::mutex_;
+
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Log::write(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(mutex_);
+  if (g_capturing) {
+    g_captured.append(level_tag(level));
+    g_captured.append(msg);
+    g_captured.push_back('\n');
+  } else {
+    std::cerr << level_tag(level) << msg << '\n';
+  }
+}
+
+std::string Log::begin_capture() {
+  std::lock_guard lock(mutex_);
+  g_capturing = true;
+  return std::exchange(g_captured, std::string{});
+}
+
+std::string Log::end_capture() {
+  std::lock_guard lock(mutex_);
+  g_capturing = false;
+  return std::exchange(g_captured, std::string{});
+}
+
+}  // namespace jem::util

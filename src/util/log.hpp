@@ -1,0 +1,67 @@
+// Minimal leveled logger. Single global sink (stderr by default), thread-safe,
+// printf-free (iostream-based formatting via operator<< chaining into an
+// internal buffer). Intended for coarse progress/diagnostic messages from the
+// drivers — hot loops must not log.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace jem::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration and emission.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+
+  /// Emit a message at the given level (no-op if below threshold).
+  static void write(LogLevel level, std::string_view msg);
+
+  /// Capture everything at/above the threshold into an internal string
+  /// instead of stderr (used by tests). Returns previously captured text.
+  static std::string begin_capture();
+  static std::string end_capture();
+
+ private:
+  static std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return detail::LogLine(LogLevel::kInfo);
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return detail::LogLine(LogLevel::kWarn);
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::kError);
+}
+
+}  // namespace jem::util

@@ -1,0 +1,78 @@
+#include "util/string_util.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace jem::util {
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  std::array<char, 64> buf{};
+  const int written =
+      std::snprintf(buf.data(), buf.size(), "%.*f", digits, value);
+  return std::string(buf.data(), written > 0 ? static_cast<std::size_t>(written)
+                                             : std::size_t{0});
+}
+
+std::string human_bp(std::uint64_t bp) {
+  if (bp >= 1'000'000'000ULL) {
+    return fixed(static_cast<double>(bp) / 1e9, 2) + " Gbp";
+  }
+  if (bp >= 1'000'000ULL) {
+    return fixed(static_cast<double>(bp) / 1e6, 2) + " Mbp";
+  }
+  if (bp >= 1'000ULL) {
+    return fixed(static_cast<double>(bp) / 1e3, 2) + " Kbp";
+  }
+  return std::to_string(bp) + " bp";
+}
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace jem::util

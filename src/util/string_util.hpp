@@ -1,0 +1,40 @@
+// Small string helpers shared across modules: splitting, trimming, number
+// formatting for the report tables, and human-readable byte/size rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::util {
+
+/// Split on a single delimiter character. Adjacent delimiters yield empty
+/// fields (CSV-style); the result always has (count of delim)+1 entries.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] constexpr bool starts_with(std::string_view text,
+                                         std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Render a non-negative integer with thousands separators: 4641652 ->
+/// "4,641,652". Used by the Table I printer.
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Fixed-point decimal rendering with the given number of fraction digits.
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// "12.3 Kbp" / "1.2 Mbp" style rendering of base-pair counts.
+[[nodiscard]] std::string human_bp(std::uint64_t bp);
+
+/// Uppercase an ASCII string in place and return it (for sequence
+/// normalization).
+[[nodiscard]] std::string to_upper(std::string_view text);
+
+}  // namespace jem::util

@@ -1,0 +1,78 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace jem::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t count = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_task_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();  // exceptions surface through the future
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_blocks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    std::size_t num_blocks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::max<std::size_t>(1, num_blocks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const BlockRange range = block_range(n, blocks, b);
+    if (range.begin == range.end) continue;
+    futures.push_back(pool.submit([&fn, b, range, begin] {
+      fn(b, begin + range.begin, begin + range.end);
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+}  // namespace jem::util

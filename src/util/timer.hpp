@@ -1,0 +1,68 @@
+// Wall-clock and scoped timers used by the benchmark harness and the
+// per-step runtime breakdown collectors (Fig 7a of the paper).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace jem::util {
+
+/// Monotonic wall-clock stopwatch. start() resets; elapsed_s() may be read
+/// repeatedly while running.
+class WallTimer {
+ public:
+  WallTimer() noexcept { start(); }
+
+  void start() noexcept { t0_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+/// Accumulates elapsed seconds into a caller-owned double on destruction.
+/// Usage:  { ScopedAccumulator t(times.sketch_s); ...work...; }
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_.get() += timer_.elapsed_s(); }
+
+ private:
+  std::reference_wrapper<double> sink_;
+  WallTimer timer_;
+};
+
+/// Times a callable and returns {result-of-callable, seconds}. For void
+/// callables use time_void().
+template <typename F>
+[[nodiscard]] auto timed(F&& fn) -> std::pair<decltype(fn()), double> {
+  WallTimer t;
+  auto result = std::forward<F>(fn)();
+  return {std::move(result), t.elapsed_s()};
+}
+
+template <typename F>
+[[nodiscard]] double time_void(F&& fn) {
+  WallTimer t;
+  std::forward<F>(fn)();
+  return t.elapsed_s();
+}
+
+}  // namespace jem::util

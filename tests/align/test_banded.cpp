@@ -1,0 +1,322 @@
+#include "align/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::align {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("ACGT", "AGGT"), 1u);
+  EXPECT_EQ(edit_distance("ACGT", "CGT"), 1u);
+  EXPECT_EQ(edit_distance("ACGT", "ACGGT"), 1u);
+}
+
+TEST(EditDistance, IsSymmetric) {
+  util::Xoshiro256ss rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::string a = random_dna(rng, 30 + rng.bounded(40));
+    const std::string b = random_dna(rng, 30 + rng.bounded(40));
+    EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+  }
+}
+
+TEST(EditDistance, SatisfiesTriangleInequalityOnSamples) {
+  util::Xoshiro256ss rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const std::string a = random_dna(rng, 25);
+    const std::string b = random_dna(rng, 25);
+    const std::string c = random_dna(rng, 25);
+    EXPECT_LE(edit_distance(a, c),
+              edit_distance(a, b) + edit_distance(b, c));
+  }
+}
+
+TEST(EditDistance, BoundedByLengthDifferenceAndMaxLength) {
+  util::Xoshiro256ss rng(3);
+  const std::string a = random_dna(rng, 40);
+  const std::string b = random_dna(rng, 55);
+  const std::uint64_t d = edit_distance(a, b);
+  EXPECT_GE(d, 15u);  // length difference lower bound
+  EXPECT_LE(d, 55u);  // max length upper bound
+}
+
+TEST(BandedEditDistance, MatchesFullDpWithinBand) {
+  util::Xoshiro256ss rng(4);
+  for (int i = 0; i < 25; ++i) {
+    std::string a = random_dna(rng, 60);
+    std::string b = a;
+    // Introduce a handful of edits.
+    const int edits = static_cast<int>(rng.bounded(6));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.bounded(b.size());
+      b[pos] = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+    }
+    const std::uint64_t exact = edit_distance(a, b);
+    const auto banded = banded_edit_distance(a, b, 10);
+    ASSERT_TRUE(banded.has_value());
+    EXPECT_EQ(*banded, exact);
+  }
+}
+
+TEST(BandedEditDistance, ReturnsNulloptWhenDistanceExceedsBand) {
+  const std::string a(50, 'A');
+  const std::string b(50, 'T');
+  EXPECT_FALSE(banded_edit_distance(a, b, 10).has_value());
+}
+
+TEST(BandedEditDistance, LengthGapBeyondBandShortCircuits) {
+  const std::string a(10, 'A');
+  const std::string b(40, 'A');
+  EXPECT_FALSE(banded_edit_distance(a, b, 5).has_value());
+}
+
+TEST(BandedEditDistance, ZeroBandIsHammingLikeExactMatch) {
+  EXPECT_EQ(banded_edit_distance("ACGT", "ACGT", 0).value(), 0u);
+  EXPECT_FALSE(banded_edit_distance("ACGT", "ACGA", 0).has_value());
+}
+
+TEST(SemiglobalAlign, FindsExactSubstring) {
+  util::Xoshiro256ss rng(5);
+  const std::string subject = random_dna(rng, 500);
+  const std::string query = subject.substr(200, 100);
+  const SemiglobalResult result = semiglobal_align(query, subject);
+  EXPECT_EQ(result.edit_distance, 0u);
+  EXPECT_DOUBLE_EQ(result.identity, 1.0);
+  EXPECT_EQ(result.subject_begin, 200u);
+  EXPECT_EQ(result.subject_end, 300u);
+}
+
+TEST(SemiglobalAlign, ToleratesMutationsInQuery) {
+  util::Xoshiro256ss rng(6);
+  const std::string subject = random_dna(rng, 400);
+  std::string query = subject.substr(100, 120);
+  query[10] = query[10] == 'A' ? 'C' : 'A';
+  query[60] = query[60] == 'G' ? 'T' : 'G';
+  const SemiglobalResult result = semiglobal_align(query, subject);
+  EXPECT_EQ(result.edit_distance, 2u);
+  EXPECT_NEAR(result.identity, 1.0 - 2.0 / 120.0, 1e-9);
+}
+
+TEST(SemiglobalAlign, HandlesIndels) {
+  util::Xoshiro256ss rng(7);
+  const std::string subject = random_dna(rng, 300);
+  std::string query = subject.substr(50, 100);
+  query.erase(30, 1);          // deletion
+  query.insert(70, 1, 'A');    // insertion
+  const SemiglobalResult result = semiglobal_align(query, subject);
+  EXPECT_LE(result.edit_distance, 3u);
+  EXPECT_GT(result.identity, 0.95);
+}
+
+TEST(SemiglobalAlign, EmptyQueryIsPerfect) {
+  const SemiglobalResult result = semiglobal_align("", "ACGT");
+  EXPECT_EQ(result.edit_distance, 0u);
+  EXPECT_DOUBLE_EQ(result.identity, 1.0);
+}
+
+TEST(SemiglobalAlign, EmptySubjectCostsWholeQuery) {
+  const SemiglobalResult result = semiglobal_align("ACGT", "");
+  EXPECT_EQ(result.edit_distance, 4u);
+}
+
+TEST(SemiglobalAlign, UnrelatedSequencesScoreLow) {
+  util::Xoshiro256ss rng(8);
+  const std::string subject = random_dna(rng, 300);
+  const std::string query = random_dna(rng, 100);
+  const SemiglobalResult result = semiglobal_align(query, subject);
+  EXPECT_LT(result.identity, 0.75);
+}
+
+TEST(LocalAlign, FindsExactSubstring) {
+  util::Xoshiro256ss rng(20);
+  const std::string subject = random_dna(rng, 400);
+  const std::string query = subject.substr(150, 100);
+  const LocalResult result = local_align(query, subject);
+  EXPECT_EQ(result.score, 100);
+  EXPECT_EQ(result.matches, 100u);
+  EXPECT_EQ(result.columns, 100u);
+  EXPECT_DOUBLE_EQ(result.identity(), 1.0);
+  EXPECT_EQ(result.subject_begin, 150u);
+  EXPECT_EQ(result.subject_end, 250u);
+  EXPECT_EQ(result.query_begin, 0u);
+  EXPECT_EQ(result.query_end, 100u);
+}
+
+TEST(LocalAlign, PartialOverlapScoresOnlyTheOverlap) {
+  // Query = 50 bp of subject + 50 bp of unrelated sequence. The local
+  // alignment must cover (roughly) the shared half at ~100 % identity —
+  // BLAST semantics, unlike semiglobal which would force the junk to align.
+  util::Xoshiro256ss rng(21);
+  const std::string subject = random_dna(rng, 300);
+  const std::string query = subject.substr(100, 50) + random_dna(rng, 50);
+  const LocalResult result = local_align(query, subject);
+  EXPECT_GE(result.matches, 45u);
+  EXPECT_GT(result.identity(), 0.9);
+  EXPECT_LE(result.query_begin, 5u);
+  EXPECT_LE(result.query_end, 70u);  // junk half mostly excluded
+}
+
+TEST(LocalAlign, ToleratesScatteredMismatches) {
+  util::Xoshiro256ss rng(22);
+  const std::string subject = random_dna(rng, 500);
+  std::string query = subject.substr(100, 200);
+  for (std::size_t pos : {20u, 80u, 150u}) {
+    query[pos] = query[pos] == 'A' ? 'C' : 'A';
+  }
+  const LocalResult result = local_align(query, subject);
+  EXPECT_GT(result.identity(), 0.95);
+  EXPECT_GE(result.columns, 180u);
+}
+
+TEST(LocalAlign, UnrelatedSequencesGiveLowIdentity) {
+  util::Xoshiro256ss rng(23);
+  const std::string a = random_dna(rng, 200);
+  const std::string b = random_dna(rng, 200);
+  const LocalResult result = local_align(a, b);
+  // Random DNA can chain matches through gaps (net ~0 score per skip), so
+  // alignments may be long — but their identity stays far below that of a
+  // true homolog.
+  EXPECT_LT(result.identity(), 0.8);
+  EXPECT_LT(result.score, 60);
+}
+
+TEST(LocalAlign, EmptyInputsScoreZero) {
+  EXPECT_EQ(local_align("", "ACGT").score, 0);
+  EXPECT_EQ(local_align("ACGT", "").score, 0);
+  EXPECT_DOUBLE_EQ(local_align("", "").identity(), 0.0);
+}
+
+TEST(LocalAlign, MatchesCannotExceedColumns) {
+  util::Xoshiro256ss rng(24);
+  for (int i = 0; i < 10; ++i) {
+    const std::string a = random_dna(rng, 100);
+    const std::string b = random_dna(rng, 120);
+    const LocalResult result = local_align(a, b);
+    EXPECT_LE(result.matches, result.columns);
+    EXPECT_LE(result.query_begin, result.query_end);
+    EXPECT_LE(result.subject_begin, result.subject_end);
+    EXPECT_LE(result.query_end, a.size());
+    EXPECT_LE(result.subject_end, b.size());
+  }
+}
+
+TEST(LocalAlign, HandlesIndelInQuery) {
+  util::Xoshiro256ss rng(25);
+  const std::string subject = random_dna(rng, 300);
+  std::string query = subject.substr(50, 150);
+  query.erase(75, 2);  // 2 bp deletion
+  const LocalResult result = local_align(query, subject);
+  EXPECT_GT(result.identity(), 0.95);
+  EXPECT_GE(result.columns, 140u);
+}
+
+TEST(CigarAlign, ExactMatchIsPureM) {
+  util::Xoshiro256ss rng(30);
+  const std::string subject = random_dna(rng, 300);
+  const std::string query = subject.substr(100, 80);
+  const CigarResult result = local_align_cigar(query, subject);
+  ASSERT_EQ(result.cigar.size(), 1u);
+  EXPECT_EQ(result.cigar[0].op, 'M');
+  EXPECT_EQ(result.cigar[0].length, 80u);
+  EXPECT_EQ(cigar_string(result.cigar), "80M");
+}
+
+TEST(CigarAlign, SoftClipsCoverUnalignedQueryEnds) {
+  util::Xoshiro256ss rng(31);
+  const std::string subject = random_dna(rng, 300);
+  // Flanks of 'N' can never match an ACGT subject, so the clips are exact.
+  const std::string query =
+      std::string(30, 'N') + subject.substr(50, 80) + std::string(20, 'N');
+  const CigarResult result = local_align_cigar(query, subject);
+  ASSERT_EQ(result.cigar.size(), 3u);
+  EXPECT_EQ(result.cigar.front().op, 'S');
+  EXPECT_EQ(result.cigar.front().length, 30u);
+  EXPECT_EQ(result.cigar[1].op, 'M');
+  EXPECT_EQ(result.cigar[1].length, 80u);
+  EXPECT_EQ(result.cigar.back().op, 'S');
+  EXPECT_EQ(result.cigar.back().length, 20u);
+  EXPECT_EQ(cigar_query_span(result.cigar), query.size());
+}
+
+TEST(CigarAlign, RandomFlanksStillMostlyClipped) {
+  // With random (alignable) flanks the local alignment may creep a few
+  // columns past the homology, but most of each flank must stay clipped.
+  util::Xoshiro256ss rng(34);
+  const std::string subject = random_dna(rng, 300);
+  const std::string query =
+      random_dna(rng, 30) + subject.substr(50, 80) + random_dna(rng, 20);
+  const CigarResult result = local_align_cigar(query, subject);
+  EXPECT_EQ(cigar_query_span(result.cigar), query.size());
+  EXPECT_GT(result.local.identity(), 0.8);
+  EXPECT_LE(result.local.query_begin, 30u);
+  EXPECT_GE(result.local.query_end, 110u);
+}
+
+TEST(CigarAlign, IndelsAppearAsIAndD) {
+  util::Xoshiro256ss rng(32);
+  const std::string subject = random_dna(rng, 400);
+  std::string query = subject.substr(100, 150);
+  query.erase(50, 3);          // 3 bp deletion -> D
+  query.insert(100, "ACGT");   // 4 bp insertion -> I
+  const CigarResult result = local_align_cigar(query, subject);
+  bool has_i = false;
+  bool has_d = false;
+  for (const CigarOp& op : result.cigar) {
+    if (op.op == 'I') has_i = true;
+    if (op.op == 'D') has_d = true;
+  }
+  EXPECT_TRUE(has_i);
+  EXPECT_TRUE(has_d);
+  EXPECT_EQ(cigar_query_span(result.cigar), query.size());
+  // Subject span equals the aligned window on the subject.
+  EXPECT_EQ(cigar_subject_span(result.cigar),
+            result.local.subject_end - result.local.subject_begin);
+}
+
+TEST(CigarAlign, SpansAreConsistentOnRandomPairs) {
+  util::Xoshiro256ss rng(33);
+  for (int i = 0; i < 20; ++i) {
+    const std::string a = random_dna(rng, 50 + rng.bounded(150));
+    const std::string b = random_dna(rng, 50 + rng.bounded(150));
+    const CigarResult result = local_align_cigar(a, b);
+    if (result.cigar.empty()) continue;  // score-0 alignment
+    EXPECT_EQ(cigar_query_span(result.cigar), a.size());
+    EXPECT_EQ(cigar_subject_span(result.cigar),
+              result.local.subject_end - result.local.subject_begin);
+  }
+}
+
+TEST(CigarAlign, EmptyCigarRendersAsStar) {
+  EXPECT_EQ(cigar_string({}), "*");
+  EXPECT_EQ(cigar_string({{'S', 5}, {'M', 90}, {'I', 1}}), "5S90M1I");
+}
+
+TEST(SemiglobalAlign, WindowBoundsAreConsistent) {
+  util::Xoshiro256ss rng(9);
+  const std::string subject = random_dna(rng, 400);
+  const std::string query = subject.substr(120, 80);
+  const SemiglobalResult result = semiglobal_align(query, subject);
+  EXPECT_LE(result.subject_begin, result.subject_end);
+  EXPECT_LE(result.subject_end, subject.size());
+}
+
+}  // namespace
+}  // namespace jem::align

@@ -1,0 +1,115 @@
+#include "align/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dna.hpp"
+#include "sim/hifi_reads.hpp"
+#include "util/prng.hpp"
+
+namespace jem::align {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+IdentityParams dense_params() {
+  IdentityParams params;
+  params.minimizer = {16, 10};  // denser minimizers for short test subjects
+  return params;
+}
+
+TEST(SegmentIdentity, ExactSegmentScoresNearOne) {
+  util::Xoshiro256ss rng(101);
+  const std::string subject = random_dna(rng, 5000);
+  const std::string segment = subject.substr(2000, 1000);
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->identity, 1.0);
+  EXPECT_FALSE(result->reverse);
+  EXPECT_NEAR(static_cast<double>(result->subject_begin), 2000.0, 50.0);
+}
+
+TEST(SegmentIdentity, ReverseComplementSegmentIsDetected) {
+  util::Xoshiro256ss rng(102);
+  const std::string subject = random_dna(rng, 5000);
+  const std::string segment =
+      core::reverse_complement(subject.substr(1500, 1000));
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->reverse);
+  EXPECT_DOUBLE_EQ(result->identity, 1.0);
+}
+
+TEST(SegmentIdentity, HiFiErrorsGiveHighIdentity) {
+  util::Xoshiro256ss rng(103);
+  const std::string subject = random_dna(rng, 6000);
+  sim::HiFiParams error_model;
+  error_model.error_rate = 0.001;
+  const std::string segment =
+      sim::apply_hifi_errors(subject.substr(2500, 1000), error_model, 7);
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->identity, 0.99);
+}
+
+TEST(SegmentIdentity, ModeratelyDivergedSegmentScoresBetween) {
+  util::Xoshiro256ss rng(104);
+  const std::string subject = random_dna(rng, 5000);
+  sim::HiFiParams error_model;
+  error_model.error_rate = 0.05;  // 5 % divergence
+  const std::string segment =
+      sim::apply_hifi_errors(subject.substr(1000, 1000), error_model, 8);
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->identity, 0.85);
+  EXPECT_LT(result->identity, 0.99);
+}
+
+TEST(SegmentIdentity, UnrelatedSegmentHasNoAnchor) {
+  util::Xoshiro256ss rng(105);
+  const std::string subject = random_dna(rng, 3000);
+  const std::string segment = random_dna(rng, 1000);
+  const auto result = segment_identity(segment, subject, dense_params());
+  // No shared 16-mers (w.h.p.): no anchor, or an anchored-but-poor score.
+  if (result.has_value()) {
+    EXPECT_LT(result->identity, 0.7);
+  }
+}
+
+TEST(SegmentIdentity, EmptySegmentHasNoAnchor) {
+  EXPECT_FALSE(segment_identity("", "ACGTACGTACGTACGTACGT", dense_params())
+                   .has_value());
+}
+
+TEST(SegmentIdentity, CigarAccompaniesTheAlignment) {
+  util::Xoshiro256ss rng(107);
+  const std::string subject = random_dna(rng, 4000);
+  const std::string segment = subject.substr(1200, 1000);
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->cigar.empty());
+  EXPECT_EQ(cigar_query_span(result->cigar), segment.size());
+  EXPECT_EQ(cigar_subject_span(result->cigar),
+            result->subject_end - result->subject_begin);
+  EXPECT_EQ(cigar_string(result->cigar), "1000M");
+}
+
+TEST(SegmentIdentity, BoundsStayInsideSubject) {
+  util::Xoshiro256ss rng(106);
+  const std::string subject = random_dna(rng, 4000);
+  const std::string segment = subject.substr(3200, 800);  // near the end
+  const auto result = segment_identity(segment, subject, dense_params());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->subject_end, subject.size());
+  EXPECT_LE(result->subject_begin, result->subject_end);
+}
+
+}  // namespace
+}  // namespace jem::align

@@ -1,0 +1,82 @@
+#include "core/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::core {
+namespace {
+
+TEST(BaseCode, MapsAcgtCaseInsensitively) {
+  EXPECT_EQ(base_code('A'), 0);
+  EXPECT_EQ(base_code('C'), 1);
+  EXPECT_EQ(base_code('G'), 2);
+  EXPECT_EQ(base_code('T'), 3);
+  EXPECT_EQ(base_code('a'), 0);
+  EXPECT_EQ(base_code('t'), 3);
+}
+
+TEST(BaseCode, RejectsAmbiguityCodes) {
+  for (char c : {'N', 'n', 'R', 'Y', 'X', '-', ' ', '\0'}) {
+    EXPECT_EQ(base_code(c), kInvalidBase) << "base " << c;
+  }
+}
+
+TEST(BaseCode, PreservesLexicographicOrder) {
+  EXPECT_LT(base_code('A'), base_code('C'));
+  EXPECT_LT(base_code('C'), base_code('G'));
+  EXPECT_LT(base_code('G'), base_code('T'));
+}
+
+TEST(CodeBase, InvertsBaseCode) {
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(code_base(base_code(c)), c);
+  }
+}
+
+TEST(ComplementCode, IsSelfInverse) {
+  for (std::uint8_t code = 0; code < 4; ++code) {
+    EXPECT_EQ(complement_code(complement_code(code)), code);
+  }
+}
+
+TEST(ComplementBase, PairsWatsonCrick) {
+  EXPECT_EQ(complement_base('A'), 'T');
+  EXPECT_EQ(complement_base('T'), 'A');
+  EXPECT_EQ(complement_base('C'), 'G');
+  EXPECT_EQ(complement_base('G'), 'C');
+  EXPECT_EQ(complement_base('N'), 'N');
+  EXPECT_EQ(complement_base('x'), 'N');
+}
+
+TEST(ReverseComplement, ReversesAndComplements) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(ReverseComplement, IsAnInvolution) {
+  const std::string seq = "ACGTTGCAGGTACCAT";
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+TEST(IsAcgt, DetectsCleanSequences) {
+  EXPECT_TRUE(is_acgt("ACGTacgt"));
+  EXPECT_TRUE(is_acgt(""));
+  EXPECT_FALSE(is_acgt("ACGNT"));
+  EXPECT_FALSE(is_acgt("ACG T"));
+}
+
+TEST(GcContent, CountsGcFraction) {
+  EXPECT_DOUBLE_EQ(gc_content("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(gc_content(""), 0.0);
+}
+
+TEST(GcContent, IgnoresAmbiguousBases) {
+  EXPECT_DOUBLE_EQ(gc_content("GNNNC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("NNN"), 0.0);
+}
+
+}  // namespace
+}  // namespace jem::core

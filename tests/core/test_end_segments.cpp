@@ -1,0 +1,71 @@
+#include "core/end_segments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jem::core {
+namespace {
+
+TEST(EndSegments, LongReadYieldsPrefixAndSuffix) {
+  const std::string read(5000, 'A');
+  const auto segments = extract_end_segments(3, read, 1000);
+  ASSERT_EQ(segments.size(), 2u);
+
+  EXPECT_EQ(segments[0].read, 3u);
+  EXPECT_EQ(segments[0].end, ReadEnd::kPrefix);
+  EXPECT_EQ(segments[0].offset, 0u);
+  EXPECT_EQ(segments[0].bases.size(), 1000u);
+
+  EXPECT_EQ(segments[1].end, ReadEnd::kSuffix);
+  EXPECT_EQ(segments[1].offset, 4000u);
+  EXPECT_EQ(segments[1].bases.size(), 1000u);
+}
+
+TEST(EndSegments, SegmentsViewIntoTheRead) {
+  std::string read(3000, 'A');
+  read[0] = 'C';
+  read[2999] = 'G';
+  const auto segments = extract_end_segments(0, read, 1000);
+  EXPECT_EQ(segments[0].bases.front(), 'C');
+  EXPECT_EQ(segments[1].bases.back(), 'G');
+}
+
+TEST(EndSegments, ShortReadYieldsSinglePrefix) {
+  const std::string read(800, 'T');
+  const auto segments = extract_end_segments(1, read, 1000);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].end, ReadEnd::kPrefix);
+  EXPECT_EQ(segments[0].bases.size(), 800u);
+}
+
+TEST(EndSegments, ExactlySegmentLengthYieldsSinglePrefix) {
+  const std::string read(1000, 'T');
+  const auto segments = extract_end_segments(0, read, 1000);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].bases.size(), 1000u);
+}
+
+TEST(EndSegments, JustOverSegmentLengthYieldsOverlappingPair) {
+  const std::string read(1001, 'T');
+  const auto segments = extract_end_segments(0, read, 1000);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[1].offset, 1u);
+  EXPECT_EQ(segments[1].bases.size(), 1000u);
+}
+
+TEST(EndSegments, EmptyReadYieldsNothing) {
+  EXPECT_TRUE(extract_end_segments(0, "", 1000).empty());
+}
+
+TEST(EndSegments, ZeroSegmentLengthYieldsNothing) {
+  EXPECT_TRUE(extract_end_segments(0, "ACGT", 0).empty());
+}
+
+TEST(ReadEndTag, TagsAreStable) {
+  EXPECT_EQ(read_end_tag(ReadEnd::kPrefix), 'P');
+  EXPECT_EQ(read_end_tag(ReadEnd::kSuffix), 'S');
+}
+
+}  // namespace
+}  // namespace jem::core

@@ -1,0 +1,87 @@
+#include "core/hit_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::core {
+namespace {
+
+TEST(LazyHitCounter, CountsFromZeroEachRound) {
+  LazyHitCounter counter(4);
+  EXPECT_EQ(counter.increment(2), 1u);
+  EXPECT_EQ(counter.increment(2), 2u);
+  EXPECT_EQ(counter.increment(3), 1u);
+  counter.new_round();
+  EXPECT_EQ(counter.count(2), 0u);
+  EXPECT_EQ(counter.increment(2), 1u);
+}
+
+TEST(LazyHitCounter, CountReturnsZeroForUntouched) {
+  LazyHitCounter counter(4);
+  EXPECT_EQ(counter.count(0), 0u);
+  counter.increment(0);
+  EXPECT_EQ(counter.count(0), 1u);
+  EXPECT_EQ(counter.count(1), 0u);
+}
+
+TEST(LazyHitCounter, StaleSlotsInvisibleAcrossManyRounds) {
+  LazyHitCounter counter(3);
+  for (int round = 0; round < 100; ++round) {
+    counter.new_round();
+    const io::SeqId subject = static_cast<io::SeqId>(round % 3);
+    EXPECT_EQ(counter.increment(subject), 1u);
+    for (io::SeqId other = 0; other < 3; ++other) {
+      if (other != subject) {
+        EXPECT_EQ(counter.count(other), 0u);
+      }
+    }
+  }
+}
+
+TEST(LazyHitCounter, FirstTimeTrueOncePerRound) {
+  LazyHitCounter counter(2);
+  EXPECT_TRUE(counter.first_time(0));
+  EXPECT_FALSE(counter.first_time(0));
+  EXPECT_TRUE(counter.first_time(1));
+  counter.new_round();
+  EXPECT_TRUE(counter.first_time(0));
+  EXPECT_FALSE(counter.first_time(0));
+}
+
+TEST(LazyHitCounter, MatchesResettingCounterBehaviour) {
+  // Property: for any sequence of (new_round | increment) operations, the
+  // lazy counter and the O(n)-reset counter agree on every count.
+  LazyHitCounter lazy(8);
+  ResettingHitCounter resetting(8);
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int op = 0; op < 2000; ++op) {
+    if (next() % 10 == 0) {
+      lazy.new_round();
+      resetting.new_round();
+    } else {
+      const io::SeqId subject = static_cast<io::SeqId>(next() % 8);
+      EXPECT_EQ(lazy.increment(subject), resetting.increment(subject));
+    }
+    const io::SeqId probe = static_cast<io::SeqId>(next() % 8);
+    EXPECT_EQ(lazy.count(probe), resetting.count(probe));
+  }
+}
+
+TEST(ResettingHitCounter, BasicCounting) {
+  ResettingHitCounter counter(3);
+  EXPECT_EQ(counter.increment(1), 1u);
+  EXPECT_EQ(counter.increment(1), 2u);
+  counter.new_round();
+  EXPECT_EQ(counter.count(1), 0u);
+}
+
+TEST(LazyHitCounter, SizeReflectsSubjects) {
+  LazyHitCounter counter(42);
+  EXPECT_EQ(counter.size(), 42u);
+}
+
+}  // namespace
+}  // namespace jem::core

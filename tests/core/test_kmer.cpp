@@ -1,0 +1,144 @@
+#include "core/kmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+TEST(KmerCodec, RejectsOutOfRangeK) {
+  EXPECT_THROW(KmerCodec(0), std::invalid_argument);
+  EXPECT_THROW(KmerCodec(33), std::invalid_argument);
+  EXPECT_NO_THROW(KmerCodec(1));
+  EXPECT_NO_THROW(KmerCodec(32));
+}
+
+TEST(KmerCodec, EncodesKnownValues) {
+  const KmerCodec codec(2);
+  EXPECT_EQ(codec.encode("AA").value(), 0b0000u);
+  EXPECT_EQ(codec.encode("AC").value(), 0b0001u);
+  EXPECT_EQ(codec.encode("TA").value(), 0b1100u);
+  EXPECT_EQ(codec.encode("TT").value(), 0b1111u);
+}
+
+TEST(KmerCodec, EncodeRejectsShortOrAmbiguous) {
+  const KmerCodec codec(4);
+  EXPECT_FALSE(codec.encode("ACG").has_value());
+  EXPECT_FALSE(codec.encode("ACGN").has_value());
+  EXPECT_TRUE(codec.encode("ACGTA").has_value());  // uses first k bases
+}
+
+TEST(KmerCodec, DecodeInvertsEncode) {
+  const KmerCodec codec(7);
+  util::Xoshiro256ss rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::string kmer = random_dna(rng, 7);
+    EXPECT_EQ(codec.decode(codec.encode(kmer).value()), kmer);
+  }
+}
+
+TEST(KmerCodec, EncodedOrderEqualsLexOrder) {
+  const KmerCodec codec(5);
+  util::Xoshiro256ss rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const std::string a = random_dna(rng, 5);
+    const std::string b = random_dna(rng, 5);
+    EXPECT_EQ(a < b, codec.encode(a).value() < codec.encode(b).value());
+  }
+}
+
+TEST(KmerCodec, RollMatchesFullEncode) {
+  const KmerCodec codec(6);
+  util::Xoshiro256ss rng(17);
+  const std::string seq = random_dna(rng, 100);
+  KmerCode rolled = codec.encode(seq).value();
+  for (std::size_t i = 1; i + 6 <= seq.size(); ++i) {
+    rolled = codec.roll(rolled, base_code(seq[i + 5]));
+    EXPECT_EQ(rolled, codec.encode(seq.substr(i, 6)).value()) << "pos " << i;
+  }
+}
+
+TEST(KmerCodec, RollRcMatchesEncodedReverseComplement) {
+  const KmerCodec codec(6);
+  util::Xoshiro256ss rng(19);
+  const std::string seq = random_dna(rng, 60);
+  KmerCode fwd = 0;
+  KmerCode rc = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    fwd = codec.roll(fwd, base_code(seq[i]));
+    rc = codec.roll_rc(rc, base_code(seq[i]));
+    if (i + 1 >= 6) {
+      const std::string kmer = seq.substr(i + 1 - 6, 6);
+      EXPECT_EQ(fwd, codec.encode(kmer).value());
+      EXPECT_EQ(rc, codec.encode(reverse_complement(kmer)).value());
+    }
+  }
+}
+
+TEST(KmerCodec, ReverseComplementMatchesStringImplementation) {
+  for (int k : {1, 2, 3, 15, 16, 31, 32}) {
+    const KmerCodec codec(k);
+    util::Xoshiro256ss rng(static_cast<std::uint64_t>(100 + k));
+    for (int i = 0; i < 50; ++i) {
+      const std::string kmer = random_dna(rng, static_cast<std::size_t>(k));
+      const KmerCode code = codec.encode(kmer).value();
+      EXPECT_EQ(codec.decode(codec.reverse_complement(code)),
+                reverse_complement(kmer))
+          << "k=" << k << " kmer=" << kmer;
+    }
+  }
+}
+
+TEST(KmerCodec, ReverseComplementIsInvolution) {
+  const KmerCodec codec(16);
+  util::Xoshiro256ss rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const KmerCode code = rng() & codec.mask();
+    EXPECT_EQ(codec.reverse_complement(codec.reverse_complement(code)), code);
+  }
+}
+
+TEST(KmerCodec, CanonicalIsStrandInvariant) {
+  const KmerCodec codec(9);
+  util::Xoshiro256ss rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const std::string kmer = random_dna(rng, 9);
+    const KmerCode fwd = codec.encode(kmer).value();
+    const KmerCode rc = codec.encode(reverse_complement(kmer)).value();
+    EXPECT_EQ(codec.canonical(fwd), codec.canonical(rc));
+    EXPECT_LE(codec.canonical(fwd), fwd);
+    EXPECT_LE(codec.canonical(fwd), rc);
+  }
+}
+
+TEST(KmerCodec, MaskCoversExactly2kBits) {
+  EXPECT_EQ(KmerCodec(1).mask(), 0x3u);
+  EXPECT_EQ(KmerCodec(16).mask(), 0xffffffffu);
+  EXPECT_EQ(KmerCodec(32).mask(), ~KmerCode{0});
+}
+
+TEST(KmerCodec, K32FullWidthRoundTrip) {
+  const KmerCodec codec(32);
+  util::Xoshiro256ss rng(31);
+  const std::string kmer = random_dna(rng, 32);
+  const KmerCode code = codec.encode(kmer).value();
+  EXPECT_EQ(codec.decode(code), kmer);
+  EXPECT_EQ(codec.decode(codec.reverse_complement(code)),
+            reverse_complement(kmer));
+}
+
+}  // namespace
+}  // namespace jem::core

@@ -1,0 +1,338 @@
+#include "core/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+/// Fixture: a genome cut into known contigs; queries taken from known spots.
+class MapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Xoshiro256ss rng(777);
+    genome_ = random_dna(rng, 60'000);
+    // Ten 6 Kbp contigs tiling the genome exactly.
+    for (int i = 0; i < 10; ++i) {
+      subjects_.add("contig_" + std::to_string(i),
+                    genome_.substr(static_cast<std::size_t>(i) * 6000, 6000));
+    }
+    params_.k = 16;
+    params_.w = 20;  // denser minimizers than default for small test inputs
+    params_.trials = 16;
+    params_.segment_length = 1000;
+    params_.seed = 99;
+  }
+
+  std::string genome_;
+  io::SequenceSet subjects_;
+  MapParams params_;
+};
+
+TEST_F(MapperTest, MapsExactSegmentToItsContig) {
+  const JemMapper mapper(subjects_, params_);
+  for (int contig = 0; contig < 10; ++contig) {
+    // A segment from the middle of each contig.
+    const std::string segment =
+        genome_.substr(static_cast<std::size_t>(contig) * 6000 + 2500, 1000);
+    const MapResult result = mapper.map_segment(segment);
+    ASSERT_TRUE(result.mapped()) << "contig " << contig;
+    EXPECT_EQ(result.subject, static_cast<io::SeqId>(contig));
+    EXPECT_GT(result.votes, params_.trials / 2u);
+  }
+}
+
+TEST_F(MapperTest, MapsReverseComplementSegment) {
+  const JemMapper mapper(subjects_, params_);
+  const std::string segment = reverse_complement(genome_.substr(14'200, 1000));
+  const MapResult result = mapper.map_segment(segment);
+  ASSERT_TRUE(result.mapped());
+  EXPECT_EQ(result.subject, 2u);  // 14200 / 6000
+}
+
+TEST_F(MapperTest, RandomSegmentDoesNotMapConfidently) {
+  const JemMapper mapper(subjects_, params_);
+  util::Xoshiro256ss rng(12345);
+  const std::string unrelated = random_dna(rng, 1000);
+  const MapResult result = mapper.map_segment(unrelated);
+  // A random segment shares no 16-mers with the genome (w.h.p.): either
+  // unmapped or a tiny accidental vote count.
+  if (result.mapped()) {
+    EXPECT_LE(result.votes, 2u);
+  }
+}
+
+TEST_F(MapperTest, VotesNeverExceedTrials) {
+  const JemMapper mapper(subjects_, params_);
+  const MapResult result = mapper.map_segment(genome_.substr(30'500, 1000));
+  ASSERT_TRUE(result.mapped());
+  EXPECT_LE(result.votes, static_cast<std::uint32_t>(params_.trials));
+}
+
+TEST_F(MapperTest, MinVotesThresholdFiltersWeakHits) {
+  MapParams strict = params_;
+  strict.min_votes = static_cast<std::uint32_t>(params_.trials) + 1;
+  const JemMapper mapper(subjects_, strict);
+  // Even a perfect segment cannot reach trials+1 votes.
+  const MapResult result = mapper.map_segment(genome_.substr(2500, 1000));
+  EXPECT_FALSE(result.mapped());
+  EXPECT_EQ(result.votes, 0u);
+}
+
+TEST_F(MapperTest, MapSegmentIsDeterministic) {
+  const JemMapper mapper(subjects_, params_);
+  const std::string segment = genome_.substr(25'000, 1000);
+  const MapResult a = mapper.map_segment(segment);
+  const MapResult b = mapper.map_segment(segment);
+  EXPECT_EQ(a.subject, b.subject);
+  EXPECT_EQ(a.votes, b.votes);
+}
+
+TEST_F(MapperTest, MapReadsEmitsPrefixAndSuffixSegments) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  // Read spanning contigs 1..2: prefix in contig 1, suffix in contig 2.
+  reads.add("read_0", genome_.substr(7'000, 9'000));
+  const auto mappings = mapper.map_reads(reads);
+  ASSERT_EQ(mappings.size(), 2u);
+  EXPECT_EQ(mappings[0].end, ReadEnd::kPrefix);
+  EXPECT_EQ(mappings[1].end, ReadEnd::kSuffix);
+  ASSERT_TRUE(mappings[0].result.mapped());
+  ASSERT_TRUE(mappings[1].result.mapped());
+  EXPECT_EQ(mappings[0].result.subject, 1u);  // 7000 / 6000
+  EXPECT_EQ(mappings[1].result.subject, 2u);  // 15000 / 6000
+}
+
+TEST_F(MapperTest, ParallelMatchesSequential) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  util::Xoshiro256ss rng(555);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t pos = rng.bounded(50'000);
+    reads.add("read_" + std::to_string(i), genome_.substr(pos, 5000));
+  }
+  const auto sequential = mapper.map_reads(reads);
+  util::ThreadPool pool(4);
+  auto parallel = mapper.map_reads_parallel(reads, pool);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].read, parallel[i].read);
+    EXPECT_EQ(sequential[i].end, parallel[i].end);
+    EXPECT_EQ(sequential[i].result.subject, parallel[i].result.subject);
+    EXPECT_EQ(sequential[i].result.votes, parallel[i].result.votes);
+  }
+}
+
+TEST_F(MapperTest, ClassicMinhashSchemeAlsoMapsExactSegments) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kClassicMinhash);
+  // Classic MinHash compares whole-contig sketches against segment sketches;
+  // an exact mid-contig segment may or may not share the global minimum, so
+  // just verify the machinery runs and anything reported is plausible.
+  const MapResult result = mapper.map_segment(genome_.substr(8'200, 1000));
+  if (result.mapped()) {
+    EXPECT_LT(result.subject, subjects_.size());
+    EXPECT_LE(result.votes, static_cast<std::uint32_t>(params_.trials));
+  }
+}
+
+TEST_F(MapperTest, ToMappingLinesResolvesNames) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  reads.add("my_read", genome_.substr(2'000, 3'000));
+  const auto mappings = mapper.map_reads(reads);
+  const auto lines = mapper.to_mapping_lines(reads, mappings);
+  ASSERT_EQ(lines.size(), mappings.size());
+  EXPECT_EQ(lines[0].query, "my_read");
+  EXPECT_EQ(lines[0].trials, static_cast<std::uint32_t>(params_.trials));
+  if (mappings[0].result.mapped()) {
+    EXPECT_EQ(lines[0].subject,
+              subjects_.name(mappings[0].result.subject));
+  } else {
+    EXPECT_FALSE(lines[0].mapped());
+  }
+}
+
+TEST_F(MapperTest, AdoptedTableMatchesBuiltTable) {
+  const HashFamily hashes(params_.trials, params_.seed);
+  SketchTable table = sketch_subjects(
+      subjects_, 0, static_cast<io::SeqId>(subjects_.size()), params_,
+      SketchScheme::kJem, hashes);
+  const JemMapper adopted(subjects_, params_, SketchScheme::kJem,
+                          std::move(table));
+  const JemMapper built(subjects_, params_);
+
+  const std::string segment = genome_.substr(40'100, 1000);
+  const MapResult a = adopted.map_segment(segment);
+  const MapResult b = built.map_segment(segment);
+  EXPECT_EQ(a.subject, b.subject);
+  EXPECT_EQ(a.votes, b.votes);
+}
+
+TEST_F(MapperTest, AdoptedTableRejectsTrialMismatch) {
+  SketchTable table(params_.trials + 1);
+  EXPECT_THROW(
+      JemMapper(subjects_, params_, SketchScheme::kJem, std::move(table)),
+      std::invalid_argument);
+}
+
+TEST_F(MapperTest, TieBreakPrefersSmallestSubjectId) {
+  // Two identical contigs: every trial hits both, votes tie, id 0 wins.
+  io::SequenceSet twins;
+  util::Xoshiro256ss rng(888);
+  const std::string shared = random_dna(rng, 4000);
+  twins.add("twin_a", shared);
+  twins.add("twin_b", shared);
+  const JemMapper mapper(twins, params_);
+  const MapResult result = mapper.map_segment(shared.substr(1500, 1000));
+  ASSERT_TRUE(result.mapped());
+  EXPECT_EQ(result.subject, 0u);
+}
+
+TEST_F(MapperTest, TopXFrontEqualsBestHit) {
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  const std::string segment = genome_.substr(20'300, 1000);
+  const MapResult best = mapper.map_segment(segment, scratch);
+  const auto topx = mapper.map_segment_topx(segment, 3, scratch);
+  ASSERT_TRUE(best.mapped());
+  ASSERT_FALSE(topx.empty());
+  EXPECT_EQ(topx.front().subject, best.subject);
+  EXPECT_EQ(topx.front().votes, best.votes);
+}
+
+TEST_F(MapperTest, TopXIsSortedByVotesThenId) {
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  // A segment straddling two contigs produces at least two candidates.
+  const std::string segment = genome_.substr(6000 - 500, 1000);
+  const auto topx = mapper.map_segment_topx(segment, 5, scratch);
+  ASSERT_GE(topx.size(), 2u);
+  for (std::size_t i = 1; i < topx.size(); ++i) {
+    const bool ordered =
+        topx[i - 1].votes > topx[i].votes ||
+        (topx[i - 1].votes == topx[i].votes &&
+         topx[i - 1].subject < topx[i].subject);
+    EXPECT_TRUE(ordered) << "index " << i;
+  }
+}
+
+TEST_F(MapperTest, TopXRespectsLimit) {
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  const std::string segment = genome_.substr(6000 - 500, 1000);
+  EXPECT_LE(mapper.map_segment_topx(segment, 1, scratch).size(), 1u);
+  EXPECT_LE(mapper.map_segment_topx(segment, 2, scratch).size(), 2u);
+  EXPECT_TRUE(mapper.map_segment_topx(segment, 0, scratch).empty());
+}
+
+TEST_F(MapperTest, TopXOnUnrelatedSegmentIsEmptyOrWeak) {
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  util::Xoshiro256ss rng(999);
+  const std::string unrelated = random_dna(rng, 1000);
+  const auto topx = mapper.map_segment_topx(unrelated, 5, scratch);
+  for (const MapResult& hit : topx) {
+    EXPECT_LE(hit.votes, 2u);
+  }
+}
+
+TEST_F(MapperTest, MapReadsTopXCoversAllSegments) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  reads.add("r0", genome_.substr(3'000, 8'000));
+  reads.add("r1", genome_.substr(30'000, 900));
+  const auto topx = mapper.map_reads_topx(reads, 3);
+  ASSERT_EQ(topx.size(), 3u);  // two ends + one short-read prefix
+  EXPECT_EQ(topx[0].end, ReadEnd::kPrefix);
+  EXPECT_EQ(topx[1].end, ReadEnd::kSuffix);
+  EXPECT_FALSE(topx[0].hits.empty());
+}
+
+TEST_F(MapperTest, TopXTwinsBothReported) {
+  io::SequenceSet twins;
+  util::Xoshiro256ss rng(888);
+  const std::string shared = random_dna(rng, 4000);
+  twins.add("twin_a", shared);
+  twins.add("twin_b", shared);
+  const JemMapper mapper(twins, params_);
+  MapScratch scratch(twins.size());
+  const auto topx = mapper.map_segment_topx(shared.substr(1500, 1000), 2,
+                                            scratch);
+  ASSERT_EQ(topx.size(), 2u);
+  EXPECT_EQ(topx[0].subject, 0u);
+  EXPECT_EQ(topx[1].subject, 1u);
+  EXPECT_EQ(topx[0].votes, topx[1].votes);
+}
+
+TEST_F(MapperTest, OpenmpMatchesSequential) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  util::Xoshiro256ss rng(556);
+  for (int i = 0; i < 15; ++i) {
+    const std::size_t pos = rng.bounded(50'000);
+    reads.add("read_" + std::to_string(i), genome_.substr(pos, 5000));
+  }
+  const auto sequential = mapper.map_reads(reads);
+  const auto parallel = mapper.map_reads_openmp(reads);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].read, parallel[i].read);
+    EXPECT_EQ(sequential[i].end, parallel[i].end);
+    EXPECT_EQ(sequential[i].result.subject, parallel[i].result.subject);
+    EXPECT_EQ(sequential[i].result.votes, parallel[i].result.votes);
+  }
+}
+
+TEST_F(MapperTest, TiledMappingCoversInteriorSegments) {
+  const JemMapper mapper(subjects_, params_);
+  io::SequenceSet reads;
+  reads.add("long_read", genome_.substr(2'000, 10'000));  // 10 tiles
+  const auto tiled = mapper.map_reads_tiled(reads);
+  ASSERT_EQ(tiled.size(), 10u);
+  EXPECT_EQ(tiled.front().end, ReadEnd::kPrefix);
+  EXPECT_EQ(tiled.back().end, ReadEnd::kSuffix);
+  int interior = 0;
+  for (const SegmentMapping& m : tiled) {
+    if (m.end == ReadEnd::kInterior) ++interior;
+    // Each tile should map to the contig its genome offset falls into.
+    if (m.result.mapped()) {
+      const std::size_t genome_pos = 2'000 + m.offset + 500;  // tile middle
+      EXPECT_EQ(m.result.subject,
+                static_cast<io::SeqId>(genome_pos / 6000));
+    }
+  }
+  EXPECT_EQ(interior, 8);
+}
+
+TEST(MapperValidation, RejectsBadParams) {
+  io::SequenceSet subjects;
+  subjects.add("c", "ACGTACGTACGTACGTACGT");
+  MapParams params;
+  params.k = 0;
+  EXPECT_THROW(JemMapper(subjects, params), std::invalid_argument);
+  params = {};
+  params.trials = 0;
+  EXPECT_THROW(JemMapper(subjects, params), std::invalid_argument);
+  params = {};
+  params.segment_length = 0;
+  EXPECT_THROW(JemMapper(subjects, params), std::invalid_argument);
+  params = {};
+  params.min_votes = 0;
+  EXPECT_THROW(JemMapper(subjects, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jem::core

@@ -1,0 +1,233 @@
+#include "core/minimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+TEST(MinimizerScan, RejectsBadParams) {
+  EXPECT_THROW((void)minimizer_scan("ACGT", {0, 5}), std::invalid_argument);
+  EXPECT_THROW((void)minimizer_scan("ACGT", {33, 5}), std::invalid_argument);
+  EXPECT_THROW((void)minimizer_scan("ACGT", {4, 0}), std::invalid_argument);
+}
+
+TEST(MinimizerScan, EmptyAndTooShortSequences) {
+  EXPECT_TRUE(minimizer_scan("", {4, 3}).empty());
+  EXPECT_TRUE(minimizer_scan("ACG", {4, 3}).empty());
+}
+
+TEST(MinimizerScan, SingleKmerSequence) {
+  const auto minimizers = minimizer_scan("ACGT", {4, 3});
+  ASSERT_EQ(minimizers.size(), 1u);
+  EXPECT_EQ(minimizers[0].position, 0u);
+  // Canonical of ACGT is itself (palindrome).
+  EXPECT_EQ(minimizers[0].kmer, KmerCodec(4).encode("ACGT").value());
+}
+
+TEST(MinimizerScan, PositionsAreStrictlyIncreasing) {
+  util::Xoshiro256ss rng(42);
+  const std::string seq = random_dna(rng, 2000);
+  const auto minimizers = minimizer_scan(seq, {8, 10});
+  ASSERT_GT(minimizers.size(), 1u);
+  for (std::size_t i = 1; i < minimizers.size(); ++i) {
+    EXPECT_LT(minimizers[i - 1].position, minimizers[i].position);
+  }
+}
+
+TEST(MinimizerScan, KmersAreCanonical) {
+  util::Xoshiro256ss rng(43);
+  const std::string seq = random_dna(rng, 500);
+  const KmerCodec codec(8);
+  for (const Minimizer& m : minimizer_scan(seq, {8, 5})) {
+    EXPECT_EQ(m.kmer, codec.canonical(m.kmer));
+    // The k-mer at the recorded position must canonicalize to it.
+    const KmerCode at_pos = codec.encode(seq.substr(m.position, 8)).value();
+    EXPECT_EQ(codec.canonical(at_pos), m.kmer);
+  }
+}
+
+TEST(MinimizerScan, MatchesNaiveReference) {
+  util::Xoshiro256ss rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t length = 50 + rng.bounded(500);
+    const std::string seq = random_dna(rng, length);
+    const int k = 3 + static_cast<int>(rng.bounded(10));
+    const int w = 1 + static_cast<int>(rng.bounded(20));
+    const MinimizerParams params{k, w};
+    EXPECT_EQ(minimizer_scan(seq, params), minimizer_scan_naive(seq, params))
+        << "len=" << length << " k=" << k << " w=" << w;
+  }
+}
+
+TEST(MinimizerScan, MatchesNaiveOnRepetitiveSequence) {
+  // Runs of identical bases and short tandem repeats stress tie-breaking.
+  const std::string seq =
+      "AAAAAAAAAATTTTTTTTTTACACACACACACGGGGGGGGGGCACACACACA"
+      "AAAAAAAAAATTTTTTTTTT";
+  for (int w : {1, 2, 5, 8}) {
+    const MinimizerParams params{4, w};
+    EXPECT_EQ(minimizer_scan(seq, params), minimizer_scan_naive(seq, params))
+        << "w=" << w;
+  }
+}
+
+TEST(MinimizerScan, StrandSymmetric) {
+  // The canonical minimizer *set* (k-mers, not positions) must be identical
+  // for a sequence and its reverse complement.
+  util::Xoshiro256ss rng(45);
+  const std::string seq = random_dna(rng, 800);
+  const std::string rc = reverse_complement(seq);
+  const MinimizerParams params{8, 12};
+
+  auto kmers_of = [&](const std::string& s) {
+    std::vector<KmerCode> kmers;
+    for (const Minimizer& m : minimizer_scan(s, params)) {
+      kmers.push_back(m.kmer);
+    }
+    std::sort(kmers.begin(), kmers.end());
+    kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+    return kmers;
+  };
+  EXPECT_EQ(kmers_of(seq), kmers_of(rc));
+}
+
+TEST(MinimizerScan, AmbiguousBasesSplitRuns) {
+  // No minimizer's k-mer window may span the N.
+  const std::string seq = "ACGTACGTACGT" + std::string("N") + "TGCATGCATGCA";
+  const auto minimizers = minimizer_scan(seq, {4, 2});
+  for (const Minimizer& m : minimizers) {
+    const bool before = m.position + 4 <= 12;
+    const bool after = m.position >= 13;
+    EXPECT_TRUE(before || after) << "position " << m.position;
+  }
+  EXPECT_FALSE(minimizers.empty());
+}
+
+TEST(MinimizerScan, AllNSequenceYieldsNothing) {
+  EXPECT_TRUE(minimizer_scan("NNNNNNNNNN", {4, 2}).empty());
+}
+
+TEST(MinimizerScan, DensityIsNearTheoretical) {
+  util::Xoshiro256ss rng(46);
+  const std::string seq = random_dna(rng, 200'000);
+  const int w = 19;
+  const auto minimizers = minimizer_scan(seq, {12, w});
+  const double density = static_cast<double>(minimizers.size()) /
+                         static_cast<double>(seq.size() - 12 + 1);
+  // Expected distinct-minimizer density is 2/(w+1) = 0.1.
+  EXPECT_NEAR(density, expected_minimizer_density(w), 0.015);
+}
+
+TEST(MinimizerScan, WindowOneKeepsEveryKmer) {
+  util::Xoshiro256ss rng(47);
+  const std::string seq = random_dna(rng, 300);
+  const auto minimizers = minimizer_scan(seq, {6, 1});
+  // w=1: every k-mer position is its own window; consecutive identical
+  // (kmer, pos) dedup never triggers since positions advance.
+  EXPECT_EQ(minimizers.size(), seq.size() - 6 + 1);
+}
+
+TEST(MinimizerScan, LargerWindowsYieldSparserLists) {
+  util::Xoshiro256ss rng(48);
+  const std::string seq = random_dna(rng, 20'000);
+  std::size_t prev = minimizer_scan(seq, {10, 1}).size();
+  for (int w : {5, 20, 80}) {
+    const std::size_t count = minimizer_scan(seq, {10, w}).size();
+    EXPECT_LT(count, prev);
+    prev = count;
+  }
+}
+
+TEST(MinimizerScan, RandomHashOrderingMatchesNaive) {
+  util::Xoshiro256ss rng(49);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string seq = random_dna(rng, 100 + rng.bounded(400));
+    const MinimizerParams params{5 + static_cast<int>(rng.bounded(8)),
+                                 1 + static_cast<int>(rng.bounded(15)),
+                                 MinimizerOrdering::kRandomHash};
+    EXPECT_EQ(minimizer_scan(seq, params), minimizer_scan_naive(seq, params));
+  }
+}
+
+TEST(MinimizerScan, RandomHashOrderingIsStrandSymmetric) {
+  util::Xoshiro256ss rng(50);
+  const std::string seq = random_dna(rng, 600);
+  const MinimizerParams params{8, 12, MinimizerOrdering::kRandomHash};
+  auto kmers_of = [&](const std::string& s) {
+    std::vector<KmerCode> kmers;
+    for (const Minimizer& m : minimizer_scan(s, params)) {
+      kmers.push_back(m.kmer);
+    }
+    std::sort(kmers.begin(), kmers.end());
+    kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+    return kmers;
+  };
+  EXPECT_EQ(kmers_of(seq), kmers_of(reverse_complement(seq)));
+}
+
+TEST(MinimizerScan, OrderingsSelectDifferentMinimizers) {
+  util::Xoshiro256ss rng(51);
+  const std::string seq = random_dna(rng, 5000);
+  const auto lex =
+      minimizer_scan(seq, {12, 20, MinimizerOrdering::kLexicographic});
+  const auto hashed =
+      minimizer_scan(seq, {12, 20, MinimizerOrdering::kRandomHash});
+  EXPECT_NE(lex, hashed);
+}
+
+TEST(MinimizerScan, RandomHashAvoidsPolyABias) {
+  // On an AT-rich sequence, lexicographic ordering keeps picking poly-A
+  // k-mers; the density of *distinct positions* still matches, but the
+  // selected k-mer set is heavily skewed: the single all-A k-mer dominates.
+  std::string at_rich;
+  util::Xoshiro256ss rng(52);
+  for (int i = 0; i < 50'000; ++i) {
+    const double u = rng.uniform();
+    at_rich.push_back(u < 0.45 ? 'A' : (u < 0.9 ? 'T' : (u < 0.95 ? 'C'
+                                                                  : 'G')));
+  }
+  const auto count_all_a = [&](MinimizerOrdering ordering) {
+    const KmerCodec codec(8);
+    std::size_t all_a = 0;
+    std::size_t total = 0;
+    for (const Minimizer& m :
+         minimizer_scan(at_rich, {8, 15, ordering})) {
+      ++total;
+      if (m.kmer == 0) ++all_a;  // canonical AAAAAAAA encodes to 0
+    }
+    return std::pair{all_a, total};
+  };
+  const auto [lex_a, lex_total] =
+      count_all_a(MinimizerOrdering::kLexicographic);
+  const auto [hash_a, hash_total] =
+      count_all_a(MinimizerOrdering::kRandomHash);
+  const double lex_frac =
+      static_cast<double>(lex_a) / static_cast<double>(lex_total);
+  const double hash_frac =
+      static_cast<double>(hash_a) / static_cast<double>(hash_total);
+  EXPECT_GT(lex_frac, 3 * hash_frac);
+}
+
+TEST(MinimizerScan, ShortRunBetweenNsUsesTruncatedWindow) {
+  // Run of 6 bases with k=4 -> 3 k-mers, less than w=10: one truncated
+  // window over the whole run.
+  const std::string seq = "NNACGTACNN";
+  const auto minimizers = minimizer_scan(seq, {4, 10});
+  EXPECT_EQ(minimizers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace jem::core

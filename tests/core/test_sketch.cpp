@@ -1,0 +1,246 @@
+#include "core/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/dna.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+TEST(SketchByJem, EmptyMinimizerListYieldsEmptySketch) {
+  const HashFamily hashes(5, 1);
+  const Sketch sketch = sketch_by_jem(std::span<const Minimizer>{}, 1000,
+                                      hashes);
+  EXPECT_EQ(sketch.trials(), 5);
+  EXPECT_EQ(sketch.total_entries(), 0u);
+}
+
+TEST(SketchByJem, SingleMinimizerSketchesItself) {
+  const HashFamily hashes(4, 2);
+  const std::vector<Minimizer> minimizers{{0xabcdu, 10}};
+  const Sketch sketch = sketch_by_jem(minimizers, 500, hashes);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(sketch.per_trial[static_cast<std::size_t>(t)].size(), 1u);
+    EXPECT_EQ(sketch.per_trial[static_cast<std::size_t>(t)][0], 0xabcdu);
+  }
+}
+
+TEST(SketchByJem, FastMatchesNaiveOnRandomInputs) {
+  util::Xoshiro256ss rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Random minimizer lists with increasing positions.
+    std::vector<Minimizer> minimizers;
+    std::uint32_t pos = 0;
+    const std::size_t count = 5 + rng.bounded(80);
+    for (std::size_t i = 0; i < count; ++i) {
+      pos += 1 + static_cast<std::uint32_t>(rng.bounded(200));
+      minimizers.push_back({rng() & 0xffffffffu, pos});
+    }
+    const HashFamily hashes(1 + static_cast<int>(rng.bounded(8)),
+                            rng());
+    const auto interval = static_cast<std::uint32_t>(50 + rng.bounded(2000));
+    const Sketch fast = sketch_by_jem(minimizers, interval, hashes);
+    const Sketch naive = sketch_by_jem_naive(minimizers, interval, hashes);
+    ASSERT_EQ(fast.trials(), naive.trials());
+    for (int t = 0; t < fast.trials(); ++t) {
+      EXPECT_EQ(fast.per_trial[static_cast<std::size_t>(t)],
+                naive.per_trial[static_cast<std::size_t>(t)])
+          << "trial " << t;
+    }
+  }
+}
+
+TEST(SketchByJem, FromSequenceMatchesFromMinimizers) {
+  util::Xoshiro256ss rng(8);
+  const std::string seq = random_dna(rng, 3000);
+  const SketchParams params{{11, 9}, 700};
+  const HashFamily hashes(6, 3);
+  const auto minimizers = minimizer_scan(seq, params.minimizer);
+  const Sketch from_seq = sketch_by_jem(seq, params, hashes);
+  const Sketch from_min =
+      sketch_by_jem(minimizers, params.interval_length, hashes);
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(from_seq.per_trial[static_cast<std::size_t>(t)],
+              from_min.per_trial[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(SketchByJem, PerTrialListsAreSortedUnique) {
+  util::Xoshiro256ss rng(9);
+  const std::string seq = random_dna(rng, 5000);
+  const HashFamily hashes(8, 4);
+  const Sketch sketch = sketch_by_jem(seq, {{13, 10}, 800}, hashes);
+  for (const auto& kmers : sketch.per_trial) {
+    EXPECT_TRUE(std::is_sorted(kmers.begin(), kmers.end()));
+    EXPECT_EQ(std::adjacent_find(kmers.begin(), kmers.end()), kmers.end());
+  }
+}
+
+TEST(SketchByJem, EverySketchKmerIsAMinimizer) {
+  util::Xoshiro256ss rng(10);
+  const std::string seq = random_dna(rng, 4000);
+  const MinimizerParams mp{12, 8};
+  const auto minimizers = minimizer_scan(seq, mp);
+  std::vector<KmerCode> minimizer_kmers;
+  for (const Minimizer& m : minimizers) minimizer_kmers.push_back(m.kmer);
+  std::sort(minimizer_kmers.begin(), minimizer_kmers.end());
+
+  const HashFamily hashes(5, 6);
+  const Sketch sketch = sketch_by_jem(minimizers, 600, hashes);
+  for (const auto& kmers : sketch.per_trial) {
+    for (KmerCode kmer : kmers) {
+      EXPECT_TRUE(std::binary_search(minimizer_kmers.begin(),
+                                     minimizer_kmers.end(), kmer));
+    }
+  }
+}
+
+TEST(SketchByJem, IdenticalSequencesShareAllSketches) {
+  util::Xoshiro256ss rng(11);
+  const std::string seq = random_dna(rng, 2000);
+  const HashFamily hashes(10, 12);
+  const SketchParams params{{16, 10}, 1000};
+  const Sketch a = sketch_by_jem(seq, params, hashes);
+  const Sketch b = sketch_by_jem(seq, params, hashes);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(a.per_trial[static_cast<std::size_t>(t)],
+              b.per_trial[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(SketchByJem, ReverseComplementSharesSketches) {
+  // Canonical k-mers make the minimizer *sets* strand-invariant, but the
+  // interval windows mirror under reverse complement, so per-trial sketch
+  // sets only partially coincide. A substantial overlap must remain — that
+  // is what lets a reverse-strand segment hit the subject's table.
+  util::Xoshiro256ss rng(12);
+  const std::string seq = random_dna(rng, 2000);
+  const std::string rc = reverse_complement(seq);
+  const HashFamily hashes(10, 13);
+  const SketchParams params{{15, 10}, 1000};
+  const Sketch fwd = sketch_by_jem(seq, params, hashes);
+  const Sketch rev = sketch_by_jem(rc, params, hashes);
+
+  std::size_t shared = 0;
+  std::size_t total = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto& a = fwd.per_trial[static_cast<std::size_t>(t)];
+    const auto& b = rev.per_trial[static_cast<std::size_t>(t)];
+    std::vector<KmerCode> intersection;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(intersection));
+    shared += intersection.size();
+    total += a.size();
+  }
+  EXPECT_GT(static_cast<double>(shared), 0.25 * static_cast<double>(total));
+}
+
+TEST(SketchByJem, SubstringSharesSketchesWithSource) {
+  // The core mapping property: a 1000 bp window of a longer sequence must
+  // produce sketches that hit the source's interval sketches in most trials.
+  util::Xoshiro256ss rng(13);
+  const std::string subject = random_dna(rng, 10000);
+  const std::string query = subject.substr(4000, 1000);
+  const HashFamily hashes(30, 14);
+  const SketchParams params{{16, 10}, 1000};
+  const Sketch subject_sketch = sketch_by_jem(subject, params, hashes);
+  const Sketch query_sketch = sketch_by_jem(query, params, hashes);
+
+  int hit_trials = 0;
+  for (int t = 0; t < 30; ++t) {
+    const auto& s = subject_sketch.per_trial[static_cast<std::size_t>(t)];
+    const auto& q = query_sketch.per_trial[static_cast<std::size_t>(t)];
+    std::vector<KmerCode> intersection;
+    std::set_intersection(s.begin(), s.end(), q.begin(), q.end(),
+                          std::back_inserter(intersection));
+    if (!intersection.empty()) ++hit_trials;
+  }
+  EXPECT_GE(hit_trials, 25);
+}
+
+TEST(ClassicMinhash, OneKmerPerTrial) {
+  util::Xoshiro256ss rng(15);
+  const std::string seq = random_dna(rng, 500);
+  const HashFamily hashes(7, 16);
+  const Sketch sketch = classic_minhash(seq, 11, hashes);
+  ASSERT_EQ(sketch.trials(), 7);
+  for (const auto& kmers : sketch.per_trial) {
+    EXPECT_EQ(kmers.size(), 1u);
+  }
+}
+
+TEST(ClassicMinhash, EmptyForTooShortSequence) {
+  const HashFamily hashes(3, 17);
+  const Sketch sketch = classic_minhash("ACG", 11, hashes);
+  EXPECT_EQ(sketch.total_entries(), 0u);
+}
+
+TEST(ClassicMinhash, MinhashIsGlobalArgmin) {
+  util::Xoshiro256ss rng(18);
+  const std::string seq = random_dna(rng, 300);
+  const int k = 8;
+  const HashFamily hashes(5, 19);
+  const KmerCodec codec(k);
+
+  // Collect all canonical k-mers by brute force.
+  std::vector<KmerCode> all;
+  for (std::size_t i = 0; i + k <= seq.size(); ++i) {
+    all.push_back(codec.canonical(codec.encode(seq.substr(i, k)).value()));
+  }
+
+  const Sketch sketch = classic_minhash(seq, k, hashes);
+  for (int t = 0; t < 5; ++t) {
+    std::uint64_t best_hash = ~0ULL;
+    KmerCode best_kmer = 0;
+    for (KmerCode kmer : all) {
+      const std::uint64_t h = hashes.hash(t, kmer);
+      if (h < best_hash || (h == best_hash && kmer < best_kmer)) {
+        best_hash = h;
+        best_kmer = kmer;
+      }
+    }
+    EXPECT_EQ(sketch.per_trial[static_cast<std::size_t>(t)][0], best_kmer);
+  }
+}
+
+TEST(ClassicMinhash, StrandInvariant) {
+  util::Xoshiro256ss rng(20);
+  const std::string seq = random_dna(rng, 400);
+  const HashFamily hashes(10, 21);
+  const Sketch fwd = classic_minhash(seq, 9, hashes);
+  const Sketch rev = classic_minhash(reverse_complement(seq), 9, hashes);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(fwd.per_trial[static_cast<std::size_t>(t)],
+              rev.per_trial[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(ClassicMinhash, SkipsAmbiguousKmers) {
+  // Sequence whose only valid k-mers are in the second half.
+  const std::string seq = "NNNNNNNNNNNNACGTACGTACGT";
+  const HashFamily hashes(3, 22);
+  const Sketch sketch = classic_minhash(seq, 6, hashes);
+  EXPECT_EQ(sketch.per_trial[0].size(), 1u);
+}
+
+TEST(SketchTotalEntries, SumsAcrossTrials) {
+  Sketch sketch;
+  sketch.per_trial = {{1, 2, 3}, {4}, {}};
+  EXPECT_EQ(sketch.total_entries(), 4u);
+  EXPECT_EQ(sketch.trials(), 3);
+}
+
+}  // namespace
+}  // namespace jem::core

@@ -1,0 +1,163 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace jem::eval {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two contigs [0,5000) and [6000,12000); reads positioned so truth is
+    // unambiguous.
+    contig_truth_ = {{0, 5000}, {6000, 12'000}};
+    read_truth_ = {
+        {{1000, 4000}, false},   // read 0: both ends in contig 0
+        {{7000, 11'000}, false}, // read 1: both ends in contig 1
+        {{5100, 5900}, false},   // read 2: entirely in the gap
+    };
+    truth_ = std::make_unique<TruthSet>(contig_truth_, read_truth_, 1000, 16);
+  }
+
+  core::SegmentMapping make_mapping(io::SeqId read, core::ReadEnd end,
+                                    io::SeqId subject, bool mapped = true) {
+    core::SegmentMapping mapping;
+    mapping.read = read;
+    mapping.end = end;
+    mapping.segment_length = 1000;
+    if (mapped) {
+      mapping.result.subject = subject;
+      mapping.result.votes = 10;
+    }
+    return mapping;
+  }
+
+  std::vector<sim::Interval> contig_truth_;
+  std::vector<sim::ReadTruth> read_truth_;
+  std::unique_ptr<TruthSet> truth_;
+};
+
+TEST_F(MetricsTest, AllCorrectGivesPerfectScores) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 0),
+      make_mapping(0, core::ReadEnd::kSuffix, 0),
+      make_mapping(1, core::ReadEnd::kPrefix, 1),
+      make_mapping(1, core::ReadEnd::kSuffix, 1),
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.tp, 4u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.fn, 0u);
+  EXPECT_DOUBLE_EQ(counts.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 1.0);
+}
+
+TEST_F(MetricsTest, WrongSubjectIsBothFpAndFn) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 1),  // wrong contig
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);  // the paper: an FP implies an FN
+}
+
+TEST_F(MetricsTest, UnmappedWithTruthIsFn) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 0, /*mapped=*/false),
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.fn, 1u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.mapped, 0u);
+}
+
+TEST_F(MetricsTest, UnmappedGapSegmentIsTn) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(2, core::ReadEnd::kPrefix, 0, /*mapped=*/false),
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.tn, 1u);
+  EXPECT_EQ(counts.fn, 0u);
+}
+
+TEST_F(MetricsTest, MappedGapSegmentIsFpOnly) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(2, core::ReadEnd::kPrefix, 0),  // nothing true exists
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 0u);  // no bench pair was missed
+}
+
+TEST_F(MetricsTest, RecallBoundedByPrecisionWhenAllEndsHaveTruth) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 0),   // TP
+      make_mapping(0, core::ReadEnd::kSuffix, 1),   // FP (+FN)
+      make_mapping(1, core::ReadEnd::kPrefix, 1),   // TP
+      make_mapping(1, core::ReadEnd::kSuffix, 0, false),  // FN
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_LE(counts.recall(), counts.precision());
+}
+
+TEST_F(MetricsTest, EmptyMappingsYieldZeroMetrics) {
+  const QualityCounts counts = evaluate({}, *truth_);
+  EXPECT_EQ(counts.segments, 0u);
+  EXPECT_DOUBLE_EQ(counts.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 0.0);
+}
+
+TEST_F(MetricsTest, CountsSegmentsAndMapped) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 0),
+      make_mapping(0, core::ReadEnd::kSuffix, 0, false),
+      make_mapping(1, core::ReadEnd::kPrefix, 1),
+  };
+  const QualityCounts counts = evaluate(mappings, *truth_);
+  EXPECT_EQ(counts.segments, 3u);
+  EXPECT_EQ(counts.mapped, 2u);
+}
+
+TEST_F(MetricsTest, TopXRecallCountsAnyTrueCandidate) {
+  core::SegmentTopX good;
+  good.read = 0;
+  good.end = core::ReadEnd::kPrefix;
+  good.hits = {{1, 20}, {0, 15}};  // true contig (0) is second
+
+  core::SegmentTopX bad;
+  bad.read = 1;
+  bad.end = core::ReadEnd::kPrefix;
+  bad.hits = {{0, 9}};  // true contig is 1, not reported
+
+  core::SegmentTopX gap;
+  gap.read = 2;  // no truth exists
+  gap.end = core::ReadEnd::kPrefix;
+  gap.hits = {{0, 3}};
+
+  const std::vector<core::SegmentTopX> mappings{good, bad, gap};
+  const TopXRecall recall = evaluate_topx(mappings, *truth_);
+  EXPECT_EQ(recall.with_truth, 2u);
+  EXPECT_EQ(recall.recalled, 1u);
+  EXPECT_DOUBLE_EQ(recall.recall(), 0.5);
+}
+
+TEST_F(MetricsTest, TopXRecallEmptyIsZero) {
+  const TopXRecall recall = evaluate_topx({}, *truth_);
+  EXPECT_DOUBLE_EQ(recall.recall(), 0.0);
+}
+
+TEST(QualityCounts, F1IsHarmonicMean) {
+  QualityCounts counts;
+  counts.tp = 80;
+  counts.fp = 20;  // precision 0.8
+  counts.fn = 80;  // recall 0.5
+  EXPECT_NEAR(counts.f1(), 2 * 0.8 * 0.5 / 1.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace jem::eval

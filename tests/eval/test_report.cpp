@@ -1,0 +1,84 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::eval {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"Input", "Precision", "Recall"});
+  table.add_row({"E. coli", "99.61", "97.65"});
+  table.add_row({"B. splendens", "99.31", "96.18"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("Input"), std::string::npos);
+  EXPECT_NE(rendered.find("B. splendens"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "b"});
+  table.add_row({"xxxxxxxx", "1"});
+  table.add_row({"y", "2"});
+  const std::string rendered = table.to_string();
+  // Find the column of 'b' on the header row and of '1'/'2' on data rows.
+  const auto lines_end = rendered.find('\n');
+  const std::string header = rendered.substr(0, lines_end);
+  const std::size_t b_col = header.find('b');
+  std::size_t pos = rendered.find("xxxxxxxx");
+  const std::size_t line2_start = rendered.rfind('\n', pos) + 1;
+  const std::size_t one_col = rendered.find('1', pos) - line2_start;
+  EXPECT_EQ(b_col, one_col);
+}
+
+TEST(TextTable, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(MakeHistogram, BinsValuesCorrectly) {
+  const std::vector<double> values{0.05, 0.15, 0.15, 0.95, 1.0};
+  const auto bins = make_histogram(values, 0.0, 1.0, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1u);   // 0.05
+  EXPECT_EQ(bins[1].count, 2u);   // the 0.15s
+  EXPECT_EQ(bins[9].count, 2u);   // 0.95 and the v==hi edge case 1.0
+}
+
+TEST(MakeHistogram, IgnoresOutOfRangeValues) {
+  const std::vector<double> values{-0.5, 0.5, 1.5};
+  const auto bins = make_histogram(values, 0.0, 1.0, 4);
+  std::uint64_t total = 0;
+  for (const auto& bin : bins) total += bin.count;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(MakeHistogram, BinBoundsPartitionTheRange) {
+  const auto bins = make_histogram({}, 80.0, 100.0, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 80.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 85.0);
+  EXPECT_DOUBLE_EQ(bins[3].hi, 100.0);
+}
+
+TEST(MakeHistogram, RejectsBadSpecification) {
+  EXPECT_THROW((void)make_histogram({}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_histogram({}, 1.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(RenderHistogram, ScalesBarsToMaxCount) {
+  std::vector<HistogramBin> bins{{0, 1, 10}, {1, 2, 5}, {2, 3, 0}};
+  const std::string rendered = render_histogram(bins, 20);
+  // Largest bin gets 20 hashes, half-size bin gets 10, empty gets none.
+  EXPECT_NE(rendered.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(rendered.find(std::string(10, '#') + " 5"), std::string::npos);
+}
+
+TEST(RenderHistogram, HandlesAllEmptyBins) {
+  std::vector<HistogramBin> bins{{0, 1, 0}, {1, 2, 0}};
+  const std::string rendered = render_histogram(bins);
+  EXPECT_EQ(rendered.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jem::eval

@@ -1,0 +1,181 @@
+#include "eval/truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace jem::eval {
+namespace {
+
+TEST(EndSegmentInterval, ForwardReadPrefixIsLeftEnd) {
+  const sim::ReadTruth read{{1000, 11'000}, /*reverse=*/false};
+  const sim::Interval prefix =
+      end_segment_interval(read, core::ReadEnd::kPrefix, 1000);
+  EXPECT_EQ(prefix.begin, 1000u);
+  EXPECT_EQ(prefix.end, 2000u);
+  const sim::Interval suffix =
+      end_segment_interval(read, core::ReadEnd::kSuffix, 1000);
+  EXPECT_EQ(suffix.begin, 10'000u);
+  EXPECT_EQ(suffix.end, 11'000u);
+}
+
+TEST(EndSegmentInterval, ReverseReadPrefixIsRightEnd) {
+  const sim::ReadTruth read{{1000, 11'000}, /*reverse=*/true};
+  const sim::Interval prefix =
+      end_segment_interval(read, core::ReadEnd::kPrefix, 1000);
+  EXPECT_EQ(prefix.begin, 10'000u);
+  EXPECT_EQ(prefix.end, 11'000u);
+  const sim::Interval suffix =
+      end_segment_interval(read, core::ReadEnd::kSuffix, 1000);
+  EXPECT_EQ(suffix.begin, 1000u);
+  EXPECT_EQ(suffix.end, 2000u);
+}
+
+TEST(EndSegmentInterval, ShortReadClampsToReadLength) {
+  const sim::ReadTruth read{{500, 1100}, /*reverse=*/false};  // 600 bp read
+  const sim::Interval prefix =
+      end_segment_interval(read, core::ReadEnd::kPrefix, 1000);
+  EXPECT_EQ(prefix.begin, 500u);
+  EXPECT_EQ(prefix.end, 1100u);
+}
+
+class TruthSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three contigs with a gap between each: [0,5000), [6000,12000),
+    // [13000,20000).
+    contig_truth_ = {{0, 5000}, {6000, 12'000}, {13'000, 20'000}};
+    // Read 0: forward, spanning contigs 0 and 1.
+    // Read 1: reverse, inside contig 2.
+    // Read 2: forward, prefix in the gap (maps nowhere).
+    read_truth_ = {
+        {{3000, 9000}, false},
+        {{14'000, 19'000}, true},
+        {{5200, 10'000}, false},
+    };
+    truth_ = std::make_unique<TruthSet>(contig_truth_, read_truth_,
+                                        /*segment_length=*/1000,
+                                        /*min_overlap=*/16);
+  }
+
+  std::vector<sim::Interval> contig_truth_;
+  std::vector<sim::ReadTruth> read_truth_;
+  std::unique_ptr<TruthSet> truth_;
+};
+
+TEST_F(TruthSetTest, ForwardReadEndsMapToSpannedContigs) {
+  // Prefix [3000,4000) -> contig 0; suffix [8000,9000) -> contig 1.
+  EXPECT_TRUE(truth_->is_true(0, core::ReadEnd::kPrefix, 0));
+  EXPECT_FALSE(truth_->is_true(0, core::ReadEnd::kPrefix, 1));
+  EXPECT_TRUE(truth_->is_true(0, core::ReadEnd::kSuffix, 1));
+  EXPECT_FALSE(truth_->is_true(0, core::ReadEnd::kSuffix, 0));
+}
+
+TEST_F(TruthSetTest, ReverseReadEndsSwapGenomeSides) {
+  // Read 1 is reverse on [14000,19000): prefix = right end [18000,19000)
+  // -> contig 2; suffix = left end [14000,15000) -> contig 2 as well.
+  EXPECT_TRUE(truth_->is_true(1, core::ReadEnd::kPrefix, 2));
+  EXPECT_TRUE(truth_->is_true(1, core::ReadEnd::kSuffix, 2));
+  EXPECT_FALSE(truth_->is_true(1, core::ReadEnd::kPrefix, 0));
+}
+
+TEST_F(TruthSetTest, GapSegmentsHaveNoTruth) {
+  // Read 2 prefix [5200,6200): overlaps contig 1 by 200 >= 16 -> true.
+  // Construct a reading entirely in the gap instead:
+  std::vector<sim::ReadTruth> gap_read{{{5100, 5900}, false}};
+  const TruthSet gap_truth(contig_truth_, gap_read, 1000, 16);
+  EXPECT_FALSE(gap_truth.has_any(0, core::ReadEnd::kPrefix));
+  EXPECT_TRUE(gap_truth.true_subjects(0, core::ReadEnd::kPrefix).empty());
+}
+
+TEST_F(TruthSetTest, MinOverlapThresholdIsRespected) {
+  // Segment [5990,6990) overlaps contig 1 ([6000,12000)) by 990.
+  std::vector<sim::ReadTruth> reads{{{5990, 12'000}, false}};
+  const TruthSet truth_k16(contig_truth_, reads, 1000, 16);
+  EXPECT_TRUE(truth_k16.is_true(0, core::ReadEnd::kPrefix, 1));
+  const TruthSet truth_strict(contig_truth_, reads, 1000, 991);
+  EXPECT_FALSE(truth_strict.is_true(0, core::ReadEnd::kPrefix, 1));
+}
+
+TEST_F(TruthSetTest, SegmentSpanningGapHasTwoTrueContigs) {
+  // Prefix [4800,5800): 200 bp in contig 0... overlap(contig0)=200,
+  // overlap(contig1)=0. Use [4990,5990+1010) instead: choose read at
+  // [4500,...] with segment crossing both contig 0 and the gap edge of
+  // contig 1? Gap is [5000,6000): a 1000 bp segment can touch both only if
+  // it starts in (4000, 5000) and ends past 6000 — impossible for 1000 bp
+  // (max end = 5999+1). Use a wider segment length.
+  std::vector<sim::ReadTruth> reads{{{4500, 10'000}, false}};
+  const TruthSet wide(contig_truth_, reads, 2000, 16);
+  const auto subjects = wide.true_subjects(0, core::ReadEnd::kPrefix);
+  ASSERT_EQ(subjects.size(), 2u);
+  EXPECT_EQ(subjects[0], 0u);
+  EXPECT_EQ(subjects[1], 1u);
+}
+
+TEST_F(TruthSetTest, TotalPairsCountsEveryEnd) {
+  // Read 0: prefix->1 contig, suffix->1. Read 1: 2. Read 2: prefix overlaps
+  // contig 1 by 800 (true), suffix [9000,10000) in contig 1 (true).
+  EXPECT_EQ(truth_->total_pairs(), 6u);
+}
+
+TEST_F(TruthSetTest, IsTrueRejectsOutOfRangeSubject) {
+  EXPECT_FALSE(truth_->is_true(0, core::ReadEnd::kPrefix, 99));
+}
+
+TEST_F(TruthSetTest, NumReadsReflectsInput) {
+  EXPECT_EQ(truth_->num_reads(), 3u);
+}
+
+TEST(SegmentIntervalAt, ForwardOffsetsMapDirectly) {
+  const sim::ReadTruth read{{1000, 11'000}, /*reverse=*/false};
+  const sim::Interval segment = segment_interval_at(read, 3000, 1000);
+  EXPECT_EQ(segment.begin, 4000u);
+  EXPECT_EQ(segment.end, 5000u);
+}
+
+TEST(SegmentIntervalAt, ReverseOffsetsMirror) {
+  const sim::ReadTruth read{{1000, 11'000}, /*reverse=*/true};
+  // Read positions [0, 1000) are the genome's last kilobase.
+  const sim::Interval prefix = segment_interval_at(read, 0, 1000);
+  EXPECT_EQ(prefix.begin, 10'000u);
+  EXPECT_EQ(prefix.end, 11'000u);
+  // Read positions [3000, 4000) map to genome [7000, 8000).
+  const sim::Interval middle = segment_interval_at(read, 3000, 1000);
+  EXPECT_EQ(middle.begin, 7000u);
+  EXPECT_EQ(middle.end, 8000u);
+}
+
+TEST(SegmentIntervalAt, ClampsPastReadEnd) {
+  const sim::ReadTruth read{{100, 600}, /*reverse=*/false};  // 500 bp read
+  const sim::Interval tail = segment_interval_at(read, 400, 1000);
+  EXPECT_EQ(tail.begin, 500u);
+  EXPECT_EQ(tail.end, 600u);
+  const sim::Interval beyond = segment_interval_at(read, 900, 100);
+  EXPECT_EQ(beyond.length(), 0u);
+}
+
+TEST_F(TruthSetTest, TrueSubjectsAtMatchesEndSegmentForm) {
+  // For a forward read, offset 0 must agree with the prefix-end lookup.
+  EXPECT_EQ(truth_->true_subjects_at(0, 0, 1000),
+            truth_->true_subjects(0, core::ReadEnd::kPrefix));
+  // Read 0 spans [3000, 9000): an interior segment at offset 3000 covers
+  // genome [6000, 7000), i.e. contig 1.
+  const auto interior = truth_->true_subjects_at(0, 3000, 1000);
+  ASSERT_EQ(interior.size(), 1u);
+  EXPECT_EQ(interior[0], 1u);
+}
+
+TEST_F(TruthSetTest, WholeReadTruthListsAllOverlaps) {
+  // Read 0 [3000, 9000) overlaps contigs 0 and 1.
+  const auto subjects = truth_->true_subjects_whole_read(0);
+  ASSERT_EQ(subjects.size(), 2u);
+  EXPECT_EQ(subjects[0], 0u);
+  EXPECT_EQ(subjects[1], 1u);
+  // Read 1 [14000, 19000) lies inside contig 2 only.
+  const auto single = truth_->true_subjects_whole_read(1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 2u);
+}
+
+}  // namespace
+}  // namespace jem::eval

@@ -1,0 +1,236 @@
+#include "io/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jem::io {
+namespace {
+
+TEST(ReadFasta, ParsesSingleRecord) {
+  std::istringstream in(">seq1 a comment\nACGT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "seq1");
+  EXPECT_EQ(records[0].comment, "a comment");
+  EXPECT_EQ(records[0].bases, "ACGT");
+  EXPECT_TRUE(records[0].quality.empty());
+}
+
+TEST(ReadFasta, ParsesMultiLineSequences) {
+  std::istringstream in(">s\nACGT\nACGT\nAC\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].bases, "ACGTACGTAC");
+}
+
+TEST(ReadFasta, ParsesMultipleRecords) {
+  std::istringstream in(">a\nAAAA\n>b\nCCCC\n>c\nGGGG\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(records[2].name, "c");
+  EXPECT_EQ(records[2].bases, "GGGG");
+}
+
+TEST(ReadFasta, UppercasesBases) {
+  std::istringstream in(">s\nacgtN\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].bases, "ACGTN");
+}
+
+TEST(ReadFasta, HandlesCrlfLineEndings) {
+  std::istringstream in(">s desc\r\nACGT\r\nTT\r\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].name, "s");
+  EXPECT_EQ(records[0].comment, "desc");
+  EXPECT_EQ(records[0].bases, "ACGTTT");
+}
+
+TEST(ReadFasta, SkipsBlankLines) {
+  std::istringstream in("\n>s\n\nACGT\n\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].bases, "ACGT");
+}
+
+TEST(ReadFasta, ThrowsOnMissingHeader) {
+  std::istringstream in("ACGT\n");
+  EXPECT_THROW((void)read_fasta(in), ParseError);
+}
+
+TEST(ReadFasta, ThrowsOnEmptyRecord) {
+  std::istringstream in(">a\n>b\nACGT\n");
+  EXPECT_THROW((void)read_fasta(in), ParseError);
+}
+
+TEST(ReadFasta, ThrowsOnEmptyName) {
+  std::istringstream in("> comment only\nACGT\n");
+  EXPECT_THROW((void)read_fasta(in), ParseError);
+}
+
+TEST(ReadFastq, ParsesSingleRecord) {
+  std::istringstream in("@r1 meta\nACGT\n+\nIIII\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].comment, "meta");
+  EXPECT_EQ(records[0].bases, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+TEST(ReadFastq, ParsesMultipleRecords) {
+  std::istringstream in("@a\nAA\n+\nII\n@b\nCC\n+\nJJ\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(records[1].quality, "JJ");
+}
+
+TEST(ReadFastq, ThrowsOnLengthMismatch) {
+  std::istringstream in("@a\nACGT\n+\nII\n");
+  EXPECT_THROW((void)read_fastq(in), ParseError);
+}
+
+TEST(ReadFastq, ThrowsOnMissingPlusLine) {
+  std::istringstream in("@a\nACGT\nIIII\n");
+  EXPECT_THROW((void)read_fastq(in), ParseError);
+}
+
+TEST(ReadFastq, ThrowsOnTruncation) {
+  std::istringstream in("@a\nACGT\n+\n");
+  EXPECT_THROW((void)read_fastq(in), ParseError);
+}
+
+TEST(ReadSequences, AutoDetectsFasta) {
+  std::istringstream in(">s\nACGT\n");
+  const auto records = read_sequences(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].quality.empty());
+}
+
+TEST(ReadSequences, AutoDetectsFastq) {
+  std::istringstream in("@s\nACGT\n+\nIIII\n");
+  const auto records = read_sequences(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+TEST(ReadSequences, EmptyInputYieldsNoRecords) {
+  std::istringstream in("   \n  ");
+  EXPECT_TRUE(read_sequences(in).empty());
+}
+
+TEST(ReadSequences, ThrowsOnUnknownFormat) {
+  std::istringstream in("#comment\nACGT\n");
+  EXPECT_THROW((void)read_sequences(in), ParseError);
+}
+
+TEST(WriteFasta, RoundTripsRecords) {
+  std::vector<SequenceRecord> records;
+  records.push_back({"a", "first", "ACGTACGT", ""});
+  records.push_back({"b", "", "TTTT", ""});
+
+  std::ostringstream out;
+  write_fasta(out, records, 4);
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "a");
+  EXPECT_EQ(parsed[0].comment, "first");
+  EXPECT_EQ(parsed[0].bases, "ACGTACGT");
+  EXPECT_EQ(parsed[1].bases, "TTTT");
+}
+
+TEST(WriteFasta, WrapsLongLines) {
+  std::vector<SequenceRecord> records{{"s", "", std::string(100, 'A'), ""}};
+  std::ostringstream out;
+  write_fasta(out, records, 30);
+  // 100 bases at width 30 -> 4 sequence lines + header.
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(WriteFasta, ZeroWidthMeansSingleLine) {
+  std::vector<SequenceRecord> records{{"s", "", std::string(100, 'A'), ""}};
+  std::ostringstream out;
+  write_fasta(out, records, 0);
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(WriteFastq, RoundTripsAndFillsQuality) {
+  std::vector<SequenceRecord> records;
+  records.push_back({"a", "", "ACGT", "FFFF"});
+  records.push_back({"b", "", "GG", ""});  // no quality: filled with 'I'
+  std::ostringstream out;
+  write_fastq(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].quality, "FFFF");
+  EXPECT_EQ(parsed[1].quality, "II");
+}
+
+TEST(FastaRoundTrip, RandomRecordsSurviveWriteReadCycles) {
+  // Property: write_fasta . read_fasta is the identity on (name, comment,
+  // bases) for arbitrary records and line widths.
+  std::uint64_t state = 99;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  constexpr char kBases[] = {'A', 'C', 'G', 'T', 'N'};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<SequenceRecord> records;
+    const std::size_t count = 1 + next() % 10;
+    for (std::size_t r = 0; r < count; ++r) {
+      SequenceRecord rec;
+      rec.name = "seq_" + std::to_string(trial) + "_" + std::to_string(r);
+      if (next() % 2 == 0) rec.comment = "c" + std::to_string(next() % 100);
+      const std::size_t length = 1 + next() % 300;
+      for (std::size_t i = 0; i < length; ++i) {
+        rec.bases.push_back(kBases[next() % 5]);
+      }
+      records.push_back(std::move(rec));
+    }
+    const std::size_t width = next() % 120;  // 0 = unwrapped
+
+    std::ostringstream out;
+    write_fasta(out, records, width);
+    std::istringstream in(out.str());
+    const auto parsed = read_fasta(in);
+    ASSERT_EQ(parsed.size(), records.size()) << "trial " << trial;
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      EXPECT_EQ(parsed[r].name, records[r].name);
+      EXPECT_EQ(parsed[r].comment, records[r].comment);
+      EXPECT_EQ(parsed[r].bases, records[r].bases);
+    }
+  }
+}
+
+TEST(ReadSequencesFile, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)read_sequences_file("/nonexistent/path.fa"), ParseError);
+}
+
+TEST(LoadInto, AppendsToSequenceSet) {
+  const std::string path = ::testing::TempDir() + "/jem_io_test.fa";
+  std::vector<SequenceRecord> records{{"x", "", "ACGTACGT", ""}};
+  write_fasta_file(path, records);
+
+  SequenceSet set;
+  load_into(path, set);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.name(0), "x");
+  EXPECT_EQ(set.bases(0), "ACGTACGT");
+}
+
+}  // namespace
+}  // namespace jem::io

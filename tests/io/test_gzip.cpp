@@ -1,0 +1,116 @@
+#include "io/gzip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "io/fasta.hpp"
+#include "util/prng.hpp"
+
+namespace jem::io {
+namespace {
+
+TEST(Gzip, DetectsMagicBytes) {
+  EXPECT_TRUE(is_gzip("\x1f\x8b\x08rest"));
+  EXPECT_FALSE(is_gzip(">fasta"));
+  EXPECT_FALSE(is_gzip(""));
+  EXPECT_FALSE(is_gzip("\x1f"));
+}
+
+TEST(Gzip, RoundTripsText) {
+  const std::string original = "hello gzip world\nsecond line\n";
+  const std::string compressed = gzip_compress(original);
+  EXPECT_TRUE(is_gzip(compressed));
+  EXPECT_EQ(gzip_decompress(compressed), original);
+}
+
+TEST(Gzip, RoundTripsEmptyInput) {
+  const std::string compressed = gzip_compress("");
+  EXPECT_EQ(gzip_decompress(compressed), "");
+}
+
+TEST(Gzip, RoundTripsLargeRepetitiveData) {
+  std::string original;
+  for (int i = 0; i < 5000; ++i) original += "ACGTACGTACGT";
+  const std::string compressed = gzip_compress(original);
+  EXPECT_LT(compressed.size(), original.size() / 10);  // compresses well
+  EXPECT_EQ(gzip_decompress(compressed), original);
+}
+
+TEST(Gzip, RoundTripsIncompressibleData) {
+  util::Xoshiro256ss rng(1);
+  std::string original(100'000, '\0');
+  for (char& c : original) c = static_cast<char>(rng.bounded(256));
+  EXPECT_EQ(gzip_decompress(gzip_compress(original)), original);
+}
+
+TEST(Gzip, ThrowsOnCorruptStream) {
+  std::string compressed = gzip_compress("some payload");
+  compressed[compressed.size() / 2] ^= char(0xff);
+  compressed[compressed.size() / 2 + 1] ^= char(0xff);
+  EXPECT_THROW((void)gzip_decompress(compressed), std::runtime_error);
+}
+
+TEST(Gzip, ThrowsOnTruncatedStream) {
+  const std::string compressed = gzip_compress("some payload to truncate");
+  const std::string truncated = compressed.substr(0, compressed.size() / 2);
+  EXPECT_THROW((void)gzip_decompress(truncated), std::runtime_error);
+}
+
+TEST(Gzip, ReadFileAutoHandlesPlainFiles) {
+  const std::string path = ::testing::TempDir() + "/jem_plain.txt";
+  {
+    std::ofstream out(path);
+    out << "plain content";
+  }
+  EXPECT_EQ(read_file_auto(path), "plain content");
+}
+
+TEST(Gzip, ReadFileAutoHandlesGzipFiles) {
+  const std::string path = ::testing::TempDir() + "/jem_test.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string compressed = gzip_compress("compressed content");
+    out.write(compressed.data(),
+              static_cast<std::streamsize>(compressed.size()));
+  }
+  EXPECT_EQ(read_file_auto(path), "compressed content");
+}
+
+TEST(Gzip, ReadFileAutoThrowsOnMissingFile) {
+  EXPECT_THROW((void)read_file_auto("/nonexistent/file.gz"),
+               std::runtime_error);
+}
+
+TEST(Gzip, FastaReaderAcceptsGzippedFiles) {
+  const std::string path = ::testing::TempDir() + "/jem_seqs.fa.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string compressed =
+        gzip_compress(">s1 desc\nACGTACGT\n>s2\nTTTT\n");
+    out.write(compressed.data(),
+              static_cast<std::streamsize>(compressed.size()));
+  }
+  const auto records = read_sequences_file(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "s1");
+  EXPECT_EQ(records[0].bases, "ACGTACGT");
+  EXPECT_EQ(records[1].bases, "TTTT");
+}
+
+TEST(Gzip, FastqReaderAcceptsGzippedFiles) {
+  const std::string path = ::testing::TempDir() + "/jem_reads.fq.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string compressed =
+        gzip_compress("@r1\nACGT\n+\nIIII\n");
+    out.write(compressed.data(),
+              static_cast<std::streamsize>(compressed.size()));
+  }
+  const auto records = read_sequences_file(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,69 @@
+#include "io/mapping_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jem::io {
+namespace {
+
+TEST(MappingWriter, WritesTabSeparatedFields) {
+  std::vector<MappingLine> lines;
+  lines.push_back({"read_1", 'P', 1000, "contig_7", 28, 30});
+  std::ostringstream out;
+  write_mappings(out, lines);
+  EXPECT_EQ(out.str(), "read_1\tP\t1000\tcontig_7\t28\t30\n");
+}
+
+TEST(MappingWriter, UnmappedUsesStar) {
+  std::vector<MappingLine> lines;
+  lines.push_back({"read_2", 'S', 1000, "", 0, 30});
+  std::ostringstream out;
+  write_mappings(out, lines);
+  EXPECT_EQ(out.str(), "read_2\tS\t1000\t*\t0\t30\n");
+}
+
+TEST(MappingWriter, RoundTrips) {
+  std::vector<MappingLine> lines;
+  lines.push_back({"r1", 'P', 1000, "c1", 30, 30});
+  lines.push_back({"r1", 'S', 1000, "", 0, 30});
+  lines.push_back({"r2", 'P', 512, "c9", 3, 30});
+
+  std::ostringstream out;
+  write_mappings(out, lines);
+  std::istringstream in(out.str());
+  const auto parsed = read_mappings(in);
+  EXPECT_EQ(parsed, lines);
+}
+
+TEST(MappingWriter, MappedPredicate) {
+  MappingLine mapped{"r", 'P', 10, "c", 1, 30};
+  MappingLine unmapped{"r", 'P', 10, "", 0, 30};
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_FALSE(unmapped.mapped());
+}
+
+TEST(MappingReader, SkipsEmptyLines) {
+  std::istringstream in("\nr1\tP\t10\tc1\t5\t30\n\n");
+  const auto parsed = read_mappings(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].query, "r1");
+}
+
+TEST(MappingReader, ThrowsOnWrongFieldCount) {
+  std::istringstream in("r1\tP\t10\tc1\t5\n");
+  EXPECT_THROW((void)read_mappings(in), std::runtime_error);
+}
+
+TEST(MappingReader, ThrowsOnBadEndTag) {
+  std::istringstream in("r1\tX\t10\tc1\t5\t30\n");
+  EXPECT_THROW((void)read_mappings(in), std::runtime_error);
+}
+
+TEST(MappingReader, ThrowsOnBadNumber) {
+  std::istringstream in("r1\tP\tten\tc1\t5\t30\n");
+  EXPECT_THROW((void)read_mappings(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,133 @@
+#include "io/packed_sequence_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace jem::io {
+namespace {
+
+std::string random_dna_with_ns(util::Xoshiro256ss& rng, std::size_t length,
+                               double n_fraction) {
+  constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = rng.uniform() < n_fraction
+            ? 'N'
+            : kBases[rng.bounded(4)];
+  }
+  return seq;
+}
+
+TEST(PackedSequenceSet, StartsEmpty) {
+  PackedSequenceSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_bases(), 0u);
+  EXPECT_EQ(set.payload_bytes(), 0u);
+}
+
+TEST(PackedSequenceSet, RoundTripsPureAcgt) {
+  PackedSequenceSet set;
+  const std::string bases = "ACGTACGTTTGGCCAA";
+  const SeqId id = set.add("s", bases);
+  EXPECT_EQ(set.decode(id), bases);
+  EXPECT_EQ(set.length(id), bases.size());
+  EXPECT_EQ(set.name(id), "s");
+}
+
+TEST(PackedSequenceSet, LowercaseNormalizesToUppercase) {
+  PackedSequenceSet set;
+  set.add("s", "acgt");
+  EXPECT_EQ(set.decode(0), "ACGT");
+}
+
+TEST(PackedSequenceSet, PreservesNs) {
+  PackedSequenceSet set;
+  set.add("s", "ACGNNNTACGTN");
+  EXPECT_EQ(set.decode(0), "ACGNNNTACGTN");
+}
+
+TEST(PackedSequenceSet, NonAcgtBecomesN) {
+  PackedSequenceSet set;
+  set.add("s", "ACRYGT");
+  EXPECT_EQ(set.decode(0), "ACNNGT");
+}
+
+TEST(PackedSequenceSet, RoundTripsRandomSequencesAcrossWordBoundaries) {
+  util::Xoshiro256ss rng(1);
+  PackedSequenceSet set;
+  std::vector<std::string> originals;
+  // Lengths chosen to hit every word-boundary alignment.
+  for (std::size_t length : {0u, 1u, 31u, 32u, 33u, 63u, 64u, 65u, 1000u}) {
+    originals.push_back(random_dna_with_ns(rng, length, 0.05));
+    set.add("s" + std::to_string(length), originals.back());
+  }
+  for (SeqId id = 0; id < set.size(); ++id) {
+    EXPECT_EQ(set.decode(id), originals[id]) << "id " << id;
+  }
+}
+
+TEST(PackedSequenceSet, SubrangeDecodeMatchesSubstr) {
+  util::Xoshiro256ss rng(2);
+  const std::string bases = random_dna_with_ns(rng, 500, 0.03);
+  PackedSequenceSet set;
+  set.add("s", bases);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t begin = rng.bounded(bases.size());
+    const std::size_t count = rng.bounded(bases.size() - begin + 1);
+    EXPECT_EQ(set.decode(0, begin, count), bases.substr(begin, count));
+  }
+}
+
+TEST(PackedSequenceSet, SubrangeDecodeClampsOutOfRange) {
+  PackedSequenceSet set;
+  set.add("s", "ACGTACGT");
+  EXPECT_EQ(set.decode(0, 6, 100), "GT");
+  EXPECT_EQ(set.decode(0, 100, 5), "");
+}
+
+TEST(PackedSequenceSet, DecodeThrowsOnBadId) {
+  PackedSequenceSet set;
+  EXPECT_THROW((void)set.decode(0), std::out_of_range);
+  EXPECT_THROW((void)set.length(3), std::out_of_range);
+}
+
+TEST(PackedSequenceSet, AchievesFourToOneCompression) {
+  util::Xoshiro256ss rng(3);
+  PackedSequenceSet set;
+  const std::string bases = random_dna_with_ns(rng, 100'000, 0.0);
+  set.add("big", bases);
+  // 100k bases at 2 bits = 25 kB payload (plus one partial word).
+  EXPECT_LE(set.payload_bytes(), bases.size() / 4 + 16);
+}
+
+TEST(PackedSequenceSet, ConvertsToAndFromSequenceSet) {
+  util::Xoshiro256ss rng(4);
+  SequenceSet plain;
+  for (int i = 0; i < 20; ++i) {
+    plain.add("s" + std::to_string(i),
+              random_dna_with_ns(rng, 50 + rng.bounded(200), 0.02));
+  }
+  const PackedSequenceSet packed =
+      PackedSequenceSet::from_sequence_set(plain);
+  EXPECT_EQ(packed.size(), plain.size());
+  EXPECT_EQ(packed.total_bases(), plain.total_bases());
+
+  const SequenceSet back = packed.to_sequence_set();
+  ASSERT_EQ(back.size(), plain.size());
+  for (SeqId id = 0; id < plain.size(); ++id) {
+    EXPECT_EQ(back.name(id), plain.name(id));
+    EXPECT_EQ(back.bases(id), plain.bases(id));
+  }
+}
+
+TEST(PackedSequenceSet, ManySequencesKeepIndependentExceptions) {
+  PackedSequenceSet set;
+  set.add("a", "NNAA");
+  set.add("b", "AANN");
+  EXPECT_EQ(set.decode(0), "NNAA");
+  EXPECT_EQ(set.decode(1), "AANN");
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,72 @@
+#include "io/paf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jem::io {
+namespace {
+
+PafRecord sample_record() {
+  PafRecord rec;
+  rec.query_name = "read_1";
+  rec.query_length = 10'000;
+  rec.query_begin = 0;
+  rec.query_end = 1000;
+  rec.strand = '+';
+  rec.target_name = "contig_7";
+  rec.target_length = 4500;
+  rec.target_begin = 1200;
+  rec.target_end = 2200;
+  rec.matches = 950;
+  rec.alignment_length = 1000;
+  rec.mapq = 60;
+  return rec;
+}
+
+TEST(Paf, WritesTwelveTabSeparatedColumns) {
+  std::ostringstream out;
+  write_paf(out, {sample_record()});
+  EXPECT_EQ(out.str(),
+            "read_1\t10000\t0\t1000\t+\tcontig_7\t4500\t1200\t2200\t950\t"
+            "1000\t60\n");
+}
+
+TEST(Paf, RoundTrips) {
+  std::vector<PafRecord> records{sample_record()};
+  records.push_back(sample_record());
+  records[1].strand = '-';
+  records[1].query_name = "read_2";
+
+  std::ostringstream out;
+  write_paf(out, records);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_paf(in), records);
+}
+
+TEST(Paf, SkipsEmptyLinesAndToleratesExtraTags) {
+  std::istringstream in(
+      "\nr\t100\t0\t50\t+\tt\t200\t10\t60\t45\t50\t30\ttp:A:P\tcm:i:12\n");
+  const auto records = read_paf(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].matches, 45u);
+  EXPECT_EQ(records[0].mapq, 30u);
+}
+
+TEST(Paf, ThrowsOnTooFewColumns) {
+  std::istringstream in("r\t100\t0\t50\t+\tt\t200\t10\t60\t45\t50\n");
+  EXPECT_THROW((void)read_paf(in), std::runtime_error);
+}
+
+TEST(Paf, ThrowsOnBadStrand) {
+  std::istringstream in("r\t100\t0\t50\tx\tt\t200\t10\t60\t45\t50\t30\n");
+  EXPECT_THROW((void)read_paf(in), std::runtime_error);
+}
+
+TEST(Paf, ThrowsOnNonNumericColumn) {
+  std::istringstream in("r\tlen\t0\t50\t+\tt\t200\t10\t60\t45\t50\t30\n");
+  EXPECT_THROW((void)read_paf(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,104 @@
+// Failure-injection / robustness tests: the parsers must never crash or
+// hang on arbitrary input — every byte stream either parses or throws the
+// module's error type.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/fasta.hpp"
+#include "io/gzip.hpp"
+#include "io/mapping_writer.hpp"
+#include "io/paf.hpp"
+#include "util/prng.hpp"
+
+namespace jem::io {
+namespace {
+
+std::string random_bytes(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string data(length, '\0');
+  for (char& c : data) c = static_cast<char>(rng.bounded(256));
+  return data;
+}
+
+std::string random_printable(util::Xoshiro256ss& rng, std::size_t length) {
+  // Bias toward the structural characters the parsers care about.
+  constexpr std::string_view kAlphabet =
+      ">@+ACGTN\t\n 0123456789abcdefPS*-";
+  std::string data(length, ' ');
+  for (char& c : data) {
+    c = kAlphabet[rng.bounded(kAlphabet.size())];
+  }
+  return data;
+}
+
+TEST(ParserRobustness, SequencesParserNeverCrashesOnGarbage) {
+  util::Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string data = trial % 2 == 0
+                                 ? random_bytes(rng, rng.bounded(500))
+                                 : random_printable(rng, rng.bounded(500));
+    std::istringstream in(data);
+    try {
+      const auto records = read_sequences(in);
+      for (const SequenceRecord& rec : records) {
+        EXPECT_FALSE(rec.name.empty());
+      }
+    } catch (const ParseError&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(ParserRobustness, MappingReaderNeverCrashesOnGarbage) {
+  util::Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::istringstream in(random_printable(rng, rng.bounded(400)));
+    try {
+      (void)read_mappings(in);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(ParserRobustness, PafReaderNeverCrashesOnGarbage) {
+  util::Xoshiro256ss rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::istringstream in(random_printable(rng, rng.bounded(400)));
+    try {
+      (void)read_paf(in);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(ParserRobustness, GzipDecompressorNeverCrashesOnGarbage) {
+  util::Xoshiro256ss rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string data = random_bytes(rng, 10 + rng.bounded(300));
+    // Half the trials lead with the gzip magic to exercise the inflater.
+    if (trial % 2 == 0 && data.size() >= 2) {
+      data[0] = '\x1f';
+      data[1] = '\x8b';
+    }
+    if (is_gzip(data)) {
+      EXPECT_THROW((void)gzip_decompress(data), std::runtime_error);
+    }
+  }
+}
+
+TEST(ParserRobustness, TruncatedFastqAlwaysThrows) {
+  const std::string full = "@r1\nACGT\n+\nIIII\n";
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    try {
+      const auto records = read_fastq(in);
+      // A prefix that happens to parse must contain at most the one record.
+      EXPECT_LE(records.size(), 1u);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,61 @@
+#include "io/sam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace jem::io {
+namespace {
+
+TEST(Sam, HeaderListsEveryReference) {
+  SequenceSet refs;
+  refs.add("contig_0", "ACGTACGT");
+  refs.add("contig_1", "ACGTACGTACGT");
+  std::ostringstream out;
+  write_sam_header(out, refs, "test-prog");
+  const std::string header = out.str();
+  EXPECT_NE(header.find("@HD\tVN:1.6"), std::string::npos);
+  EXPECT_NE(header.find("@SQ\tSN:contig_0\tLN:8"), std::string::npos);
+  EXPECT_NE(header.find("@SQ\tSN:contig_1\tLN:12"), std::string::npos);
+  EXPECT_NE(header.find("@PG\tID:test-prog"), std::string::npos);
+}
+
+TEST(Sam, RecordHasElevenMandatoryColumns) {
+  SamRecord rec;
+  rec.qname = "read_1/P";
+  rec.flag = SamRecord::kReverse;
+  rec.rname = "contig_3";
+  rec.pos = 1201;
+  rec.mapq = 60;
+  rec.cigar = "5S95M";
+  rec.seq = "ACGT";
+  std::ostringstream out;
+  write_sam_records(out, {rec});
+  const std::string line = out.str();
+  const auto fields =
+      util::split(std::string_view(line).substr(0, line.size() - 1), '\t');
+  ASSERT_EQ(fields.size(), 11u);
+  EXPECT_EQ(fields[0], "read_1/P");
+  EXPECT_EQ(fields[1], "16");
+  EXPECT_EQ(fields[2], "contig_3");
+  EXPECT_EQ(fields[3], "1201");
+  EXPECT_EQ(fields[4], "60");
+  EXPECT_EQ(fields[5], "5S95M");
+  EXPECT_EQ(fields[6], "*");
+  EXPECT_EQ(fields[9], "ACGT");
+  EXPECT_EQ(fields[10], "*");
+}
+
+TEST(Sam, DefaultsMarkUnplacedRecords) {
+  SamRecord rec;
+  rec.qname = "q";
+  rec.flag = SamRecord::kUnmapped;
+  std::ostringstream out;
+  write_sam_records(out, {rec});
+  EXPECT_NE(out.str().find("q\t4\t*\t0\t255\t*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,111 @@
+#include "io/sequence_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jem::io {
+namespace {
+
+TEST(SequenceSet, StartsEmpty) {
+  SequenceSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.total_bases(), 0u);
+}
+
+TEST(SequenceSet, AddReturnsDenseIds) {
+  SequenceSet set;
+  EXPECT_EQ(set.add("a", "ACGT"), 0u);
+  EXPECT_EQ(set.add("b", "GG"), 1u);
+  EXPECT_EQ(set.add("c", "T"), 2u);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(SequenceSet, RetrievesNamesAndBases) {
+  SequenceSet set;
+  set.add("a", "ACGT");
+  set.add("b", "GGCC");
+  EXPECT_EQ(set.name(0), "a");
+  EXPECT_EQ(set.bases(0), "ACGT");
+  EXPECT_EQ(set.name(1), "b");
+  EXPECT_EQ(set.bases(1), "GGCC");
+}
+
+TEST(SequenceSet, TracksLengthsAndTotals) {
+  SequenceSet set;
+  set.add("a", "ACGT");
+  set.add("b", "GG");
+  EXPECT_EQ(set.length(0), 4u);
+  EXPECT_EQ(set.length(1), 2u);
+  EXPECT_EQ(set.total_bases(), 6u);
+}
+
+TEST(SequenceSet, ThrowsOnBadId) {
+  SequenceSet set;
+  set.add("a", "ACGT");
+  EXPECT_THROW((void)set.bases(1), std::out_of_range);
+  EXPECT_THROW((void)set.length(5), std::out_of_range);
+}
+
+TEST(SequenceSet, FindLocatesByName) {
+  SequenceSet set;
+  set.add("alpha", "A");
+  set.add("beta", "C");
+  EXPECT_EQ(set.find("beta"), 1u);
+  EXPECT_EQ(set.find("gamma"), kInvalidSeqId);
+}
+
+TEST(SequenceSet, LengthStatsMatchHandComputation) {
+  SequenceSet set;
+  set.add("a", std::string(2, 'A'));
+  set.add("b", std::string(4, 'C'));
+  set.add("c", std::string(6, 'G'));
+  const auto stats = set.length_stats();
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_NEAR(stats.stddev, 1.632993, 1e-5);  // population stddev
+  EXPECT_EQ(stats.min, 2u);
+  EXPECT_EQ(stats.max, 6u);
+}
+
+TEST(SequenceSet, LengthStatsEmptySetIsZero) {
+  SequenceSet set;
+  const auto stats = set.length_stats();
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(SequenceSet, AddAllCopiesRecords) {
+  std::vector<SequenceRecord> records;
+  records.push_back({"a", "", "AC", ""});
+  records.push_back({"b", "", "GT", ""});
+  SequenceSet set;
+  set.add_all(records);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.bases(1), "GT");
+}
+
+TEST(SequenceSet, ViewsStableAfterLoadingCompletes) {
+  SequenceSet set;
+  set.reserve(3, 12);
+  set.add("a", "AAAA");
+  set.add("b", "CCCC");
+  set.add("c", "GGGG");
+  const auto view_a = set.bases(0);
+  const auto view_c = set.bases(2);
+  EXPECT_EQ(view_a, "AAAA");
+  EXPECT_EQ(view_c, "GGGG");
+}
+
+TEST(SequenceSet, HandlesManySmallSequences) {
+  SequenceSet set;
+  for (int i = 0; i < 10000; ++i) {
+    set.add("s" + std::to_string(i), "ACGT");
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  EXPECT_EQ(set.total_bases(), 40000u);
+  EXPECT_EQ(set.bases(9999), "ACGT");
+}
+
+}  // namespace
+}  // namespace jem::io

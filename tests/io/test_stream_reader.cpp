@@ -1,0 +1,113 @@
+#include "io/stream_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jem::io {
+namespace {
+
+TEST(StreamReader, ReadsFastaRecordsOneByOne) {
+  std::istringstream in(">a first\nACGT\nAC\n>b\nTTTT\n");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "a");
+  EXPECT_EQ(rec.comment, "first");
+  EXPECT_EQ(rec.bases, "ACGTAC");
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "b");
+  EXPECT_EQ(rec.bases, "TTTT");
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_EQ(reader.records_read(), 2u);
+}
+
+TEST(StreamReader, ReadsFastqRecordsOneByOne) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nGG\n+\nJJ\n");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "r1");
+  EXPECT_EQ(rec.quality, "IIII");
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "r2");
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(StreamReader, MatchesWholeFileReader) {
+  std::ostringstream data;
+  for (int i = 0; i < 50; ++i) {
+    data << ">seq" << i << "\nACGTACGTACGT\nGG\n";
+  }
+  std::istringstream whole(data.str());
+  const auto expected = read_fasta(whole);
+
+  std::istringstream streamed(data.str());
+  SequenceStreamReader reader(streamed);
+  SequenceRecord rec;
+  std::size_t index = 0;
+  while (reader.next(rec)) {
+    ASSERT_LT(index, expected.size());
+    EXPECT_EQ(rec.name, expected[index].name);
+    EXPECT_EQ(rec.bases, expected[index].bases);
+    ++index;
+  }
+  EXPECT_EQ(index, expected.size());
+}
+
+TEST(StreamReader, BatchesRespectLimit) {
+  std::ostringstream data;
+  for (int i = 0; i < 25; ++i) data << ">s" << i << "\nACGT\n";
+  std::istringstream in(data.str());
+  SequenceStreamReader reader(in);
+
+  std::size_t total = 0;
+  std::size_t batches = 0;
+  while (true) {
+    const SequenceSet batch = reader.next_batch(10);
+    if (batch.empty()) break;
+    EXPECT_LE(batch.size(), 10u);
+    total += batch.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 25u);
+  EXPECT_EQ(batches, 3u);  // 10 + 10 + 5
+}
+
+TEST(StreamReader, EmptyInputYieldsNothing) {
+  std::istringstream in("   \n ");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_TRUE(reader.next_batch(10).empty());
+}
+
+TEST(StreamReader, ThrowsOnUnknownFormat) {
+  std::istringstream in("#comment\n");
+  EXPECT_THROW(SequenceStreamReader reader(in), ParseError);
+}
+
+TEST(StreamReader, ThrowsOnTruncatedFastq) {
+  std::istringstream in("@r1\nACGT\n+\n");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  EXPECT_THROW((void)reader.next(rec), ParseError);
+}
+
+TEST(StreamReader, ThrowsOnEmptyFastaRecord) {
+  std::istringstream in(">a\n>b\nACGT\n");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  EXPECT_THROW((void)reader.next(rec), ParseError);
+}
+
+TEST(StreamReader, HandlesCrlf) {
+  std::istringstream in(">a\r\nACGT\r\n");
+  SequenceStreamReader reader(in);
+  SequenceRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.bases, "ACGT");
+}
+
+}  // namespace
+}  // namespace jem::io

@@ -1,0 +1,71 @@
+#include "mpisim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::mpisim {
+namespace {
+
+TEST(NetworkModel, SingleRankCollectivesAreFree) {
+  NetworkModel model;
+  EXPECT_DOUBLE_EQ(model.allgatherv_s(1, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(model.barrier_s(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.reduce_s(1, 1024), 0.0);
+}
+
+TEST(NetworkModel, AllgathervGrowsWithVolume) {
+  NetworkModel model;
+  const double small = model.allgatherv_s(8, 1 << 10);
+  const double large = model.allgatherv_s(8, 1 << 24);
+  EXPECT_LT(small, large);
+}
+
+TEST(NetworkModel, AllgathervLatencyGrowsWithRanks) {
+  NetworkModel model;
+  model.sec_per_byte = 0.0;  // isolate the latency term
+  EXPECT_LT(model.allgatherv_s(2, 0), model.allgatherv_s(64, 0));
+  EXPECT_DOUBLE_EQ(model.allgatherv_s(2, 0), model.latency_s);
+  EXPECT_DOUBLE_EQ(model.allgatherv_s(5, 0), 4 * model.latency_s);
+}
+
+TEST(NetworkModel, AllgathervBandwidthTermMatchesRingFormula) {
+  NetworkModel model;
+  model.latency_s = 0.0;
+  const std::uint64_t bytes = 1'000'000;
+  // Ring: mu * V * (p-1)/p.
+  EXPECT_DOUBLE_EQ(model.allgatherv_s(4, bytes),
+                   model.sec_per_byte * 1e6 * 3.0 / 4.0);
+}
+
+TEST(NetworkModel, BarrierIsLogarithmic) {
+  NetworkModel model;
+  EXPECT_DOUBLE_EQ(model.barrier_s(2), model.latency_s);
+  EXPECT_DOUBLE_EQ(model.barrier_s(4), 2 * model.latency_s);
+  EXPECT_DOUBLE_EQ(model.barrier_s(64), 6 * model.latency_s);
+  EXPECT_DOUBLE_EQ(model.barrier_s(65), 7 * model.latency_s);
+}
+
+TEST(NetworkModel, ReduceChargesPerRound) {
+  NetworkModel model;
+  const std::uint64_t bytes = 4096;
+  const double expected =
+      3 * (model.latency_s + model.sec_per_byte * 4096.0);
+  EXPECT_DOUBLE_EQ(model.reduce_s(8, bytes), expected);
+}
+
+TEST(NetworkModel, P2pIsLatencyPlusBandwidth) {
+  NetworkModel model;
+  EXPECT_DOUBLE_EQ(model.p2p_s(0), model.latency_s);
+  EXPECT_DOUBLE_EQ(model.p2p_s(1 << 20),
+                   model.latency_s + model.sec_per_byte * (1 << 20));
+}
+
+TEST(NetworkModel, DefaultsAreTenGigabitClass) {
+  NetworkModel model;
+  // 1 GB transferred should take on the order of a second at 10 Gbps.
+  const double t = model.sec_per_byte * 1e9;
+  EXPECT_GT(t, 0.1);
+  EXPECT_LT(t, 10.0);
+}
+
+}  // namespace
+}  // namespace jem::mpisim

@@ -1,0 +1,112 @@
+#include "scaffold/link_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::scaffold {
+namespace {
+
+core::SegmentMapping make_mapping(io::SeqId read, core::ReadEnd end,
+                                  io::SeqId subject,
+                                  bool mapped = true) {
+  core::SegmentMapping mapping;
+  mapping.read = read;
+  mapping.end = end;
+  mapping.segment_length = 1000;
+  if (mapped) {
+    mapping.result.subject = subject;
+    mapping.result.votes = 10;
+  }
+  return mapping;
+}
+
+TEST(LinkGraph, StartsEmpty) {
+  LinkGraph graph;
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_TRUE(graph.links().empty());
+  EXPECT_EQ(graph.support(1, 2), 0u);
+  EXPECT_TRUE(graph.neighbours(0).empty());
+}
+
+TEST(LinkGraph, AccumulatesSupport) {
+  LinkGraph graph;
+  graph.add_link(1, 2);
+  graph.add_link(2, 1);  // unordered: same edge
+  graph.add_link(1, 2);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.support(1, 2), 3u);
+  EXPECT_EQ(graph.support(2, 1), 3u);
+}
+
+TEST(LinkGraph, IgnoresSelfLinks) {
+  LinkGraph graph;
+  graph.add_link(5, 5);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(LinkGraph, LinksFilterBySupport) {
+  LinkGraph graph;
+  graph.add_link(0, 1);
+  graph.add_link(0, 1);
+  graph.add_link(1, 2);
+  const auto strong = graph.links(2);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_EQ(strong[0].a, 0u);
+  EXPECT_EQ(strong[0].b, 1u);
+  EXPECT_EQ(strong[0].support, 2u);
+  EXPECT_EQ(graph.links(1).size(), 2u);
+}
+
+TEST(LinkGraph, NeighboursAreSortedAndFiltered) {
+  LinkGraph graph;
+  graph.add_link(5, 9);
+  graph.add_link(5, 2);
+  graph.add_link(5, 2);
+  const auto all = graph.neighbours(5, 1);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], 2u);
+  EXPECT_EQ(all[1], 9u);
+  const auto strong = graph.neighbours(5, 2);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_EQ(strong[0], 2u);
+  EXPECT_EQ(graph.degree(5, 2), 1u);
+}
+
+TEST(LinkGraph, FromMappingsPairsPrefixWithSuffix) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 1),
+      make_mapping(0, core::ReadEnd::kSuffix, 2),
+      make_mapping(1, core::ReadEnd::kPrefix, 2),
+      make_mapping(1, core::ReadEnd::kSuffix, 3),
+      make_mapping(2, core::ReadEnd::kPrefix, 1),
+      make_mapping(2, core::ReadEnd::kSuffix, 2),
+  };
+  const LinkGraph graph = LinkGraph::from_mappings(mappings);
+  EXPECT_EQ(graph.support(1, 2), 2u);
+  EXPECT_EQ(graph.support(2, 3), 1u);
+  EXPECT_EQ(graph.edge_count(), 2u);
+}
+
+TEST(LinkGraph, FromMappingsSkipsSameContigAndUnmapped) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 4),
+      make_mapping(0, core::ReadEnd::kSuffix, 4),  // same contig: no link
+      make_mapping(1, core::ReadEnd::kPrefix, 1),
+      make_mapping(1, core::ReadEnd::kSuffix, 0, /*mapped=*/false),
+  };
+  const LinkGraph graph = LinkGraph::from_mappings(mappings);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(LinkGraph, FromMappingsSkipsShortReadsWithOnlyPrefix) {
+  std::vector<core::SegmentMapping> mappings{
+      make_mapping(0, core::ReadEnd::kPrefix, 1),  // short read, no suffix
+      make_mapping(1, core::ReadEnd::kPrefix, 2),
+      make_mapping(1, core::ReadEnd::kSuffix, 3),
+  };
+  const LinkGraph graph = LinkGraph::from_mappings(mappings);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.support(2, 3), 1u);
+}
+
+}  // namespace
+}  // namespace jem::scaffold

@@ -1,0 +1,142 @@
+#include "scaffold/scaffolder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace jem::scaffold {
+namespace {
+
+/// Adds `support` copies of the link.
+void link(LinkGraph& graph, io::SeqId a, io::SeqId b,
+          std::uint64_t support = 2) {
+  for (std::uint64_t i = 0; i < support; ++i) graph.add_link(a, b);
+}
+
+/// Asserts the scaffold set is a partition of [0, n).
+void expect_partition(const ScaffoldSet& set, std::size_t n) {
+  std::set<io::SeqId> seen;
+  for (const Scaffold& scaffold : set.scaffolds) {
+    for (io::SeqId contig : scaffold.contigs) {
+      EXPECT_TRUE(seen.insert(contig).second) << "duplicate " << contig;
+      EXPECT_LT(contig, n);
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(Scaffolder, EmptyGraphYieldsSingletons) {
+  const LinkGraph graph;
+  const ScaffoldSet set = build_scaffolds(graph, 4);
+  EXPECT_EQ(set.scaffolds.size(), 4u);
+  EXPECT_EQ(set.multi_contig_count(), 0u);
+  expect_partition(set, 4);
+}
+
+TEST(Scaffolder, SimpleChainIsRecovered) {
+  LinkGraph graph;
+  link(graph, 0, 1);
+  link(graph, 1, 2);
+  link(graph, 2, 3);
+  const ScaffoldSet set = build_scaffolds(graph, 5);
+  expect_partition(set, 5);
+  EXPECT_EQ(set.largest(), 4u);
+  EXPECT_EQ(set.multi_contig_count(), 1u);
+
+  // The chain must appear in path order (either direction).
+  const auto it = std::find_if(
+      set.scaffolds.begin(), set.scaffolds.end(),
+      [](const Scaffold& s) { return s.size() == 4; });
+  ASSERT_NE(it, set.scaffolds.end());
+  const std::vector<io::SeqId> fwd{0, 1, 2, 3};
+  std::vector<io::SeqId> rev(fwd.rbegin(), fwd.rend());
+  EXPECT_TRUE(it->contigs == fwd || it->contigs == rev);
+}
+
+TEST(Scaffolder, WeakLinksAreIgnored) {
+  LinkGraph graph;
+  link(graph, 0, 1, 1);  // below min_support = 2
+  const ScaffoldSet set = build_scaffolds(graph, 2);
+  EXPECT_EQ(set.multi_contig_count(), 0u);
+  expect_partition(set, 2);
+}
+
+TEST(Scaffolder, BranchPointTerminatesChains) {
+  // Star: contig 0 linked to 1, 2, 3 — no chain may pass through 0.
+  LinkGraph graph;
+  link(graph, 0, 1);
+  link(graph, 0, 2);
+  link(graph, 0, 3);
+  const ScaffoldSet set = build_scaffolds(graph, 4);
+  expect_partition(set, 4);
+  EXPECT_EQ(set.largest(), 1u);  // everything singleton
+}
+
+TEST(Scaffolder, BranchInMiddleSplitsChain) {
+  // 0-1-2 and 2-3, 2-4, 2-5: contig 2 is branchy; chains 0-1 and singletons.
+  LinkGraph graph;
+  link(graph, 0, 1);
+  link(graph, 1, 2);
+  link(graph, 2, 3);
+  link(graph, 2, 4);
+  link(graph, 2, 5);
+  const ScaffoldSet set = build_scaffolds(graph, 6);
+  expect_partition(set, 6);
+  EXPECT_EQ(set.largest(), 2u);  // 0-1 survives; 2 blocks the rest
+}
+
+TEST(Scaffolder, CycleIsBrokenIntoOneChain) {
+  LinkGraph graph;
+  link(graph, 0, 1);
+  link(graph, 1, 2);
+  link(graph, 2, 0);
+  const ScaffoldSet set = build_scaffolds(graph, 3);
+  expect_partition(set, 3);
+  EXPECT_EQ(set.scaffolds.size(), 1u);
+  EXPECT_EQ(set.largest(), 3u);
+}
+
+TEST(Scaffolder, TwoIndependentChains) {
+  LinkGraph graph;
+  link(graph, 0, 1);
+  link(graph, 2, 3);
+  link(graph, 3, 4);
+  const ScaffoldSet set = build_scaffolds(graph, 5);
+  expect_partition(set, 5);
+  EXPECT_EQ(set.multi_contig_count(), 2u);
+  EXPECT_EQ(set.largest(), 3u);
+}
+
+TEST(Scaffolder, DeterministicOutput) {
+  LinkGraph graph;
+  link(graph, 4, 2);
+  link(graph, 2, 7);
+  link(graph, 7, 0);
+  const ScaffoldSet a = build_scaffolds(graph, 8);
+  const ScaffoldSet b = build_scaffolds(graph, 8);
+  ASSERT_EQ(a.scaffolds.size(), b.scaffolds.size());
+  for (std::size_t i = 0; i < a.scaffolds.size(); ++i) {
+    EXPECT_EQ(a.scaffolds[i].contigs, b.scaffolds[i].contigs);
+  }
+}
+
+TEST(ScaffoldSet, N50OverContigCounts) {
+  ScaffoldSet set;
+  set.scaffolds.push_back({{0, 1, 2, 3, 4}});   // 5
+  set.scaffolds.push_back({{5, 6, 7}});         // 3
+  set.scaffolds.push_back({{8}});               // 1
+  set.scaffolds.push_back({{9}});               // 1
+  // total 10; sorted sizes 5,3,1,1; cumulative 5 >= 5 -> N50 = 5.
+  EXPECT_EQ(set.n50_contigs(), 5u);
+  EXPECT_EQ(set.largest(), 5u);
+  EXPECT_EQ(set.multi_contig_count(), 2u);
+}
+
+TEST(ScaffoldSet, N50EmptyIsZero) {
+  ScaffoldSet set;
+  EXPECT_EQ(set.n50_contigs(), 0u);
+}
+
+}  // namespace
+}  // namespace jem::scaffold

@@ -1,0 +1,168 @@
+#include "sim/contigs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dna.hpp"
+#include "sim/genome.hpp"
+
+namespace jem::sim {
+namespace {
+
+std::string test_genome(std::uint64_t length, std::uint64_t seed) {
+  GenomeParams params;
+  params.length = length;
+  params.seed = seed;
+  return simulate_genome(params);
+}
+
+TEST(Interval, OverlapComputesIntersectionLength) {
+  EXPECT_EQ(overlap({0, 10}, {5, 15}), 5u);
+  EXPECT_EQ(overlap({5, 15}, {0, 10}), 5u);
+  EXPECT_EQ(overlap({0, 10}, {10, 20}), 0u);
+  EXPECT_EQ(overlap({0, 10}, {20, 30}), 0u);
+  EXPECT_EQ(overlap({0, 100}, {40, 60}), 20u);
+  EXPECT_EQ(overlap({3, 7}, {3, 7}), 4u);
+}
+
+TEST(ContigSimulator, TruthIntervalsAreSortedAndDisjoint) {
+  const std::string genome = test_genome(500'000, 11);
+  ContigSimParams params;
+  params.seed = 5;
+  const SimulatedContigs result = simulate_contigs(genome, params);
+  ASSERT_GT(result.contigs.size(), 10u);
+  for (std::size_t i = 1; i < result.truth.size(); ++i) {
+    EXPECT_LE(result.truth[i - 1].end, result.truth[i].begin);
+  }
+}
+
+TEST(ContigSimulator, ForwardContigsMatchGenomeSubstring) {
+  const std::string genome = test_genome(300'000, 12);
+  ContigSimParams params;
+  params.random_orientation = false;
+  params.seed = 6;
+  const SimulatedContigs result = simulate_contigs(genome, params);
+  for (io::SeqId id = 0; id < result.contigs.size(); ++id) {
+    const Interval& truth = result.truth[id];
+    EXPECT_EQ(result.contigs.bases(id),
+              std::string_view(genome).substr(truth.begin, truth.length()));
+  }
+}
+
+TEST(ContigSimulator, ReversedContigsAreReverseComplements) {
+  const std::string genome = test_genome(200'000, 13);
+  ContigSimParams params;
+  params.random_orientation = true;
+  params.seed = 7;
+  const SimulatedContigs result = simulate_contigs(genome, params);
+  bool any_reversed = false;
+  bool any_forward = false;
+  for (io::SeqId id = 0; id < result.contigs.size(); ++id) {
+    const Interval& truth = result.truth[id];
+    const std::string source(
+        std::string_view(genome).substr(truth.begin, truth.length()));
+    if (result.reversed[id]) {
+      any_reversed = true;
+      EXPECT_EQ(result.contigs.bases(id), core::reverse_complement(source));
+    } else {
+      any_forward = true;
+      EXPECT_EQ(result.contigs.bases(id), source);
+    }
+  }
+  EXPECT_TRUE(any_reversed);
+  EXPECT_TRUE(any_forward);
+}
+
+TEST(ContigSimulator, RespectsMinimumLength) {
+  const std::string genome = test_genome(400'000, 14);
+  ContigSimParams params;
+  params.min_length = 500;
+  params.seed = 8;
+  const SimulatedContigs result = simulate_contigs(genome, params);
+  for (io::SeqId id = 0; id < result.contigs.size(); ++id) {
+    EXPECT_GE(result.contigs.length(id), 500u);
+  }
+}
+
+TEST(ContigSimulator, HitsCoverageFractionApproximately) {
+  const std::string genome = test_genome(2'000'000, 15);
+  for (double fraction : {0.7, 0.92}) {
+    ContigSimParams params;
+    params.coverage_fraction = fraction;
+    params.seed = 9;
+    const SimulatedContigs result = simulate_contigs(genome, params);
+    const double covered =
+        static_cast<double>(result.contigs.total_bases()) /
+        static_cast<double>(genome.size());
+    EXPECT_NEAR(covered, fraction, 0.08) << "target " << fraction;
+  }
+}
+
+TEST(ContigSimulator, LengthDistributionNearTarget) {
+  const std::string genome = test_genome(5'000'000, 16);
+  ContigSimParams params;
+  params.mean_length = 3000;
+  params.sd_length = 4000;
+  params.seed = 10;
+  const SimulatedContigs result = simulate_contigs(genome, params);
+  const auto stats = result.contigs.length_stats();
+  // min-length clamping shifts the mean up slightly; generous tolerance.
+  EXPECT_NEAR(stats.mean, 3000, 900);
+  EXPECT_GT(stats.stddev, 1500);
+}
+
+TEST(ContigSimulator, ErrorRateMutatesBases) {
+  // Compare each noisy contig against its genome source span (substitutions
+  // only, so lengths match and a positional comparison measures the rate).
+  const std::string genome = test_genome(100'000, 17);
+  ContigSimParams noisy;
+  noisy.random_orientation = false;
+  noisy.error_rate = 0.05;
+  noisy.seed = 11;
+  const SimulatedContigs result = simulate_contigs(genome, noisy);
+  std::uint64_t mismatches = 0;
+  std::uint64_t total = 0;
+  for (io::SeqId id = 0; id < result.contigs.size(); ++id) {
+    const Interval& truth = result.truth[id];
+    const auto source =
+        std::string_view(genome).substr(truth.begin, truth.length());
+    const auto mutated = result.contigs.bases(id);
+    ASSERT_EQ(source.size(), mutated.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      ++total;
+      if (source[i] != mutated[i]) ++mismatches;
+    }
+  }
+  const double rate =
+      static_cast<double>(mismatches) / static_cast<double>(total);
+  EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST(ContigSimulator, RejectsBadInputs) {
+  EXPECT_THROW((void)simulate_contigs("", {}), std::invalid_argument);
+  const std::string genome = test_genome(10'000, 18);
+  ContigSimParams params;
+  params.coverage_fraction = 0.0;
+  EXPECT_THROW((void)simulate_contigs(genome, params), std::invalid_argument);
+  params.coverage_fraction = 1.5;
+  EXPECT_THROW((void)simulate_contigs(genome, params), std::invalid_argument);
+}
+
+TEST(LogNormalSpec, ReproducesMeanAndSd) {
+  const LogNormalSpec spec = lognormal_from_mean_sd(3000.0, 4000.0);
+  // Analytic inversion check: mean = exp(mu + sigma^2/2).
+  const double mean = std::exp(spec.mu + spec.sigma * spec.sigma / 2.0);
+  const double variance = (std::exp(spec.sigma * spec.sigma) - 1.0) *
+                          std::exp(2.0 * spec.mu + spec.sigma * spec.sigma);
+  EXPECT_NEAR(mean, 3000.0, 1.0);
+  EXPECT_NEAR(std::sqrt(variance), 4000.0, 1.0);
+}
+
+TEST(LogNormalSpec, RejectsNonPositive) {
+  EXPECT_THROW((void)lognormal_from_mean_sd(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)lognormal_from_mean_sd(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jem::sim

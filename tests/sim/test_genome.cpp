@@ -1,0 +1,97 @@
+#include "sim/genome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dna.hpp"
+#include "core/minimizer.hpp"
+
+namespace jem::sim {
+namespace {
+
+TEST(GenomeSimulator, ProducesRequestedLength) {
+  GenomeParams params;
+  params.length = 12'345;
+  params.seed = 1;
+  EXPECT_EQ(simulate_genome(params).size(), 12'345u);
+}
+
+TEST(GenomeSimulator, IsDeterministicInSeed) {
+  GenomeParams params;
+  params.length = 10'000;
+  params.seed = 42;
+  EXPECT_EQ(simulate_genome(params), simulate_genome(params));
+}
+
+TEST(GenomeSimulator, DiffersAcrossSeeds) {
+  GenomeParams a;
+  a.length = 10'000;
+  a.seed = 1;
+  GenomeParams b = a;
+  b.seed = 2;
+  EXPECT_NE(simulate_genome(a), simulate_genome(b));
+}
+
+TEST(GenomeSimulator, OutputIsPureAcgt) {
+  GenomeParams params;
+  params.length = 50'000;
+  params.repeat_fraction = 0.3;
+  EXPECT_TRUE(core::is_acgt(simulate_genome(params)));
+}
+
+TEST(GenomeSimulator, HitsTargetGcContent) {
+  for (double gc : {0.3, 0.5, 0.66}) {
+    GenomeParams params;
+    params.length = 200'000;
+    params.gc = gc;
+    params.seed = 7;
+    EXPECT_NEAR(core::gc_content(simulate_genome(params)), gc, 0.01)
+        << "gc=" << gc;
+  }
+}
+
+TEST(GenomeSimulator, RejectsBadParams) {
+  GenomeParams params;
+  params.length = 0;
+  EXPECT_THROW((void)simulate_genome(params), std::invalid_argument);
+  params = {};
+  params.gc = 0.0;
+  EXPECT_THROW((void)simulate_genome(params), std::invalid_argument);
+  params = {};
+  params.repeat_fraction = 1.0;
+  EXPECT_THROW((void)simulate_genome(params), std::invalid_argument);
+}
+
+TEST(GenomeSimulator, RepeatsReduceDistinctMinimizerDiversity) {
+  // A repeat-rich genome re-uses sequence, so the fraction of *distinct*
+  // minimizer k-mers is measurably lower than in a repeat-free genome.
+  const auto distinct_fraction = [](double repeat_fraction) {
+    GenomeParams params;
+    params.length = 300'000;
+    params.repeat_fraction = repeat_fraction;
+    params.repeat_unit_length = 3000;
+    params.repeat_families = 4;
+    params.seed = 99;
+    const std::string genome = simulate_genome(params);
+    const auto minimizers = core::minimizer_scan(genome, {16, 20});
+    std::vector<core::KmerCode> kmers;
+    for (const auto& m : minimizers) kmers.push_back(m.kmer);
+    std::sort(kmers.begin(), kmers.end());
+    kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+    return static_cast<double>(kmers.size()) /
+           static_cast<double>(minimizers.size());
+  };
+  EXPECT_GT(distinct_fraction(0.0), distinct_fraction(0.5) + 0.05);
+}
+
+TEST(GenomeSimulator, NoRepeatFamiliesWhenFractionZero) {
+  GenomeParams params;
+  params.length = 50'000;
+  params.repeat_fraction = 0.0;
+  params.seed = 3;
+  // Deterministic sanity: generating twice with/without the repeat stage
+  // disabled yields the same background.
+  EXPECT_EQ(simulate_genome(params), simulate_genome(params));
+}
+
+}  // namespace
+}  // namespace jem::sim

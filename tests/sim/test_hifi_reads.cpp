@@ -1,0 +1,180 @@
+#include "sim/hifi_reads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/banded.hpp"
+#include "core/dna.hpp"
+#include "sim/genome.hpp"
+
+namespace jem::sim {
+namespace {
+
+std::string test_genome(std::uint64_t length, std::uint64_t seed) {
+  GenomeParams params;
+  params.length = length;
+  params.seed = seed;
+  return simulate_genome(params);
+}
+
+TEST(HiFiSimulator, ReadCountMatchesCoverage) {
+  const std::string genome = test_genome(1'000'000, 21);
+  HiFiParams params;
+  params.coverage = 10.0;
+  params.seed = 1;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+  const double achieved = static_cast<double>(result.reads.total_bases()) /
+                          static_cast<double>(genome.size());
+  EXPECT_NEAR(achieved, 10.0, 1.0);
+}
+
+TEST(HiFiSimulator, LengthsFollowTargetDistribution) {
+  const std::string genome = test_genome(3'000'000, 22);
+  HiFiParams params;
+  params.coverage = 10.0;
+  params.mean_length = 10205;
+  params.sd_length = 3400;
+  params.seed = 2;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+  const auto stats = result.reads.length_stats();
+  EXPECT_NEAR(stats.mean, 10205, 600);
+  EXPECT_NEAR(stats.stddev, 3400, 700);  // clamping trims the tails a bit
+  // The clamp applies before the error model: deletions/insertions can move
+  // final lengths slightly past the bounds.
+  EXPECT_GE(stats.min + 50, params.min_length);
+  EXPECT_LE(stats.max, params.max_length + 50);
+}
+
+TEST(HiFiSimulator, TruthIntervalsAreWithinGenome) {
+  const std::string genome = test_genome(500'000, 23);
+  HiFiParams params;
+  params.seed = 3;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+  for (const ReadTruth& truth : result.truth) {
+    EXPECT_LT(truth.interval.begin, truth.interval.end);
+    EXPECT_LE(truth.interval.end, genome.size());
+  }
+}
+
+TEST(HiFiSimulator, ErrorFreeForwardReadsMatchGenome) {
+  const std::string genome = test_genome(200'000, 24);
+  HiFiParams params;
+  params.error_rate = 0.0;
+  params.seed = 4;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+  for (io::SeqId id = 0; id < result.reads.size(); ++id) {
+    const ReadTruth& truth = result.truth[id];
+    const std::string source(std::string_view(genome).substr(
+        truth.interval.begin, truth.interval.length()));
+    if (truth.reverse) {
+      EXPECT_EQ(result.reads.bases(id), core::reverse_complement(source));
+    } else {
+      EXPECT_EQ(result.reads.bases(id), source);
+    }
+  }
+}
+
+TEST(HiFiSimulator, BothStrandsAreSampled) {
+  const std::string genome = test_genome(500'000, 25);
+  HiFiParams params;
+  params.seed = 5;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+  std::size_t reverse_count = 0;
+  for (const ReadTruth& truth : result.truth) {
+    if (truth.reverse) ++reverse_count;
+  }
+  const double fraction = static_cast<double>(reverse_count) /
+                          static_cast<double>(result.truth.size());
+  EXPECT_NEAR(fraction, 0.5, 0.2);
+}
+
+TEST(HiFiSimulator, ErrorRateMatchesHiFiAccuracy) {
+  const std::string genome = test_genome(400'000, 26);
+  HiFiParams params;
+  params.error_rate = 0.001;
+  params.seed = 6;
+  const SimulatedReads result = simulate_hifi_reads(genome, params);
+
+  // Measure observed per-base divergence of a sample of reads against
+  // their source spans using exact edit distance.
+  std::uint64_t edits = 0;
+  std::uint64_t bases = 0;
+  const io::SeqId sample =
+      std::min<io::SeqId>(20, static_cast<io::SeqId>(result.reads.size()));
+  for (io::SeqId id = 0; id < sample; ++id) {
+    const ReadTruth& truth = result.truth[id];
+    std::string source(std::string_view(genome).substr(
+        truth.interval.begin, truth.interval.length()));
+    if (truth.reverse) source = core::reverse_complement(source);
+    edits += align::edit_distance(result.reads.bases(id), source);
+    bases += truth.interval.length();
+  }
+  const double rate = static_cast<double>(edits) / static_cast<double>(bases);
+  EXPECT_LT(rate, 0.004);  // ~99.9 % accurate
+  EXPECT_GT(rate, 0.0001);
+}
+
+TEST(HiFiSimulator, IsDeterministicInSeed) {
+  const std::string genome = test_genome(100'000, 27);
+  HiFiParams params;
+  params.seed = 7;
+  const SimulatedReads a = simulate_hifi_reads(genome, params);
+  const SimulatedReads b = simulate_hifi_reads(genome, params);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (io::SeqId id = 0; id < a.reads.size(); ++id) {
+    EXPECT_EQ(a.reads.bases(id), b.reads.bases(id));
+  }
+}
+
+TEST(HiFiSimulator, RejectsBadParams) {
+  const std::string genome = test_genome(10'000, 28);
+  HiFiParams params;
+  params.coverage = 0.0;
+  EXPECT_THROW((void)simulate_hifi_reads(genome, params),
+               std::invalid_argument);
+  params = {};
+  params.mismatch_fraction = 0.8;
+  params.insertion_fraction = 0.8;
+  EXPECT_THROW((void)simulate_hifi_reads(genome, params),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_hifi_reads("", {}), std::invalid_argument);
+}
+
+TEST(ApplyHifiErrors, ZeroRateIsIdentity) {
+  HiFiParams params;
+  params.error_rate = 0.0;
+  EXPECT_EQ(apply_hifi_errors("ACGTACGT", params, 1), "ACGTACGT");
+}
+
+TEST(ApplyHifiErrors, MutatesAtApproximatelyTheGivenRate) {
+  HiFiParams params;
+  params.error_rate = 0.01;
+  std::string seq(100'000, 'A');
+  const std::string mutated = apply_hifi_errors(seq, params, 2);
+  const std::uint64_t edits = align::edit_distance(seq, mutated);
+  EXPECT_NEAR(static_cast<double>(edits) / 1e5, 0.01, 0.004);
+}
+
+TEST(ApplyHifiErrors, PureDeletionModelShortensSequence) {
+  HiFiParams params;
+  params.error_rate = 0.1;
+  params.mismatch_fraction = 0.0;
+  params.insertion_fraction = 0.0;  // all errors are deletions
+  const std::string seq(10'000, 'C');
+  const std::string mutated = apply_hifi_errors(seq, params, 3);
+  EXPECT_LT(mutated.size(), seq.size());
+  EXPECT_NEAR(static_cast<double>(mutated.size()), 9000.0, 300.0);
+}
+
+TEST(ApplyHifiErrors, PureInsertionModelLengthensSequence) {
+  HiFiParams params;
+  params.error_rate = 0.1;
+  params.mismatch_fraction = 0.0;
+  params.insertion_fraction = 1.0;
+  const std::string seq(10'000, 'G');
+  const std::string mutated = apply_hifi_errors(seq, params, 4);
+  EXPECT_GT(mutated.size(), seq.size());
+  EXPECT_NEAR(static_cast<double>(mutated.size()), 11000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace jem::sim

@@ -1,0 +1,86 @@
+#include "sim/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::sim {
+namespace {
+
+TEST(Presets, HasAllEightTable1Rows) {
+  const auto& presets = table1_presets();
+  ASSERT_EQ(presets.size(), 8u);
+  EXPECT_EQ(presets[0].name, "E. coli");
+  EXPECT_EQ(presets[6].name, "B. splendens");
+  EXPECT_TRUE(presets[7].real_data);  // O. sativa row
+}
+
+TEST(Presets, GenomeLengthsMatchTable1) {
+  EXPECT_EQ(preset_by_name("E. coli").genome_length, 4'641'652u);
+  EXPECT_EQ(preset_by_name("B. splendens").genome_length, 339'050'970u);
+  EXPECT_EQ(preset_by_name("Human chr 7").genome_length, 159'345'973u);
+}
+
+TEST(Presets, LookupThrowsOnUnknownName) {
+  EXPECT_THROW((void)preset_by_name("Z. fictional"), std::invalid_argument);
+}
+
+TEST(Presets, EukaryotesHaveMoreRepeatsThanBacteria) {
+  EXPECT_LT(preset_by_name("E. coli").repeat_fraction,
+            preset_by_name("Human chr 7").repeat_fraction);
+  EXPECT_LT(preset_by_name("P. aeruginosa").repeat_fraction,
+            preset_by_name("C. elegans").repeat_fraction);
+}
+
+TEST(GenerateDataset, ScalesGenomeLength) {
+  const auto& preset = preset_by_name("E. coli");
+  const Dataset dataset = generate_dataset(preset, 0.05, 1);
+  EXPECT_NEAR(static_cast<double>(dataset.genome.size()),
+              0.05 * static_cast<double>(preset.genome_length), 1000.0);
+}
+
+TEST(GenerateDataset, PreservesDensitiesUnderScaling) {
+  const auto& preset = preset_by_name("C. elegans");
+  const Dataset dataset = generate_dataset(preset, 0.01, 2);
+  // Read coverage ~ preset.read_coverage regardless of scale.
+  const double coverage =
+      static_cast<double>(dataset.reads.reads.total_bases()) /
+      static_cast<double>(dataset.genome.size());
+  EXPECT_NEAR(coverage, preset.read_coverage, 2.0);
+  // Subject coverage fraction similar to Table I.
+  const double subject_fraction =
+      static_cast<double>(dataset.contigs.contigs.total_bases()) /
+      static_cast<double>(dataset.genome.size());
+  EXPECT_NEAR(subject_fraction, preset.subject_coverage, 0.12);
+}
+
+TEST(GenerateDataset, IsDeterministic) {
+  const auto& preset = preset_by_name("E. coli");
+  const Dataset a = generate_dataset(preset, 0.02, 77);
+  const Dataset b = generate_dataset(preset, 0.02, 77);
+  EXPECT_EQ(a.genome, b.genome);
+  ASSERT_EQ(a.reads.reads.size(), b.reads.reads.size());
+  ASSERT_EQ(a.contigs.contigs.size(), b.contigs.contigs.size());
+}
+
+TEST(GenerateDataset, RejectsBadScale) {
+  const auto& preset = preset_by_name("E. coli");
+  EXPECT_THROW((void)generate_dataset(preset, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)generate_dataset(preset, 1.5, 1), std::invalid_argument);
+}
+
+TEST(GenerateDataset, EnforcesMinimumGenomeSize) {
+  // A tiny scale of a small genome still yields a usable genome.
+  const auto& preset = preset_by_name("E. coli");
+  const Dataset dataset = generate_dataset(preset, 0.0001, 3);
+  EXPECT_GE(dataset.genome.size(), 50'000u);
+}
+
+TEST(GenerateDataset, ContigTruthAlignsWithContigSet) {
+  const auto& preset = preset_by_name("P. aeruginosa");
+  const Dataset dataset = generate_dataset(preset, 0.02, 4);
+  EXPECT_EQ(dataset.contigs.contigs.size(), dataset.contigs.truth.size());
+  EXPECT_EQ(dataset.contigs.contigs.size(), dataset.contigs.reversed.size());
+  EXPECT_EQ(dataset.reads.reads.size(), dataset.reads.truth.size());
+}
+
+}  // namespace
+}  // namespace jem::sim

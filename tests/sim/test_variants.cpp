@@ -1,0 +1,142 @@
+#include "sim/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dna.hpp"
+#include "sim/genome.hpp"
+
+namespace jem::sim {
+namespace {
+
+std::string test_genome(std::uint64_t length, std::uint64_t seed) {
+  GenomeParams params;
+  params.length = length;
+  params.seed = seed;
+  return simulate_genome(params);
+}
+
+TEST(Variants, IsDeterministicInSeed) {
+  const std::string genome = test_genome(200'000, 31);
+  VariantParams params;
+  params.seed = 1;
+  const DonorGenome a = apply_structural_variants(genome, params);
+  const DonorGenome b = apply_structural_variants(genome, params);
+  EXPECT_EQ(a.genome, b.genome);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Variants, EventsAreSortedAndNonOverlapping) {
+  const std::string genome = test_genome(500'000, 32);
+  VariantParams params;
+  params.events_per_mbp = 100;
+  params.seed = 2;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  ASSERT_GT(donor.events.size(), 10u);
+  for (std::size_t i = 1; i < donor.events.size(); ++i) {
+    EXPECT_GE(donor.events[i].position,
+              donor.events[i - 1].position + donor.events[i - 1].length);
+  }
+}
+
+TEST(Variants, EventCountTracksRate) {
+  const std::string genome = test_genome(1'000'000, 33);
+  VariantParams params;
+  params.events_per_mbp = 50;
+  params.seed = 3;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  EXPECT_NEAR(static_cast<double>(donor.events.size()), 50.0, 5.0);
+}
+
+TEST(Variants, PureDeletionsShrinkTheGenome) {
+  const std::string genome = test_genome(300'000, 34);
+  VariantParams params;
+  params.deletion_fraction = 1.0;
+  params.insertion_fraction = 0.0;
+  params.events_per_mbp = 100;
+  params.seed = 4;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  std::uint64_t deleted = 0;
+  for (const VariantEvent& event : donor.events) {
+    EXPECT_EQ(event.type, VariantType::kDeletion);
+    deleted += event.length;
+  }
+  EXPECT_EQ(donor.genome.size(), genome.size() - deleted);
+}
+
+TEST(Variants, PureInsertionsGrowTheGenome) {
+  const std::string genome = test_genome(300'000, 35);
+  VariantParams params;
+  params.deletion_fraction = 0.0;
+  params.insertion_fraction = 1.0;
+  params.events_per_mbp = 100;
+  params.seed = 5;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  std::uint64_t inserted = 0;
+  for (const VariantEvent& event : donor.events) {
+    EXPECT_EQ(event.type, VariantType::kInsertion);
+    inserted += event.length;
+  }
+  EXPECT_EQ(donor.genome.size(), genome.size() + inserted);
+}
+
+TEST(Variants, PureInversionsPreserveLengthAndInvertSpans) {
+  const std::string genome = test_genome(300'000, 36);
+  VariantParams params;
+  params.deletion_fraction = 0.0;
+  params.insertion_fraction = 0.0;  // all inversions
+  params.events_per_mbp = 60;
+  params.seed = 6;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  ASSERT_EQ(donor.genome.size(), genome.size());
+
+  // With inversions only, original and donor coordinates coincide: each
+  // event span must equal the reverse complement of the source span, and
+  // everything outside events must be untouched.
+  std::uint64_t cursor = 0;
+  for (const VariantEvent& event : donor.events) {
+    EXPECT_EQ(donor.genome.substr(cursor, event.position - cursor),
+              genome.substr(cursor, event.position - cursor));
+    EXPECT_EQ(donor.genome.substr(event.position, event.length),
+              core::reverse_complement(std::string_view(genome).substr(
+                  event.position, event.length)));
+    cursor = event.position + event.length;
+  }
+  EXPECT_EQ(donor.genome.substr(cursor), genome.substr(cursor));
+}
+
+TEST(Variants, LengthBoundsAreRespected) {
+  const std::string genome = test_genome(500'000, 37);
+  VariantParams params;
+  params.min_length = 100;
+  params.max_length = 400;
+  params.events_per_mbp = 80;
+  params.seed = 7;
+  const DonorGenome donor = apply_structural_variants(genome, params);
+  for (const VariantEvent& event : donor.events) {
+    EXPECT_GE(event.length, 100u);
+    EXPECT_LE(event.length, 400u);
+  }
+}
+
+TEST(Variants, RejectsBadParams) {
+  const std::string genome = test_genome(10'000, 38);
+  EXPECT_THROW((void)apply_structural_variants("", {}),
+               std::invalid_argument);
+  VariantParams params;
+  params.deletion_fraction = 0.8;
+  params.insertion_fraction = 0.5;
+  EXPECT_THROW((void)apply_structural_variants(genome, params),
+               std::invalid_argument);
+  params = {};
+  params.min_length = 0;
+  EXPECT_THROW((void)apply_structural_variants(genome, params),
+               std::invalid_argument);
+  params = {};
+  params.min_length = 10;
+  params.max_length = 5;
+  EXPECT_THROW((void)apply_structural_variants(genome, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jem::sim

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Log::level();
+    Log::set_level(LogLevel::kDebug);
+    (void)Log::begin_capture();
+  }
+  void TearDown() override {
+    (void)Log::end_capture();
+    Log::set_level(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, CapturesMessagesWithLevelTags) {
+  log_info() << "hello " << 42;
+  const std::string captured = Log::end_capture();
+  EXPECT_NE(captured.find("[info ] hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, FiltersBelowThreshold) {
+  Log::set_level(LogLevel::kWarn);
+  log_debug() << "quiet";
+  log_info() << "also quiet";
+  log_warn() << "loud";
+  const std::string captured = Log::end_capture();
+  EXPECT_EQ(captured.find("quiet"), std::string::npos);
+  EXPECT_NE(captured.find("loud"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysPassesDefaultLevels) {
+  Log::set_level(LogLevel::kError);
+  log_error() << "bad";
+  const std::string captured = Log::end_capture();
+  EXPECT_NE(captured.find("[error] bad"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  log_error() << "nothing";
+  const std::string captured = Log::end_capture();
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LogTest, ChainsMultipleValues) {
+  log_info() << "a=" << 1 << " b=" << 2.5 << " c=" << 'x';
+  const std::string captured = Log::end_capture();
+  EXPECT_NE(captured.find("a=1 b=2.5 c=x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jem::util

@@ -1,0 +1,77 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jem::util {
+namespace {
+
+TEST(Split, SplitsOnDelimiter) {
+  const auto parts = split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWhenNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, MatchesPrefixes) {
+  EXPECT_TRUE(starts_with("contig_12", "contig_"));
+  EXPECT_FALSE(starts_with("con", "contig_"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(4641652), "4,641,652");
+  EXPECT_EQ(with_commas(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(Fixed, RendersFixedPointDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(99.315, 1), "99.3");
+  EXPECT_EQ(fixed(0.0, 3), "0.000");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(HumanBp, PicksScaleUnits) {
+  EXPECT_EQ(human_bp(512), "512 bp");
+  EXPECT_EQ(human_bp(12388), "12.39 Kbp");
+  EXPECT_EQ(human_bp(4641652), "4.64 Mbp");
+  EXPECT_EQ(human_bp(4371221619ULL), "4.37 Gbp");
+}
+
+TEST(ToUpper, UppercasesAscii) {
+  EXPECT_EQ(to_upper("acgtN"), "ACGTN");
+  EXPECT_EQ(to_upper(""), "");
+  EXPECT_EQ(to_upper("AcGt123"), "ACGT123");
+}
+
+}  // namespace
+}  // namespace jem::util

@@ -1,0 +1,59 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace jem::util {
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotonic) {
+  WallTimer timer;
+  const double t1 = timer.elapsed_s();
+  const double t2 = timer.elapsed_s();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimer, MeasuresSleepsApproximately) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.elapsed_ms(), 15.0);
+}
+
+TEST(WallTimer, StartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.start();
+  EXPECT_LT(timer.elapsed_ms(), 10.0);
+}
+
+TEST(ScopedAccumulator, AddsElapsedOnDestruction) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator acc(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, 0.0);
+  const double first = sink;
+  {
+    ScopedAccumulator acc(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, first);  // accumulates, not overwrites
+}
+
+TEST(Timed, ReturnsResultAndDuration) {
+  const auto [value, seconds] = timed([] { return 41 + 1; });
+  EXPECT_EQ(value, 42);
+  EXPECT_GE(seconds, 0.0);
+}
+
+TEST(TimeVoid, ReturnsDuration) {
+  const double seconds = time_void(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  EXPECT_GT(seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace jem::util
