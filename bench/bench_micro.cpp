@@ -16,6 +16,7 @@
 #include "io/packed_sequence_set.hpp"
 #include "mpisim/communicator.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -175,6 +176,76 @@ void BM_MapSegment(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MapSegment);
+
+// Whole-set mapping: the deprecated ThreadPool entry point vs the engine's
+// batched pool backend on the same input. The engine's dynamic batch
+// scheduling should match or beat the old static block partitioning.
+struct EngineBenchData {
+  io::SequenceSet subjects;
+  io::SequenceSet reads;
+};
+
+const EngineBenchData& engine_bench_data() {
+  static const EngineBenchData data = [] {
+    EngineBenchData d;
+    const std::string genome = random_dna(21, 400'000);
+    for (int i = 0; i < 40; ++i) {
+      d.subjects.add(
+          "c" + std::to_string(i),
+          genome.substr(static_cast<std::size_t>(i) * 10'000, 10'000));
+    }
+    util::Xoshiro256ss rng(22);
+    for (int r = 0; r < 96; ++r) {
+      const std::size_t length = 4000 + rng.bounded(8000);
+      const std::size_t start = rng.bounded(genome.size() - length);
+      d.reads.add("r" + std::to_string(r), genome.substr(start, length));
+    }
+    return d;
+  }();
+  return data;
+}
+
+void BM_MapReadsParallel(benchmark::State& state) {
+  const EngineBenchData& data = engine_bench_data();
+  core::MapParams params;
+  params.seed = 23;
+  const core::JemMapper mapper(data.subjects, params);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::int64_t mapped = 0;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (auto _ : state) {
+    const auto mappings = mapper.map_reads_parallel(data.reads, pool);
+    mapped = static_cast<std::int64_t>(mappings.size());
+    benchmark::DoNotOptimize(mapped);
+  }
+#pragma GCC diagnostic pop
+  state.SetItemsProcessed(state.iterations() * mapped);
+}
+BENCHMARK(BM_MapReadsParallel)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_EngineMapReads(benchmark::State& state) {
+  const EngineBenchData& data = engine_bench_data();
+  const core::MapParams params = core::MapParams::make().seed(23).build();
+  const core::MappingEngine engine(data.subjects, params);
+  core::MapRequest request;
+  request.backend = core::MapBackend::kPool;
+  request.threads = static_cast<std::size_t>(state.range(0));
+  std::int64_t mapped = 0;
+  for (auto _ : state) {
+    const core::MapReport report = engine.run(data.reads, request);
+    mapped = static_cast<std::int64_t>(report.mappings.size());
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.SetItemsProcessed(state.iterations() * mapped);
+}
+BENCHMARK(BM_EngineMapReads)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_MashmapMapSegment(benchmark::State& state) {
   const std::string genome = random_dna(12, 200'000);

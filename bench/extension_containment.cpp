@@ -104,8 +104,11 @@ int main(int argc, const char** argv) {
                          "contained recall %", "segments", "map s"});
   for (const bool tiled : {false, true}) {
     util::WallTimer timer;
-    const auto mappings = tiled ? mapper.map_reads_tiled(reads.reads)
-                                : mapper.map_reads(reads.reads);
+    const auto mappings =
+        tiled ? mapper.map_reads_tiled(
+                    reads.reads, 0,
+                    static_cast<io::SeqId>(reads.reads.size()))
+              : mapper.map_reads(reads.reads);
     const double map_s = timer.elapsed_s();
     const auto found = recovered_pairs(mappings);
     const std::uint64_t in_bench = count_in(found, all_pairs);

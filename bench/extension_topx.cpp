@@ -39,7 +39,9 @@ int main(int argc, const char** argv) {
                                params.segment_length,
                                static_cast<std::uint32_t>(params.k));
 
-    const auto topx = mapper.map_reads_topx(dataset.reads.reads, 5);
+    const auto topx = mapper.map_reads_topx(
+        dataset.reads.reads, 5, 0,
+        static_cast<io::SeqId>(dataset.reads.reads.size()));
     std::vector<std::string> row{name};
     for (std::size_t x : {1u, 2u, 3u, 5u}) {
       // Truncate the candidate lists to x and evaluate.

@@ -11,7 +11,9 @@
 // writes both the inputs and the mapping under --output-dir.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <optional>
+#include <sstream>
 
 #include "core/jem.hpp"
 #include "io/gzip.hpp"
@@ -69,7 +71,7 @@ int main(int argc, const char** argv) {
                    "segments (finds contigs inside read interiors)");
   options.add_uint("batch", batch,
                    "stream queries in batches of N reads (constant memory; "
-                   "sequential mapping only)");
+                   "combine with --threads for the pipelined pool)");
   options.add_string("save-index", save_index,
                      "write the subject sketch table to this file");
   options.add_string("load-index", load_index,
@@ -117,17 +119,26 @@ int main(int argc, const char** argv) {
     return 1;
   }
 
-  core::MapParams params;
-  params.k = static_cast<int>(k);
-  params.w = static_cast<int>(w);
-  params.trials = static_cast<int>(trials);
-  params.segment_length = static_cast<std::uint32_t>(segment);
-  params.seed = seed;
-
+  core::MinimizerOrdering ordering = core::MinimizerOrdering::kLexicographic;
   if (ordering_name == "hash") {
-    params.ordering = core::MinimizerOrdering::kRandomHash;
+    ordering = core::MinimizerOrdering::kRandomHash;
   } else if (ordering_name != "lex") {
     std::cerr << "error: unknown --ordering '" << ordering_name << "'\n";
+    return 1;
+  }
+
+  core::MapParams params;
+  try {
+    params = core::MapParams::make()
+                 .k(static_cast<int>(k))
+                 .window(static_cast<int>(w))
+                 .trials(static_cast<int>(trials))
+                 .segment_length(static_cast<std::uint32_t>(segment))
+                 .seed(seed)
+                 .ordering(ordering)
+                 .build();
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << '\n';
     return 1;
   }
 
@@ -159,18 +170,18 @@ int main(int argc, const char** argv) {
                      << result.report.total_s() << " s, allgather "
                      << result.report.allgather_s << " s";
   } else {
-    std::optional<core::JemMapper> mapper;
+    std::optional<core::MappingEngine> engine;
     if (!load_index.empty()) {
       std::ifstream index_in(load_index, std::ios::binary);
       if (!index_in) {
         std::cerr << "error: cannot open index " << load_index << '\n';
         return 1;
       }
-      mapper.emplace(subjects, params, scheme,
+      engine.emplace(subjects, params, scheme,
                      core::SketchTable::load(index_in));
       util::log_info() << "loaded sketch table from " << load_index;
     } else {
-      mapper.emplace(subjects, params, scheme);
+      engine.emplace(subjects, params, scheme);
     }
     if (!save_index.empty()) {
       std::ofstream index_out(save_index, std::ios::binary);
@@ -178,36 +189,53 @@ int main(int argc, const char** argv) {
         std::cerr << "error: cannot write index " << save_index << '\n';
         return 1;
       }
-      mapper->table().save(index_out);
+      engine->mapper().table().save(index_out);
       util::log_info() << "saved sketch table to " << save_index;
     }
 
-    if (batch > 0 && !demo) {
-      // Streaming mode: constant memory in the query set.
-      std::istringstream stream(io::read_file_auto(queries_path));
-      io::SequenceStreamReader reader(stream);
-      while (true) {
-        const io::SequenceSet chunk = reader.next_batch(batch);
-        if (chunk.empty()) break;
-        const auto mappings = tiled ? mapper->map_reads_tiled(chunk)
-                                    : mapper->map_reads(chunk);
-        const auto chunk_lines = mapper->to_mapping_lines(chunk, mappings);
-        lines.insert(lines.end(), chunk_lines.begin(), chunk_lines.end());
-      }
-      util::log_info() << "streamed " << reader.records_read()
-                       << " reads in batches of " << batch;
-    } else {
-      std::vector<core::SegmentMapping> mappings;
-      if (tiled) {
-        mappings = mapper->map_reads_tiled(reads);
-      } else if (threads > 1) {
-        util::ThreadPool pool(threads);
-        mappings = mapper->map_reads_parallel(reads, pool);
+    core::MapRequest request;
+    request.mode = tiled ? core::MapMode::kTiled : core::MapMode::kEnds;
+    request.backend =
+        threads > 1 ? core::MapBackend::kPool : core::MapBackend::kSerial;
+    request.threads = threads;
+    request.batch_size = batch;
+
+    core::EngineStats stats;
+    try {
+      if (batch > 0 && !demo) {
+        // Streaming mode: constant memory in the query set. The engine
+        // reads batches on this thread and maps them on the pool behind a
+        // bounded queue, emitting results in input order. Parsing happens
+        // lazily here, so parse errors surface from run_stream.
+        std::istringstream stream(io::read_file_auto(queries_path));
+        io::BatchStream batches(stream, batch);
+        const core::JemMapper& mapper = engine->mapper();
+        stats = engine->run_stream(
+            batches, request,
+            [&](const core::MappingEngine::BatchResult& result) {
+              auto chunk_lines =
+                  mapper.to_mapping_lines(result.batch.reads, result.mappings);
+              lines.insert(lines.end(),
+                           std::make_move_iterator(chunk_lines.begin()),
+                           std::make_move_iterator(chunk_lines.end()));
+            });
+        util::log_info() << "streamed " << stats.reads
+                         << " reads in batches of " << batch;
       } else {
-        mappings = mapper->map_reads(reads);
+        core::MapReport report = engine->run(reads, request);
+        lines = engine->mapper().to_mapping_lines(reads, report.mappings);
+        stats = report.stats;
       }
-      lines = mapper->to_mapping_lines(reads, mappings);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 1;
     }
+    util::log_info() << "engine: " << stats.batches << " batches, "
+                     << stats.segments << " segments, "
+                     << static_cast<std::uint64_t>(stats.segments_per_s())
+                     << " segments/s (read " << stats.read_s << " s, map "
+                     << stats.map_s << " s, emit " << stats.emit_s
+                     << " s, queue-wait " << stats.queue_wait_s << " s)";
   }
   util::log_info() << "mapped " << lines.size() << " end segments in "
                    << timer.elapsed_s() << " s";

@@ -60,8 +60,7 @@ int main(int argc, const char** argv) {
             << util::human_bp(reads.reads.total_bases()) << ")\n\n";
 
   // --- 2. Build the mapper (paper defaults: k=16, w=100, T=30, l=1000) --
-  core::MapParams params;
-  params.seed = seed;
+  const core::MapParams params = core::MapParams::make().seed(seed).build();
   const core::JemMapper mapper(contigs.contigs, params);
   std::cout << "sketch table: " << mapper.table().size() << " entries across "
             << params.trials << " trials\n\n";

@@ -8,6 +8,23 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Deprecation guard: the deprecated map_reads_* entry points must not be
+# used inside src/ (the -Werror build catches direct use; this catches
+# anyone silencing the warning instead of migrating to MappingEngine).
+if grep -rn "deprecated-declarations" src/; then
+  echo "error: deprecation-warning suppression found in src/" >&2
+  exit 1
+fi
+
+# Engine concurrency tests under ThreadSanitizer: the bounded queue and the
+# streaming pipeline are the only lock-based concurrency in the library.
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
+cmake --build build-tsan --target test_engine
+ctest --test-dir build-tsan --output-on-failure -R 'Engine|BoundedQueue'
+
 for b in build/bench/*; do
   if [[ -x "$b" ]]; then
     echo "== $b =="

@@ -70,11 +70,13 @@ struct DistributedStepReport {
   [[nodiscard]] double compute_s() const noexcept {
     return total_s() - allgather_s;
   }
-  /// Query throughput (segments mapped per second of S4 time), Fig 7b.
+  /// Query throughput in segments per second of S4 (map_queries) time only
+  /// — communication and sketching are excluded (Fig 7b). Returns 0 when
+  /// nothing was mapped or S4 was not timed, so empty or unmeasured runs
+  /// cannot report a bogus rate.
   [[nodiscard]] double query_throughput() const noexcept {
-    return map_queries_s > 0.0
-               ? static_cast<double>(queries_mapped) / map_queries_s
-               : 0.0;
+    if (queries_mapped == 0 || map_queries_s <= 0.0) return 0.0;
+    return static_cast<double>(queries_mapped) / map_queries_s;
   }
 };
 

@@ -1,0 +1,402 @@
+#include "core/engine.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/bounded_queue.hpp"
+#include "util/timer.hpp"
+
+namespace jem::core {
+
+void MapRequest::validate() const {
+  if (queue_depth == 0) {
+    throw std::invalid_argument("MapRequest: queue_depth must be >= 1");
+  }
+  if (min_votes && *min_votes < 1) {
+    throw std::invalid_argument("MapRequest: min_votes must be >= 1");
+  }
+}
+
+namespace {
+
+std::size_t default_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t effective_batch_size(const MapRequest& request, std::size_t n,
+                                 std::size_t threads) {
+  if (request.batch_size > 0) return request.batch_size;
+  if (request.backend == MapBackend::kSerial) {
+    return std::max<std::size_t>(n, 1);
+  }
+  // Auto: ~4 batches per worker — load balance without per-read task
+  // overhead.
+  const std::size_t chunks = std::max<std::size_t>(1, threads * 4);
+  return std::max<std::size_t>(1, (n + chunks - 1) / chunks);
+}
+
+void check_min_votes(const MapRequest& request, const MapParams& params) {
+  if (request.min_votes && *request.min_votes < params.min_votes) {
+    throw std::invalid_argument(
+        "MapRequest: min_votes override below MapParams::min_votes");
+  }
+}
+
+void apply_min_votes(std::uint32_t threshold,
+                     std::vector<SegmentMapping>& mappings) {
+  for (SegmentMapping& mapping : mappings) {
+    if (mapping.result.mapped() && mapping.result.votes < threshold) {
+      mapping.result = MapResult{};
+    }
+  }
+}
+
+void apply_min_votes(std::uint32_t threshold,
+                     std::vector<SegmentTopX>& topx) {
+  // Hits are sorted by votes descending: the filtered tail is a suffix.
+  for (SegmentTopX& mapping : topx) {
+    while (!mapping.hits.empty() && mapping.hits.back().votes < threshold) {
+      mapping.hits.pop_back();
+    }
+  }
+}
+
+struct BatchOutput {
+  std::vector<SegmentMapping> mappings;
+  std::vector<SegmentTopX> topx;
+};
+
+/// The per-batch kernel every backend shares: sequential mapping of reads
+/// [begin, end) in the requested mode, min_votes override applied.
+BatchOutput map_range(const JemMapper& mapper, const io::SequenceSet& reads,
+                      io::SeqId begin, io::SeqId end,
+                      const MapRequest& request, MapScratch& scratch) {
+  BatchOutput out;
+  switch (request.mode) {
+    case MapMode::kEnds:
+      out.mappings = mapper.map_reads(reads, begin, end, scratch);
+      break;
+    case MapMode::kTiled:
+      out.mappings = mapper.map_reads_tiled(reads, begin, end, scratch);
+      break;
+    case MapMode::kTopX:
+      out.topx =
+          mapper.map_reads_topx(reads, request.top_x, begin, end, scratch);
+      break;
+  }
+  if (request.min_votes) {
+    apply_min_votes(*request.min_votes, out.mappings);
+    apply_min_votes(*request.min_votes, out.topx);
+  }
+  return out;
+}
+
+/// Recycles MapScratch instances across pool tasks so the kPool backend
+/// allocates one scratch per worker, not one per batch.
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::size_t num_subjects)
+      : num_subjects_(num_subjects) {}
+
+  [[nodiscard]] std::unique_ptr<MapScratch> acquire() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<MapScratch> scratch = std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<MapScratch>(num_subjects_);
+  }
+
+  void release(std::unique_ptr<MapScratch> scratch) {
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  std::size_t num_subjects_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<MapScratch>> free_;
+};
+
+}  // namespace
+
+namespace detail {
+
+MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
+                      const MapRequest& request,
+                      util::ThreadPool* external_pool) {
+  request.validate();
+  check_min_votes(request, mapper.params());
+
+  const util::WallTimer wall;
+  MapReport report;
+
+  const std::size_t n = reads.size();
+  std::size_t threads = external_pool ? external_pool->size()
+                                      : default_threads(request.threads);
+#ifdef _OPENMP
+  if (request.backend == MapBackend::kOpenMP && request.threads == 0) {
+    threads = static_cast<std::size_t>(omp_get_max_threads());
+  }
+#endif
+  const std::size_t batch = effective_batch_size(request, n, threads);
+  const std::size_t num_batches = n == 0 ? 0 : (n + batch - 1) / batch;
+
+  std::vector<BatchOutput> outputs(num_batches);
+  std::atomic<std::uint64_t> map_ns{0};
+
+  const auto run_batch = [&](std::size_t b, MapScratch& scratch) {
+    const util::WallTimer timer;
+    const auto begin = static_cast<io::SeqId>(b * batch);
+    const auto end = static_cast<io::SeqId>(std::min(n, (b + 1) * batch));
+    outputs[b] = map_range(mapper, reads, begin, end, request, scratch);
+    map_ns += timer.elapsed_ns();
+  };
+
+  switch (request.backend) {
+    case MapBackend::kSerial: {
+      MapScratch scratch(mapper.subjects().size());
+      for (std::size_t b = 0; b < num_batches; ++b) run_batch(b, scratch);
+      break;
+    }
+    case MapBackend::kPool: {
+      std::optional<util::ThreadPool> owned;
+      util::ThreadPool* pool = external_pool;
+      if (pool == nullptr) {
+        owned.emplace(threads);
+        pool = &*owned;
+      }
+      ScratchPool scratches(mapper.subjects().size());
+      std::vector<std::future<void>> futures;
+      futures.reserve(num_batches);
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        futures.push_back(pool->submit([&, b] {
+          std::unique_ptr<MapScratch> scratch = scratches.acquire();
+          run_batch(b, *scratch);
+          scratches.release(std::move(scratch));
+        }));
+      }
+      for (std::future<void>& future : futures) future.get();
+      break;
+    }
+    case MapBackend::kOpenMP: {
+#ifdef _OPENMP
+      const auto batches = static_cast<std::int64_t>(num_batches);
+#pragma omp parallel
+      {
+        MapScratch scratch(mapper.subjects().size());
+#pragma omp for schedule(dynamic)
+        for (std::int64_t b = 0; b < batches; ++b) {
+          run_batch(static_cast<std::size_t>(b), scratch);
+        }
+      }
+#else
+      MapScratch scratch(mapper.subjects().size());
+      for (std::size_t b = 0; b < num_batches; ++b) run_batch(b, scratch);
+#endif
+      break;
+    }
+  }
+
+  // In-order concatenation restores the sequential output exactly.
+  for (BatchOutput& out : outputs) {
+    report.mappings.insert(report.mappings.end(),
+                           std::make_move_iterator(out.mappings.begin()),
+                           std::make_move_iterator(out.mappings.end()));
+    report.topx.insert(report.topx.end(),
+                       std::make_move_iterator(out.topx.begin()),
+                       std::make_move_iterator(out.topx.end()));
+  }
+
+  EngineStats& stats = report.stats;
+  stats.batches = num_batches;
+  stats.reads = n;
+  stats.segments = report.mappings.size() + report.topx.size();
+  stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
+  stats.wall_s = wall.elapsed_s();
+  return report;
+}
+
+}  // namespace detail
+
+MappingEngine::MappingEngine(const io::SequenceSet& subjects, MapParams params,
+                             SketchScheme scheme)
+    : mapper_(subjects, params, scheme) {}
+
+MappingEngine::MappingEngine(const io::SequenceSet& subjects, MapParams params,
+                             SketchScheme scheme, SketchTable table)
+    : mapper_(subjects, params, scheme, std::move(table)) {}
+
+MapReport MappingEngine::run(const io::SequenceSet& reads,
+                             const MapRequest& request) const {
+  return detail::run_request(mapper_, reads, request);
+}
+
+EngineStats MappingEngine::run_stream(io::BatchStream& stream,
+                                      const MapRequest& request,
+                                      const BatchSink& sink) const {
+  request.validate();
+  check_min_votes(request, mapper_.params());
+
+  const util::WallTimer wall;
+  EngineStats stats;
+
+  const auto map_batch = [&](io::ReadBatch&& batch, MapScratch& scratch) {
+    BatchResult result;
+    result.batch = std::move(batch);
+    const auto n = static_cast<io::SeqId>(result.batch.reads.size());
+    BatchOutput out =
+        map_range(mapper_, result.batch.reads, 0, n, request, scratch);
+    result.mappings = std::move(out.mappings);
+    result.topx = std::move(out.topx);
+    return result;
+  };
+
+  if (request.backend != MapBackend::kPool) {
+    // Single-threaded pipeline (kOpenMP parallelizes inside each batch).
+    MapScratch scratch(mapper_.subjects().size());
+    io::ReadBatch batch;
+    while (true) {
+      const util::WallTimer read_timer;
+      const bool more = stream.next(batch);
+      stats.read_s += read_timer.elapsed_s();
+      if (!more) break;
+      const util::WallTimer map_timer;
+      BatchResult result;
+      if (request.backend == MapBackend::kOpenMP) {
+        result.batch = std::move(batch);
+        MapRequest sub = request;
+        sub.batch_size = 0;  // auto-chunk the batch across OpenMP threads
+        MapReport sub_report =
+            detail::run_request(mapper_, result.batch.reads, sub);
+        result.mappings = std::move(sub_report.mappings);
+        result.topx = std::move(sub_report.topx);
+      } else {
+        result = map_batch(std::move(batch), scratch);
+      }
+      stats.map_s += map_timer.elapsed_s();
+      stats.batches += 1;
+      stats.reads += result.batch.reads.size();
+      stats.segments += result.mappings.size() + result.topx.size();
+      const util::WallTimer emit_timer;
+      sink(result);
+      stats.emit_s += emit_timer.elapsed_s();
+    }
+    stats.wall_s = wall.elapsed_s();
+    return stats;
+  }
+
+  // Three-stage pipeline: this thread parses and pushes ReadBatches into a
+  // bounded queue (backpressure), pool workers map them, and whichever
+  // worker completes the next in-order batch flushes it to the sink.
+  const std::size_t workers = default_threads(request.threads);
+  util::BoundedQueue<io::ReadBatch> queue(request.queue_depth);
+
+  std::atomic<std::uint64_t> map_ns{0};
+  std::atomic<std::uint64_t> pop_wait_ns{0};
+  std::atomic<std::uint64_t> emit_ns{0};
+  std::atomic<std::uint64_t> reads_mapped{0};
+  std::atomic<std::uint64_t> segments{0};
+
+  std::mutex emit_mutex;
+  std::map<std::uint64_t, BatchResult> pending;  // guarded by emit_mutex
+  std::uint64_t next_emit = 0;                   // guarded by emit_mutex
+  std::exception_ptr sink_error;                 // guarded by emit_mutex
+
+  const auto worker = [&] {
+    MapScratch scratch(mapper_.subjects().size());
+    while (true) {
+      const util::WallTimer pop_timer;
+      std::optional<io::ReadBatch> batch = queue.pop();
+      pop_wait_ns += pop_timer.elapsed_ns();
+      if (!batch) break;
+
+      const util::WallTimer map_timer;
+      BatchResult result = map_batch(std::move(*batch), scratch);
+      map_ns += map_timer.elapsed_ns();
+      reads_mapped += result.batch.reads.size();
+      segments += result.mappings.size() + result.topx.size();
+
+      const util::WallTimer emit_timer;
+      {
+        std::lock_guard lock(emit_mutex);
+        pending.emplace(result.batch.index, std::move(result));
+        // Flush the ready in-order prefix. Holding the lock serializes
+        // sink calls and keeps them in batch order.
+        for (auto it = pending.find(next_emit);
+             it != pending.end() && sink_error == nullptr;
+             it = pending.find(next_emit)) {
+          try {
+            sink(it->second);
+          } catch (...) {
+            sink_error = std::current_exception();
+            queue.close();  // aborts the producer and idle workers
+          }
+          pending.erase(it);
+          ++next_emit;
+        }
+      }
+      emit_ns += emit_timer.elapsed_ns();
+    }
+  };
+
+  util::ThreadPool pool(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    futures.push_back(pool.submit(worker));
+  }
+
+  std::exception_ptr read_error;
+  std::uint64_t push_wait_ns = 0;
+  try {
+    io::ReadBatch batch;
+    while (true) {
+      const util::WallTimer read_timer;
+      const bool more = stream.next(batch);
+      stats.read_s += read_timer.elapsed_s();
+      if (!more) break;
+      const util::WallTimer push_timer;
+      const bool pushed = queue.push(std::move(batch));
+      push_wait_ns += push_timer.elapsed_ns();
+      if (!pushed) break;  // pipeline aborted by a sink failure
+    }
+  } catch (...) {
+    read_error = std::current_exception();  // rethrown after shutdown
+  }
+  queue.close();
+  for (std::future<void>& future : futures) future.get();
+
+  if (read_error) std::rethrow_exception(read_error);
+  if (sink_error) std::rethrow_exception(sink_error);
+
+  stats.batches = next_emit;
+  stats.reads = reads_mapped.load();
+  stats.segments = segments.load();
+  stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
+  stats.emit_s = static_cast<double>(emit_ns.load()) * 1e-9;
+  stats.queue_wait_s =
+      static_cast<double>(pop_wait_ns.load() + push_wait_ns) * 1e-9;
+  stats.wall_s = wall.elapsed_s();
+  return stats;
+}
+
+}  // namespace jem::core

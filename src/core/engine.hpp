@@ -1,0 +1,161 @@
+// MappingEngine — the unified batched/streaming execution layer over
+// JemMapper (Algorithm 2). One MapRequest selects what to map (end
+// segments, whole-read tiling, or top-x candidate lists) and how to run it
+// (serial, thread pool, OpenMP; batch size; thread count), replacing the
+// near-duplicate map_reads_* entrypoints, which remain as thin deprecated
+// wrappers for one release.
+//
+// Two execution shapes share the same per-batch kernels:
+//  * run()        — in-memory: the query set is already loaded; batches are
+//    index ranges over it, mapped in parallel and concatenated in order.
+//    Output is bit-identical to sequential JemMapper::map_reads for every
+//    (mode, backend, batch size) combination (golden-tested).
+//  * run_stream() — streaming: a three-stage pipeline in the shape minimap2
+//    uses for heavy traffic. The caller's thread parses ReadBatches and
+//    pushes them into a BoundedQueue (backpressure: parsing stalls when the
+//    mappers fall behind), pool workers map batches with a reused per-thread
+//    MapScratch, and an in-order emitter hands results to the sink in batch
+//    order. Memory is O(queue_depth · batch) in the query set.
+//
+// Every run fills an EngineStats observability block (batches, segments/s,
+// queue-wait, per-stage times) that examples/jem_map prints and bench/
+// records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "core/params.hpp"
+#include "io/batch_stream.hpp"
+#include "util/thread_pool.hpp"
+
+namespace jem::core {
+
+/// What to map per read.
+enum class MapMode {
+  kEnds,   // the paper's two l-length end segments per read
+  kTiled,  // containment mode: tile the whole read with l-length segments
+  kTopX,   // end segments, reporting up to top_x candidates each
+};
+
+/// Where the map stage runs.
+enum class MapBackend {
+  kSerial,  // caller's thread
+  kPool,    // util::ThreadPool workers
+  kOpenMP,  // OpenMP parallel-for (falls back to serial without OpenMP)
+};
+
+/// One mapping job description — the single configuration point for every
+/// execution mode the deprecated map_reads_* family used to cover.
+struct MapRequest {
+  MapMode mode = MapMode::kEnds;
+  MapBackend backend = MapBackend::kSerial;
+
+  /// Reads per batch. 0 = auto: one batch for kSerial, ~4 batches per
+  /// worker otherwise (in-memory), and the BatchStream's size (streaming).
+  std::size_t batch_size = 0;
+
+  /// Worker count for kPool (and the streaming pipeline). 0 = hardware
+  /// concurrency. Ignored by kSerial; kOpenMP uses the OpenMP runtime's
+  /// thread count.
+  std::size_t threads = 0;
+
+  /// Candidates per segment in kTopX mode.
+  std::size_t top_x = 3;
+
+  /// Optional tightening of MapParams::min_votes for this run only. Must be
+  /// >= the mapper's configured min_votes (the sketch table cannot recover
+  /// hits below the threshold it was queried with).
+  std::optional<std::uint32_t> min_votes;
+
+  /// Streaming only: ReadBatches buffered between reader and mappers.
+  /// Bounds memory and provides backpressure.
+  std::size_t queue_depth = 4;
+
+  void validate() const;
+};
+
+/// Observability block of one engine run (stage times are seconds).
+struct EngineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t segments = 0;   // mapped units emitted (incl. unmapped rows)
+  double read_s = 0.0;          // stage 1: parsing / batch extraction
+  double map_s = 0.0;           // stage 2: summed map time across workers
+  double emit_s = 0.0;          // stage 3: in-order emission (sink included)
+  double queue_wait_s = 0.0;    // producer full-waits + worker empty-waits
+  double wall_s = 0.0;          // whole-run wall clock
+
+  /// End-to-end throughput in segments per second of wall time.
+  [[nodiscard]] double segments_per_s() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(segments) / wall_s : 0.0;
+  }
+};
+
+/// Result of an in-memory run. Exactly one of `mappings` (kEnds / kTiled)
+/// and `topx` (kTopX) is populated, matching the request's mode.
+struct MapReport {
+  std::vector<SegmentMapping> mappings;
+  std::vector<SegmentTopX> topx;
+  EngineStats stats;
+};
+
+class MappingEngine;
+
+namespace detail {
+/// The shared in-memory executor behind MappingEngine::run and the
+/// deprecated JemMapper::map_reads_* wrappers. `external_pool` (may be
+/// null) overrides request.threads for the kPool backend.
+[[nodiscard]] MapReport run_request(const JemMapper& mapper,
+                                    const io::SequenceSet& reads,
+                                    const MapRequest& request,
+                                    util::ThreadPool* external_pool = nullptr);
+}  // namespace detail
+
+class MappingEngine {
+ public:
+  /// Sketches all subjects into an owned JemMapper (sequential S2).
+  MappingEngine(const io::SequenceSet& subjects, MapParams params,
+                SketchScheme scheme = SketchScheme::kJem);
+
+  /// Adopts a pre-built (e.g. loaded or allgathered) sketch table.
+  MappingEngine(const io::SequenceSet& subjects, MapParams params,
+                SketchScheme scheme, SketchTable table);
+
+  [[nodiscard]] const JemMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] const MapParams& params() const noexcept {
+    return mapper_.params();
+  }
+
+  /// In-memory batched run over an already-loaded query set. Read ids in
+  /// the report are global (indices into `reads`).
+  [[nodiscard]] MapReport run(const io::SequenceSet& reads,
+                              const MapRequest& request) const;
+
+  /// One mapped batch handed to the streaming sink. Read ids inside
+  /// `mappings` / `topx` are local to `batch.reads`; add
+  /// `batch.first_record` to globalize them.
+  struct BatchResult {
+    io::ReadBatch batch;
+    std::vector<SegmentMapping> mappings;
+    std::vector<SegmentTopX> topx;
+  };
+  using BatchSink = std::function<void(const BatchResult&)>;
+
+  /// Streaming pipelined run: reader (caller's thread) -> bounded queue ->
+  /// map workers -> in-order emitter. The sink is invoked in batch order,
+  /// one batch at a time, never concurrently. request.batch_size is ignored
+  /// here (the stream's own batch size applies). Exceptions from parsing,
+  /// mapping, or the sink propagate to the caller after the pipeline shuts
+  /// down.
+  EngineStats run_stream(io::BatchStream& stream, const MapRequest& request,
+                         const BatchSink& sink) const;
+
+ private:
+  JemMapper mapper_;
+};
+
+}  // namespace jem::core

@@ -3,8 +3,9 @@
 //
 // Quick tour:
 //   io::SequenceSet      — load contigs/reads (io/fasta.hpp)
-//   core::MapParams      — k, w, T, ℓ, seed
-//   core::JemMapper      — sequential/threaded Algorithm 2
+//   core::MapParams      — k, w, T, ℓ, seed (MapParams::make() builder)
+//   core::JemMapper      — sequential Algorithm 2 kernels
+//   core::MappingEngine  — batched/streaming execution (MapRequest)
 //   core::run_distributed / run_staged — the parallel drivers (S1-S4)
 //   core::SketchScheme   — JEM sketch vs classical MinHash
 #pragma once
@@ -12,6 +13,7 @@
 #include "core/distributed.hpp"
 #include "core/dna.hpp"
 #include "core/end_segments.hpp"
+#include "core/engine.hpp"
 #include "core/hash_family.hpp"
 #include "core/hit_counter.hpp"
 #include "core/kmer.hpp"
@@ -20,6 +22,7 @@
 #include "core/params.hpp"
 #include "core/sketch.hpp"
 #include "core/sketch_table.hpp"
+#include "io/batch_stream.hpp"
 #include "io/fasta.hpp"
 #include "io/mapping_writer.hpp"
 #include "io/sequence_set.hpp"

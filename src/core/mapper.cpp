@@ -1,11 +1,9 @@
 #include "core/mapper.hpp"
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include <algorithm>
 #include <mutex>
+
+#include "core/engine.hpp"
 
 namespace jem::core {
 
@@ -136,10 +134,12 @@ std::vector<MapResult> JemMapper::map_segment_topx(std::string_view segment,
 }
 
 std::vector<SegmentTopX> JemMapper::map_reads_topx(const io::SequenceSet& reads,
-                                                   std::size_t x) const {
+                                                   std::size_t x,
+                                                   io::SeqId begin,
+                                                   io::SeqId end,
+                                                   MapScratch& scratch) const {
   std::vector<SegmentTopX> mappings;
-  MapScratch scratch(subjects_.size());
-  for (io::SeqId read = 0; read < reads.size(); ++read) {
+  for (io::SeqId read = begin; read < end; ++read) {
     for (const EndSegment& segment : extract_end_segments(
              read, reads.bases(read), params_.segment_length)) {
       SegmentTopX mapping;
@@ -154,11 +154,26 @@ std::vector<SegmentTopX> JemMapper::map_reads_topx(const io::SequenceSet& reads,
   return mappings;
 }
 
-std::vector<SegmentMapping> JemMapper::map_reads(const io::SequenceSet& reads,
-                                                 io::SeqId begin,
-                                                 io::SeqId end) const {
-  std::vector<SegmentMapping> mappings;
+std::vector<SegmentTopX> JemMapper::map_reads_topx(const io::SequenceSet& reads,
+                                                   std::size_t x,
+                                                   io::SeqId begin,
+                                                   io::SeqId end) const {
   MapScratch scratch(subjects_.size());
+  return map_reads_topx(reads, x, begin, end, scratch);
+}
+
+std::vector<SegmentTopX> JemMapper::map_reads_topx(const io::SequenceSet& reads,
+                                                   std::size_t x) const {
+  MapRequest request;
+  request.mode = MapMode::kTopX;
+  request.top_x = x;
+  return detail::run_request(*this, reads, request).topx;
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads(const io::SequenceSet& reads,
+                                                 io::SeqId begin, io::SeqId end,
+                                                 MapScratch& scratch) const {
+  std::vector<SegmentMapping> mappings;
   for (io::SeqId read = begin; read < end; ++read) {
     for (const EndSegment& segment : extract_end_segments(
              read, reads.bases(read), params_.segment_length)) {
@@ -175,16 +190,23 @@ std::vector<SegmentMapping> JemMapper::map_reads(const io::SequenceSet& reads,
   return mappings;
 }
 
+std::vector<SegmentMapping> JemMapper::map_reads(const io::SequenceSet& reads,
+                                                 io::SeqId begin,
+                                                 io::SeqId end) const {
+  MapScratch scratch(subjects_.size());
+  return map_reads(reads, begin, end, scratch);
+}
+
 std::vector<SegmentMapping> JemMapper::map_reads(
     const io::SequenceSet& reads) const {
   return map_reads(reads, 0, static_cast<io::SeqId>(reads.size()));
 }
 
 std::vector<SegmentMapping> JemMapper::map_reads_tiled(
-    const io::SequenceSet& reads) const {
+    const io::SequenceSet& reads, io::SeqId begin, io::SeqId end,
+    MapScratch& scratch) const {
   std::vector<SegmentMapping> mappings;
-  MapScratch scratch(subjects_.size());
-  for (io::SeqId read = 0; read < reads.size(); ++read) {
+  for (io::SeqId read = begin; read < end; ++read) {
     for (const EndSegment& segment : extract_tiled_segments(
              read, reads.bases(read), params_.segment_length)) {
       SegmentMapping mapping;
@@ -200,63 +222,31 @@ std::vector<SegmentMapping> JemMapper::map_reads_tiled(
   return mappings;
 }
 
+std::vector<SegmentMapping> JemMapper::map_reads_tiled(
+    const io::SequenceSet& reads, io::SeqId begin, io::SeqId end) const {
+  MapScratch scratch(subjects_.size());
+  return map_reads_tiled(reads, begin, end, scratch);
+}
+
+std::vector<SegmentMapping> JemMapper::map_reads_tiled(
+    const io::SequenceSet& reads) const {
+  MapRequest request;
+  request.mode = MapMode::kTiled;
+  return detail::run_request(*this, reads, request).mappings;
+}
+
 std::vector<SegmentMapping> JemMapper::map_reads_openmp(
     const io::SequenceSet& reads) const {
-#ifdef _OPENMP
-  const auto n = static_cast<std::int64_t>(reads.size());
-  std::vector<std::vector<SegmentMapping>> partials(
-      static_cast<std::size_t>(omp_get_max_threads()));
-#pragma omp parallel
-  {
-    MapScratch scratch(subjects_.size());
-    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 16)
-    for (std::int64_t read = 0; read < n; ++read) {
-      const auto id = static_cast<io::SeqId>(read);
-      for (const EndSegment& segment : extract_end_segments(
-               id, reads.bases(id), params_.segment_length)) {
-        SegmentMapping mapping;
-        mapping.read = id;
-        mapping.end = segment.end;
-        mapping.offset = segment.offset;
-        mapping.segment_length =
-            static_cast<std::uint32_t>(segment.bases.size());
-        mapping.result = map_segment(segment.bases, scratch);
-        local.push_back(mapping);
-      }
-    }
-  }
-  std::vector<SegmentMapping> mappings;
-  for (auto& partial : partials) {
-    mappings.insert(mappings.end(), partial.begin(), partial.end());
-  }
-  // Dynamic scheduling interleaves reads across threads; restore the
-  // sequential output order.
-  std::sort(mappings.begin(), mappings.end(),
-            [](const SegmentMapping& a, const SegmentMapping& b) {
-              if (a.read != b.read) return a.read < b.read;
-              return a.offset < b.offset;
-            });
-  return mappings;
-#else
-  return map_reads(reads);
-#endif
+  MapRequest request;
+  request.backend = MapBackend::kOpenMP;
+  return detail::run_request(*this, reads, request).mappings;
 }
 
 std::vector<SegmentMapping> JemMapper::map_reads_parallel(
     const io::SequenceSet& reads, util::ThreadPool& pool) const {
-  std::vector<std::vector<SegmentMapping>> partials(pool.size());
-  util::parallel_for_blocks(
-      pool, 0, reads.size(), pool.size(),
-      [&](std::size_t block, std::size_t begin, std::size_t end) {
-        partials[block] = map_reads(reads, static_cast<io::SeqId>(begin),
-                                    static_cast<io::SeqId>(end));
-      });
-  std::vector<SegmentMapping> mappings;
-  for (auto& partial : partials) {
-    mappings.insert(mappings.end(), partial.begin(), partial.end());
-  }
-  return mappings;
+  MapRequest request;
+  request.backend = MapBackend::kPool;
+  return detail::run_request(*this, reads, request, &pool).mappings;
 }
 
 std::vector<io::MappingLine> JemMapper::to_mapping_lines(

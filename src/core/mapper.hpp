@@ -35,6 +35,7 @@ struct MapResult {
   [[nodiscard]] bool mapped() const noexcept {
     return subject != io::kInvalidSeqId;
   }
+  friend bool operator==(const MapResult&, const MapResult&) = default;
 };
 
 /// One mapped end segment with provenance — the unit of the tool's output
@@ -45,6 +46,9 @@ struct SegmentMapping {
   std::uint32_t offset = 0;  // segment start within the read
   std::uint32_t segment_length = 0;
   MapResult result;
+
+  friend bool operator==(const SegmentMapping&, const SegmentMapping&) =
+      default;
 };
 
 /// Top-x variant (the extension the paper sketches in §IV-C: "if we are to
@@ -56,6 +60,8 @@ struct SegmentTopX {
   ReadEnd end = ReadEnd::kPrefix;
   std::uint32_t segment_length = 0;
   std::vector<MapResult> hits;
+
+  friend bool operator==(const SegmentTopX&, const SegmentTopX&) = default;
 };
 
 /// Per-thread mutable state for the query phase (the lazy counters of the
@@ -118,9 +124,29 @@ class JemMapper {
   [[nodiscard]] std::vector<MapResult> map_segment_topx(
       std::string_view segment, std::size_t x, MapScratch& scratch) const;
 
-  /// Maps the end segments of all reads in top-x mode.
+  /// Maps the end segments of reads [begin, end) in top-x mode, reusing the
+  /// caller's scratch (per-thread reuse in the engine's pipeline).
+  [[nodiscard]] std::vector<SegmentTopX> map_reads_topx(
+      const io::SequenceSet& reads, std::size_t x, io::SeqId begin,
+      io::SeqId end, MapScratch& scratch) const;
+
+  /// Maps the end segments of reads [begin, end) in top-x mode.
+  [[nodiscard]] std::vector<SegmentTopX> map_reads_topx(
+      const io::SequenceSet& reads, std::size_t x, io::SeqId begin,
+      io::SeqId end) const;
+
+  /// Deprecated: route whole-set batch runs through core::MappingEngine
+  /// (MapRequest{.mode = MapMode::kTopX}); see docs/engine.md.
+  [[deprecated(
+      "use MappingEngine::run with MapMode::kTopX (docs/engine.md)")]]
   [[nodiscard]] std::vector<SegmentTopX> map_reads_topx(
       const io::SequenceSet& reads, std::size_t x) const;
+
+  /// Maps the end segments of reads [begin, end) sequentially, reusing the
+  /// caller's scratch.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads(
+      const io::SequenceSet& reads, io::SeqId begin, io::SeqId end,
+      MapScratch& scratch) const;
 
   /// Maps the end segments of reads [begin, end) sequentially.
   [[nodiscard]] std::vector<SegmentMapping> map_reads(
@@ -130,19 +156,35 @@ class JemMapper {
   [[nodiscard]] std::vector<SegmentMapping> map_reads(
       const io::SequenceSet& reads) const;
 
-  /// Maps all reads using the thread pool (block partitioning over reads).
+  /// Deprecated: route threaded runs through core::MappingEngine
+  /// (MapRequest{.backend = MapBackend::kPool}); see docs/engine.md.
+  [[deprecated(
+      "use MappingEngine::run with MapBackend::kPool (docs/engine.md)")]]
   [[nodiscard]] std::vector<SegmentMapping> map_reads_parallel(
       const io::SequenceSet& reads, util::ThreadPool& pool) const;
 
-  /// Containment mode (paper §III-B1's noted extension): tiles each whole
-  /// read with ℓ-length segments and maps every tile, so contigs contained
-  /// in read interiors are found too.
+  /// Containment mode (paper §III-B1's noted extension): tiles reads
+  /// [begin, end) with ℓ-length segments and maps every tile, so contigs
+  /// contained in read interiors are found too. Reuses the caller's scratch.
+  [[nodiscard]] std::vector<SegmentMapping> map_reads_tiled(
+      const io::SequenceSet& reads, io::SeqId begin, io::SeqId end,
+      MapScratch& scratch) const;
+
+  /// Containment mode over reads [begin, end).
+  [[nodiscard]] std::vector<SegmentMapping> map_reads_tiled(
+      const io::SequenceSet& reads, io::SeqId begin, io::SeqId end) const;
+
+  /// Deprecated: route whole-set containment runs through
+  /// core::MappingEngine (MapRequest{.mode = MapMode::kTiled}).
+  [[deprecated(
+      "use MappingEngine::run with MapMode::kTiled (docs/engine.md)")]]
   [[nodiscard]] std::vector<SegmentMapping> map_reads_tiled(
       const io::SequenceSet& reads) const;
 
-  /// OpenMP variant of map_reads (the paper's platform supported OpenMP
-  /// alongside MPI). Falls back to the sequential path when the build has
-  /// no OpenMP support. Output order and content match map_reads exactly.
+  /// Deprecated: route OpenMP runs through core::MappingEngine
+  /// (MapRequest{.backend = MapBackend::kOpenMP}); see docs/engine.md.
+  [[deprecated(
+      "use MappingEngine::run with MapBackend::kOpenMP (docs/engine.md)")]]
   [[nodiscard]] std::vector<SegmentMapping> map_reads_openmp(
       const io::SequenceSet& reads) const;
 

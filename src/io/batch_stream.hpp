@@ -1,0 +1,48 @@
+// BatchStream — chunked FASTA/FASTQ input for the streaming mapping engine.
+// Wraps SequenceStreamReader and hands out fixed-size ReadBatch units, each
+// carrying its position in the stream so downstream stages can restore global
+// ordering (and global read ids) after parallel processing.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+
+#include "io/sequence.hpp"
+#include "io/sequence_set.hpp"
+#include "io/stream_reader.hpp"
+
+namespace jem::io {
+
+/// One chunk of the query stream. Read ids inside `reads` are batch-local
+/// (0-based); `first_record` is the global index of read 0 of this batch.
+struct ReadBatch {
+  std::uint64_t index = 0;         // 0-based batch number
+  std::uint64_t first_record = 0;  // global index of the batch's first read
+  SequenceSet reads;
+};
+
+class BatchStream {
+ public:
+  /// The stream must outlive the BatchStream. `batch_size` is clamped to at
+  /// least 1 record per batch.
+  BatchStream(std::istream& in, std::size_t batch_size);
+
+  /// Parses the next batch into `batch` (contents overwritten). Returns
+  /// false at end of input. Throws ParseError on malformed records.
+  [[nodiscard]] bool next(ReadBatch& batch);
+
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  [[nodiscard]] std::uint64_t batches_read() const noexcept {
+    return batches_read_;
+  }
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return reader_.records_read();
+  }
+
+ private:
+  SequenceStreamReader reader_;
+  std::size_t batch_size_;
+  std::uint64_t batches_read_ = 0;
+};
+
+}  // namespace jem::io

@@ -1,0 +1,346 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dna.hpp"
+#include "io/batch_stream.hpp"
+#include "io/fasta.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+const char* backend_name(MapBackend backend) {
+  switch (backend) {
+    case MapBackend::kSerial: return "serial";
+    case MapBackend::kPool: return "pool";
+    case MapBackend::kOpenMP: return "openmp";
+  }
+  return "?";
+}
+
+/// Fixture: the MapperTest genome/contigs plus a read set with ragged
+/// lengths, so batch sizes {1, 7, 64, all} all hit uneven tails.
+class EngineGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Xoshiro256ss rng(777);
+    genome_ = random_dna(rng, 60'000);
+    for (int i = 0; i < 10; ++i) {
+      subjects_.add("contig_" + std::to_string(i),
+                    genome_.substr(static_cast<std::size_t>(i) * 6000, 6000));
+    }
+    params_ = MapParams::make()
+                  .k(16)
+                  .window(20)
+                  .trials(16)
+                  .segment_length(1000)
+                  .seed(99)
+                  .build();
+    util::Xoshiro256ss read_rng(555);
+    for (int i = 0; i < 30; ++i) {
+      const std::size_t pos = read_rng.bounded(50'000);
+      const std::size_t length = 1500 + read_rng.bounded(6000);
+      reads_.add("read_" + std::to_string(i), genome_.substr(pos, length));
+    }
+  }
+
+  [[nodiscard]] io::SeqId num_reads() const {
+    return static_cast<io::SeqId>(reads_.size());
+  }
+
+  std::string genome_;
+  io::SequenceSet subjects_;
+  io::SequenceSet reads_;
+  MapParams params_;
+};
+
+TEST_F(EngineGoldenTest, BitIdenticalToSequentialAcrossAllCombinations) {
+  const MappingEngine engine(subjects_, params_);
+  const auto expected_ends = engine.mapper().map_reads(reads_);
+  const auto expected_tiled =
+      engine.mapper().map_reads_tiled(reads_, 0, num_reads());
+  const auto expected_topx =
+      engine.mapper().map_reads_topx(reads_, 3, 0, num_reads());
+
+  for (const MapBackend backend :
+       {MapBackend::kSerial, MapBackend::kPool, MapBackend::kOpenMP}) {
+    for (const std::size_t batch_size : {std::size_t{1}, std::size_t{7},
+                                         std::size_t{64}, std::size_t{0}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE(std::string("backend=") + backend_name(backend) +
+                     " batch=" + std::to_string(batch_size) +
+                     " threads=" + std::to_string(threads));
+        MapRequest request;
+        request.backend = backend;
+        request.batch_size = batch_size;
+        request.threads = threads;
+
+        request.mode = MapMode::kEnds;
+        const MapReport ends = engine.run(reads_, request);
+        EXPECT_EQ(ends.mappings, expected_ends);
+        EXPECT_TRUE(ends.topx.empty());
+        EXPECT_EQ(ends.stats.reads, reads_.size());
+        EXPECT_EQ(ends.stats.segments, expected_ends.size());
+
+        request.mode = MapMode::kTiled;
+        EXPECT_EQ(engine.run(reads_, request).mappings, expected_tiled);
+
+        request.mode = MapMode::kTopX;
+        request.top_x = 3;
+        const MapReport topx = engine.run(reads_, request);
+        EXPECT_EQ(topx.topx, expected_topx);
+        EXPECT_TRUE(topx.mappings.empty());
+      }
+    }
+  }
+}
+
+TEST_F(EngineGoldenTest, StreamingPipelineMatchesSequential) {
+  const MappingEngine engine(subjects_, params_);
+  const auto expected = engine.mapper().map_reads(reads_);
+  std::ostringstream fasta;
+  io::write_fasta(fasta, reads_);
+
+  for (const std::size_t batch_size :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      std::istringstream in(fasta.str());
+      io::BatchStream stream(in, batch_size);
+      MapRequest request;
+      request.backend = MapBackend::kPool;
+      request.threads = threads;
+      request.queue_depth = 2;
+
+      std::vector<SegmentMapping> collected;
+      std::uint64_t expected_index = 0;
+      const EngineStats stats = engine.run_stream(
+          stream, request, [&](const MappingEngine::BatchResult& result) {
+            // In-order, exactly-once delivery.
+            EXPECT_EQ(result.batch.index, expected_index++);
+            for (SegmentMapping mapping : result.mappings) {
+              mapping.read +=
+                  static_cast<io::SeqId>(result.batch.first_record);
+              collected.push_back(mapping);
+            }
+          });
+
+      EXPECT_EQ(collected, expected);
+      EXPECT_EQ(stats.reads, reads_.size());
+      EXPECT_EQ(stats.segments, expected.size());
+      EXPECT_EQ(stats.batches,
+                (reads_.size() + batch_size - 1) / batch_size);
+      EXPECT_GT(stats.wall_s, 0.0);
+    }
+  }
+}
+
+TEST_F(EngineGoldenTest, StreamingTiledAndTopXModesMatchSequential) {
+  const MappingEngine engine(subjects_, params_);
+  const auto expected_tiled =
+      engine.mapper().map_reads_tiled(reads_, 0, num_reads());
+  const auto expected_topx =
+      engine.mapper().map_reads_topx(reads_, 2, 0, num_reads());
+  std::ostringstream fasta;
+  io::write_fasta(fasta, reads_);
+
+  MapRequest request;
+  request.backend = MapBackend::kPool;
+  request.threads = 4;
+
+  {
+    std::istringstream in(fasta.str());
+    io::BatchStream stream(in, 7);
+    request.mode = MapMode::kTiled;
+    std::vector<SegmentMapping> collected;
+    (void)engine.run_stream(
+        stream, request, [&](const MappingEngine::BatchResult& result) {
+          for (SegmentMapping mapping : result.mappings) {
+            mapping.read += static_cast<io::SeqId>(result.batch.first_record);
+            collected.push_back(mapping);
+          }
+        });
+    EXPECT_EQ(collected, expected_tiled);
+  }
+  {
+    std::istringstream in(fasta.str());
+    io::BatchStream stream(in, 7);
+    request.mode = MapMode::kTopX;
+    request.top_x = 2;
+    std::vector<SegmentTopX> collected;
+    (void)engine.run_stream(
+        stream, request, [&](const MappingEngine::BatchResult& result) {
+          for (SegmentTopX mapping : result.topx) {
+            mapping.read += static_cast<io::SeqId>(result.batch.first_record);
+            collected.push_back(std::move(mapping));
+          }
+        });
+    EXPECT_EQ(collected, expected_topx);
+  }
+}
+
+TEST_F(EngineGoldenTest, MinVotesOverrideMatchesStricterMapper) {
+  const MappingEngine engine(subjects_, params_);
+  MapParams strict = params_;
+  strict.min_votes = 8;
+  const JemMapper strict_mapper(subjects_, strict);
+
+  MapRequest request;
+  request.min_votes = 8;
+  EXPECT_EQ(engine.run(reads_, request).mappings,
+            strict_mapper.map_reads(reads_));
+
+  request.mode = MapMode::kTopX;
+  request.top_x = 3;
+  EXPECT_EQ(engine.run(reads_, request).topx,
+            strict_mapper.map_reads_topx(reads_, 3, 0, num_reads()));
+}
+
+TEST_F(EngineGoldenTest, MinVotesBelowMapperFloorThrows) {
+  MapParams strict = params_;
+  strict.min_votes = 4;
+  const MappingEngine engine(subjects_, params_, SketchScheme::kJem);
+  const MappingEngine strict_engine(subjects_, strict);
+  MapRequest request;
+  request.min_votes = 2;
+  EXPECT_THROW((void)strict_engine.run(reads_, request),
+               std::invalid_argument);
+  // At or above the floor is fine.
+  EXPECT_NO_THROW((void)strict_engine.run(
+      reads_, MapRequest{.min_votes = 4}));
+  EXPECT_NO_THROW((void)engine.run(reads_, request));
+}
+
+TEST_F(EngineGoldenTest, EmptyReadSetYieldsEmptyReport) {
+  const MappingEngine engine(subjects_, params_);
+  const io::SequenceSet empty;
+  for (const MapBackend backend :
+       {MapBackend::kSerial, MapBackend::kPool, MapBackend::kOpenMP}) {
+    MapRequest request;
+    request.backend = backend;
+    const MapReport report = engine.run(empty, request);
+    EXPECT_TRUE(report.mappings.empty());
+    EXPECT_EQ(report.stats.batches, 0u);
+    EXPECT_EQ(report.stats.segments, 0u);
+  }
+}
+
+TEST_F(EngineGoldenTest, StreamErrorsPropagateAfterShutdown) {
+  const MappingEngine engine(subjects_, params_);
+  MapRequest request;
+  request.backend = MapBackend::kPool;
+  request.threads = 2;
+
+  {
+    // Malformed FASTQ mid-stream (quality length mismatch): the reader
+    // throws, the pipeline drains.
+    std::istringstream in("@r0\nACGT\n+\nIIII\n@r1\nACGT\n+\nII\n");
+    io::BatchStream stream(in, 1);
+    EXPECT_THROW((void)engine.run_stream(
+                     stream, request,
+                     [](const MappingEngine::BatchResult&) {}),
+                 io::ParseError);
+  }
+  {
+    // A throwing sink aborts the pipeline and resurfaces in the caller.
+    std::ostringstream fasta;
+    io::write_fasta(fasta, reads_);
+    std::istringstream in(fasta.str());
+    io::BatchStream stream(in, 1);
+    EXPECT_THROW((void)engine.run_stream(
+                     stream, request,
+                     [](const MappingEngine::BatchResult&) {
+                       throw std::runtime_error("sink failure");
+                     }),
+                 std::runtime_error);
+  }
+}
+
+TEST(EngineRequestTest, ValidateRejectsBadFields) {
+  MapRequest request;
+  request.queue_depth = 0;
+  EXPECT_THROW(request.validate(), std::invalid_argument);
+  request = {};
+  request.min_votes = 0;
+  EXPECT_THROW(request.validate(), std::invalid_argument);
+  request = {};
+  EXPECT_NO_THROW(request.validate());
+}
+
+TEST(EngineParamsBuilderTest, BuildsAndValidates) {
+  const MapParams params = MapParams::make()
+                               .k(18)
+                               .window(50)
+                               .trials(12)
+                               .segment_length(800)
+                               .seed(7)
+                               .min_votes(2)
+                               .ordering(MinimizerOrdering::kRandomHash)
+                               .build();
+  EXPECT_EQ(params.k, 18);
+  EXPECT_EQ(params.w, 50);
+  EXPECT_EQ(params.trials, 12);
+  EXPECT_EQ(params.segment_length, 800u);
+  EXPECT_EQ(params.seed, 7u);
+  EXPECT_EQ(params.min_votes, 2u);
+  EXPECT_EQ(params.ordering, MinimizerOrdering::kRandomHash);
+
+  // Invalid configs fail at construction, not mid-run.
+  EXPECT_THROW((void)MapParams::make().k(0).build(), std::invalid_argument);
+  EXPECT_THROW((void)MapParams::make().trials(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)MapParams::make().segment_length(0).build(),
+               std::invalid_argument);
+}
+
+TEST(EngineBatchStreamTest, ChunksRecordsWithGlobalPositions) {
+  std::istringstream in(">r0\nACGT\n>r1\nAAAA\n>r2\nCCCC\n>r3\nGGGG\n>r4\nTTTT\n");
+  io::BatchStream stream(in, 2);
+  io::ReadBatch batch;
+
+  ASSERT_TRUE(stream.next(batch));
+  EXPECT_EQ(batch.index, 0u);
+  EXPECT_EQ(batch.first_record, 0u);
+  ASSERT_EQ(batch.reads.size(), 2u);
+  EXPECT_EQ(batch.reads.name(0), "r0");
+
+  ASSERT_TRUE(stream.next(batch));
+  EXPECT_EQ(batch.index, 1u);
+  EXPECT_EQ(batch.first_record, 2u);
+
+  ASSERT_TRUE(stream.next(batch));  // ragged tail
+  EXPECT_EQ(batch.index, 2u);
+  EXPECT_EQ(batch.first_record, 4u);
+  EXPECT_EQ(batch.reads.size(), 1u);
+  EXPECT_EQ(batch.reads.name(0), "r4");
+
+  EXPECT_FALSE(stream.next(batch));
+  EXPECT_EQ(stream.batches_read(), 3u);
+  EXPECT_EQ(stream.records_read(), 5u);
+}
+
+TEST(EngineBatchStreamTest, EmptyInputYieldsNoBatches) {
+  std::istringstream in("");
+  io::BatchStream stream(in, 8);
+  io::ReadBatch batch;
+  EXPECT_FALSE(stream.next(batch));
+  EXPECT_EQ(stream.batches_read(), 0u);
+}
+
+}  // namespace
+}  // namespace jem::core
