@@ -247,6 +247,210 @@ BENCHMARK(BM_EngineMapReads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- Query hot-path benches -------------------------------------------
+// The BM_Hotpath* family quantifies the flat-index + scratch-reuse query
+// path against the pre-overhaul CSR + allocating path at the paper's
+// parameters (k=16, w=100, T=30, l=1000). scripts/bench_hotpath.sh runs
+// exactly this family and records the speedups in BENCH_hotpath.json.
+
+struct HotpathData {
+  io::SequenceSet subjects;
+  io::SequenceSet reads;
+  std::vector<std::string> segments;
+  core::MapParams params;
+};
+
+const HotpathData& hotpath_data() {
+  static const HotpathData data = [] {
+    HotpathData d;
+    d.params = core::MapParams::make().seed(41).build();  // paper defaults
+    const std::string genome = random_dna(40, 600'000);
+    for (int i = 0; i < 60; ++i) {
+      d.subjects.add(
+          "c" + std::to_string(i),
+          genome.substr(static_cast<std::size_t>(i) * 10'000, 10'000));
+    }
+    util::Xoshiro256ss rng(42);
+    for (int s = 0; s < 64; ++s) {
+      const std::size_t start = rng.bounded(genome.size() - 1000);
+      d.segments.push_back(genome.substr(start, 1000));
+    }
+    for (int r = 0; r < 48; ++r) {
+      const std::size_t length = 5000 + rng.bounded(5000);
+      const std::size_t start = rng.bounded(genome.size() - length);
+      d.reads.add("r" + std::to_string(r), genome.substr(start, length));
+    }
+    return d;
+  }();
+  return data;
+}
+
+const core::JemMapper& hotpath_mapper() {
+  static const core::JemMapper mapper(hotpath_data().subjects,
+                                      hotpath_data().params);
+  return mapper;
+}
+
+/// A realistic frozen table plus a query key mix (~2/3 hits) shared by the
+/// lookup benches.
+struct HotpathIndexData {
+  core::SketchTable table{30};
+  std::vector<core::KmerCode> queries;
+
+  HotpathIndexData() {
+    util::Xoshiro256ss rng(43);
+    std::vector<core::KmerCode> keys(200'000);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = rng();
+      table.insert(static_cast<int>(i % 30), keys[i],
+                   static_cast<io::SeqId>(rng.bounded(500)));
+    }
+    table.freeze();
+    for (int i = 0; i < 10'000; ++i) {
+      queries.push_back(rng.bounded(3) == 0 ? rng()
+                                            : keys[rng.bounded(keys.size())]);
+    }
+  }
+};
+
+const HotpathIndexData& hotpath_index_data() {
+  static const HotpathIndexData data;
+  return data;
+}
+
+void BM_HotpathCsrLookup(benchmark::State& state) {
+  const HotpathIndexData& data = hotpath_index_data();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < data.queries.size(); ++i) {
+      benchmark::DoNotOptimize(
+          data.table.lookup(static_cast<int>(i % 30), data.queries[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.queries.size()));
+}
+BENCHMARK(BM_HotpathCsrLookup);
+
+void BM_HotpathFlatIndexLookup(benchmark::State& state) {
+  const HotpathIndexData& data = hotpath_index_data();
+  const core::FlatSketchIndex& index = data.table.flat();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < data.queries.size(); ++i) {
+      benchmark::DoNotOptimize(
+          index.lookup(static_cast<int>(i % 30), data.queries[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.queries.size()));
+}
+BENCHMARK(BM_HotpathFlatIndexLookup);
+
+void BM_HotpathFlatIndexLookupMany(benchmark::State& state) {
+  const HotpathIndexData& data = hotpath_index_data();
+  const core::FlatSketchIndex& index = data.table.flat();
+  std::vector<std::span<const io::SeqId>> out(data.queries.size());
+  for (auto _ : state) {
+    for (int t = 0; t < 30; ++t) {
+      index.lookup_many(t, data.queries, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 30 *
+                          static_cast<std::int64_t>(data.queries.size()));
+}
+BENCHMARK(BM_HotpathFlatIndexLookupMany);
+
+void BM_HotpathSketchReference(benchmark::State& state) {
+  const HotpathData& data = hotpath_data();
+  const core::HashFamily hashes(data.params.trials, data.params.seed);
+  const core::MinimizerParams mp{data.params.k, data.params.w,
+                                 data.params.ordering};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Sketch sketch = core::sketch_by_jem_reference(
+        core::minimizer_scan(data.segments[i], mp),
+        data.params.segment_length, hashes);
+    benchmark::DoNotOptimize(sketch.total_entries());
+    i = (i + 1) % data.segments.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathSketchReference);
+
+void BM_HotpathSketchAlloc(benchmark::State& state) {
+  const HotpathData& data = hotpath_data();
+  const core::HashFamily hashes(data.params.trials, data.params.seed);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Sketch sketch = core::make_sketch(
+        data.segments[i], data.params, core::SketchScheme::kJem, hashes);
+    benchmark::DoNotOptimize(sketch.total_entries());
+    i = (i + 1) % data.segments.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathSketchAlloc);
+
+void BM_HotpathSketchScratch(benchmark::State& state) {
+  const HotpathData& data = hotpath_data();
+  const core::HashFamily hashes(data.params.trials, data.params.seed);
+  core::SketchScratch scratch;
+  core::FlatSketch sketch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    core::make_sketch(data.segments[i], data.params,
+                      core::SketchScheme::kJem, hashes, scratch, sketch);
+    benchmark::DoNotOptimize(sketch.total_entries());
+    i = (i + 1) % data.segments.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathSketchScratch);
+
+// The end-to-end pair the BENCH_hotpath.json speedup criterion reads: one
+// query segment mapped start to finish, pre-overhaul path vs hot path.
+void BM_HotpathMapSegmentReference(benchmark::State& state) {
+  const core::JemMapper& mapper = hotpath_mapper();
+  const HotpathData& data = hotpath_data();
+  core::MapScratch scratch(data.subjects.size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.map_segment_reference(data.segments[i], scratch));
+    i = (i + 1) % data.segments.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathMapSegmentReference);
+
+void BM_HotpathMapSegment(benchmark::State& state) {
+  const core::JemMapper& mapper = hotpath_mapper();
+  const HotpathData& data = hotpath_data();
+  core::MapScratch scratch(data.subjects.size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_segment(data.segments[i], scratch));
+    i = (i + 1) % data.segments.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotpathMapSegment);
+
+void BM_HotpathEngineSegmentsPerSec(benchmark::State& state) {
+  const HotpathData& data = hotpath_data();
+  const core::MappingEngine engine(data.subjects, data.params);
+  core::MapRequest request;  // serial end-segment mapping
+  std::int64_t segments = 0;
+  for (auto _ : state) {
+    const core::MapReport report = engine.run(data.reads, request);
+    segments = static_cast<std::int64_t>(report.stats.segments);
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetItemsProcessed(state.iterations() * segments);
+  state.SetLabel("segments/s via items_per_second");
+}
+BENCHMARK(BM_HotpathEngineSegmentsPerSec)->Unit(benchmark::kMillisecond);
+
 void BM_MashmapMapSegment(benchmark::State& state) {
   const std::string genome = random_dna(12, 200'000);
   io::SequenceSet subjects;

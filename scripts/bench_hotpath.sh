@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Quantifies the allocation-free query hot path (flat hash sketch index +
+# reusable sketch scratch) against the pre-overhaul CSR + allocating path.
+#
+# Runs the BM_Hotpath* family of bench_micro in the Release build with
+# repetitions, keeps the median of each series, and writes a summary JSON
+# (default: BENCH_hotpath.json at the repo root) with the derived speedups.
+# Exits non-zero if the end-to-end map_segment speedup drops below 1.5x.
+#
+# Usage: scripts/bench_hotpath.sh [output.json]
+#   JEM_BENCH_REPS     repetitions per benchmark (default 5)
+#   JEM_BENCH_MIN_TIME min seconds per repetition (default 0.5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${JEM_BENCH_REPS:-5}"
+MIN_TIME="${JEM_BENCH_MIN_TIME:-0.5}"
+OUT="${1:-BENCH_hotpath.json}"
+RAW="build/bench_hotpath_raw.json"
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build --target bench_micro
+
+./build/bench/bench_micro \
+  --benchmark_filter='^BM_Hotpath' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$RAW" --benchmark_out_format=json
+
+python3 - "$RAW" "$OUT" "$REPS" <<'PY'
+import json
+import sys
+
+raw_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+raw = json.load(open(raw_path))
+
+medians = {}
+for bench in raw["benchmarks"]:
+    if bench.get("aggregate_name") != "median":
+        continue
+    name = bench["run_name"]
+    medians[name] = {
+        "cpu_time_ns": bench["cpu_time"],
+        "real_time_ns": bench["real_time"],
+    }
+    if "items_per_second" in bench:
+        medians[name]["items_per_second"] = bench["items_per_second"]
+
+def speedup(baseline, fast):
+    return medians[baseline]["cpu_time_ns"] / medians[fast]["cpu_time_ns"]
+
+speedups = {
+    # Single-key probe: frozen-CSR binary search vs flat hash index.
+    "lookup_flat_vs_csr":
+        speedup("BM_HotpathCsrLookup", "BM_HotpathFlatIndexLookup"),
+    # Segment sketching: pre-overhaul deque kernel vs reusable scratch.
+    "sketch_scratch_vs_reference":
+        speedup("BM_HotpathSketchReference", "BM_HotpathSketchScratch"),
+    # Segment sketching: current allocating API vs reusable scratch.
+    "sketch_scratch_vs_alloc":
+        speedup("BM_HotpathSketchAlloc", "BM_HotpathSketchScratch"),
+    # End-to-end query mapping: pre-overhaul CSR+alloc path vs hot path.
+    "map_segment_hot_vs_reference":
+        speedup("BM_HotpathMapSegmentReference", "BM_HotpathMapSegment"),
+}
+
+summary = {
+    "generated_by": "scripts/bench_hotpath.sh",
+    "benchmark_binary": "build/bench/bench_micro",
+    "repetitions": reps,
+    "aggregate": "median",
+    "benchmarks": medians,
+    "speedups": {k: round(v, 3) for k, v in speedups.items()},
+    "engine_segments_per_second": round(
+        medians["BM_HotpathEngineSegmentsPerSec"]["items_per_second"], 1),
+    "acceptance": {
+        "criterion": "map_segment_hot_vs_reference >= 1.5",
+        "pass": speedups["map_segment_hot_vs_reference"] >= 1.5,
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(summary["speedups"], indent=2))
+ok = summary["acceptance"]["pass"]
+print("hot-path acceptance:", "PASS" if ok else "FAIL")
+sys.exit(0 if ok else 1)
+PY

@@ -25,8 +25,15 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan --target test_engine
 ctest --test-dir build-tsan --output-on-failure -R 'Engine|BoundedQueue'
 
+# Hot-path bench smoke (the default build type is Release): a short run of
+# the BM_Hotpath* family catches wiring regressions in the flat-index /
+# scratch-kernel benches early. scripts/bench_hotpath.sh does the real
+# measurement and writes BENCH_hotpath.json.
+./build/bench/bench_micro --benchmark_filter='^BM_Hotpath' \
+  --benchmark_min_time=0.02
+
 for b in build/bench/*; do
-  if [[ -x "$b" ]]; then
+  if [[ -f "$b" && -x "$b" ]]; then
     echo "== $b =="
     "$b"
   fi

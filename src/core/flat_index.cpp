@@ -1,0 +1,88 @@
+#include "core/flat_index.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace jem::core {
+
+namespace {
+
+/// Smallest power of two >= 2n (load factor <= 0.5), and at least one slot
+/// so the probe loop of an empty trial terminates on the empty marker.
+std::size_t region_capacity(std::size_t n) noexcept {
+  std::size_t cap = 1;
+  while (cap < 2 * n) cap *= 2;
+  return cap;
+}
+
+}  // namespace
+
+std::uint64_t FlatSketchIndex::hash(KmerCode kmer) noexcept {
+  return util::mix64(kmer);
+}
+
+FlatSketchIndex FlatSketchIndex::build(std::span<const TrialView> trials) {
+  FlatSketchIndex index;
+  index.base_.reserve(trials.size());
+  index.mask_.reserve(trials.size());
+
+  std::size_t total_slots = 0;
+  std::size_t total_postings = 0;
+  for (const TrialView& trial : trials) {
+    total_slots += region_capacity(trial.keys.size());
+    total_postings += trial.subjects.size();
+  }
+  index.slots_.resize(total_slots);
+  index.subjects_.reserve(total_postings);
+
+  std::size_t base = 0;
+  for (const TrialView& trial : trials) {
+    const std::size_t capacity = region_capacity(trial.keys.size());
+    const std::size_t mask = capacity - 1;
+    index.base_.push_back(base);
+    index.mask_.push_back(mask);
+
+    for (std::size_t k = 0; k < trial.keys.size(); ++k) {
+      const KmerCode kmer = trial.keys[k];
+      const std::uint32_t begin = trial.offsets[k];
+      const std::uint32_t end = trial.offsets[k + 1];
+      if (index.subjects_.size() + (end - begin) >
+          std::numeric_limits<std::uint32_t>::max()) {
+        throw std::length_error(
+            "FlatSketchIndex: postings exceed uint32 offset range");
+      }
+      const auto offset =
+          static_cast<std::uint32_t>(index.subjects_.size());
+      for (std::uint32_t j = begin; j < end; ++j) {
+        index.subjects_.push_back(trial.subjects[j]);
+      }
+
+      std::size_t i = hash(kmer) & mask;
+      while (index.slots_[base + i].count != 0) i = (i + 1) & mask;
+      index.slots_[base + i] = Slot{kmer, offset, end - begin};
+      ++index.keys_;
+    }
+    base += capacity;
+  }
+  return index;
+}
+
+void FlatSketchIndex::lookup_many(
+    int trial, std::span<const KmerCode> kmers,
+    std::span<std::span<const io::SeqId>> out) const {
+  constexpr std::size_t kPrefetchDistance = 8;
+  const std::size_t t = static_cast<std::size_t>(trial);
+  const std::size_t base = base_[t];
+  const std::size_t mask = mask_[t];
+  for (std::size_t j = 0; j < kmers.size(); ++j) {
+    if (j + kPrefetchDistance < kmers.size()) {
+      const std::size_t home = hash(kmers[j + kPrefetchDistance]) & mask;
+      __builtin_prefetch(&slots_[base + home], 0 /* read */, 1);
+    }
+    out[j] = lookup(trial, kmers[j]);
+  }
+}
+
+}  // namespace jem::core

@@ -1,0 +1,106 @@
+// FlatSketchIndex — the frozen query-side form of the sketch table S: one
+// open-addressing (linear-probe, power-of-two) hash table per trial mapping
+// a minhash k-mer to its postings span.
+//
+// The CSR form answers lookup(t, kmer) with a binary search: O(log K) keys
+// touched, each a dependent cache miss. The flat index answers it with a
+// mixed-hash probe into a half-loaded slot array: ~1.1 slots touched on
+// average, each slot carrying the postings offset and count inline, so a hit
+// costs one cache line for the slot plus the postings themselves. This is
+// the minimap2 indexing strategy (Li 2018) adapted to the per-trial key
+// spaces of the JEM sketch.
+//
+// lookup_many resolves a whole segment-sketch's k-mer list for one trial and
+// software-prefetches each k-mer's home slot a fixed distance ahead, hiding
+// the (random) slot miss latency behind the probe of the current key — the
+// batched form the mapper's vote loop uses.
+//
+// The index is built once, from the same frozen CSR arrays the wire format
+// (SketchEntry lists) reconstructs, and is immutable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kmer.hpp"
+#include "io/sequence.hpp"
+
+namespace jem::core {
+
+class FlatSketchIndex {
+ public:
+  /// One trial's frozen CSR arrays (the build input). `offsets` has
+  /// keys.size() + 1 entries; subjects[offsets[i], offsets[i+1]) are the
+  /// postings of keys[i].
+  struct TrialView {
+    std::span<const KmerCode> keys;
+    std::span<const std::uint32_t> offsets;
+    std::span<const io::SeqId> subjects;
+  };
+
+  /// An empty index (no trials); lookups are invalid until assigned from
+  /// build().
+  FlatSketchIndex() = default;
+
+  /// Builds the index from per-trial CSR views. Keys within a trial must be
+  /// distinct (they are: CSR keys are sorted-unique). Throws
+  /// std::length_error if any trial's postings exceed the uint32 offset
+  /// range.
+  [[nodiscard]] static FlatSketchIndex build(
+      std::span<const TrialView> trials);
+
+  [[nodiscard]] int trials() const noexcept {
+    return static_cast<int>(base_.size());
+  }
+
+  /// Distinct (trial, kmer) keys stored.
+  [[nodiscard]] std::size_t key_count() const noexcept { return keys_; }
+
+  /// Total slots across all trials (>= 2x key_count: max load factor 0.5).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Postings of `kmer` in trial `t` (empty span if absent).
+  [[nodiscard]] std::span<const io::SeqId> lookup(int trial,
+                                                  KmerCode kmer) const {
+    const std::size_t t = static_cast<std::size_t>(trial);
+    const std::size_t base = base_[t];
+    const std::size_t mask = mask_[t];
+    std::size_t i = hash(kmer) & mask;
+    while (true) {
+      const Slot& slot = slots_[base + i];
+      if (slot.count == 0) return {};
+      if (slot.kmer == kmer) {
+        return std::span<const io::SeqId>(subjects_)
+            .subspan(slot.offset, slot.count);
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Batched lookup of kmers[j] in trial `t` into out[j], prefetching home
+  /// slots ahead of the probe loop. `out` must have kmers.size() entries.
+  void lookup_many(int trial, std::span<const KmerCode> kmers,
+                   std::span<std::span<const io::SeqId>> out) const;
+
+ private:
+  /// count == 0 marks an empty slot (every stored key has >= 1 posting).
+  struct Slot {
+    KmerCode kmer = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+  static_assert(sizeof(Slot) == 16);
+
+  [[nodiscard]] static std::uint64_t hash(KmerCode kmer) noexcept;
+
+  std::vector<Slot> slots_;         // concatenated per-trial pow2 regions
+  std::vector<std::size_t> base_;   // trial -> first slot
+  std::vector<std::size_t> mask_;   // trial -> region capacity - 1
+  std::vector<io::SeqId> subjects_;  // shared postings pool
+  std::size_t keys_ = 0;
+};
+
+}  // namespace jem::core

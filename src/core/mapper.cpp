@@ -21,6 +21,23 @@ Sketch make_sketch(std::string_view seq, const MapParams& params,
   return {};
 }
 
+void make_sketch(std::string_view seq, const MapParams& params,
+                 SketchScheme scheme, const HashFamily& hashes,
+                 SketchScratch& scratch, FlatSketch& out) {
+  switch (scheme) {
+    case SketchScheme::kJem: {
+      const MinimizerParams mp{params.k, params.w, params.ordering};
+      minimizer_scan(seq, mp, scratch.scan, scratch.minimizers);
+      sketch_by_jem(scratch.minimizers, params.segment_length, hashes,
+                    scratch, out);
+      break;
+    }
+    case SketchScheme::kClassicMinhash:
+      classic_minhash(seq, params.k, hashes, scratch, out);
+      break;
+  }
+}
+
 SketchTable sketch_subjects(const io::SequenceSet& subjects, io::SeqId begin,
                             io::SeqId end, const MapParams& params,
                             SketchScheme scheme, const HashFamily& hashes) {
@@ -55,11 +72,16 @@ JemMapper::JemMapper(const io::SequenceSet& subjects, MapParams params,
   if (table_.trials() != params_.trials) {
     throw std::invalid_argument("JemMapper: table trial count mismatch");
   }
+  table_.freeze();  // idempotent; the query path needs the flat index
 }
 
 MapResult JemMapper::map_segment(std::string_view segment,
                                  MapScratch& scratch) const {
-  const Sketch sketch = make_sketch(segment, params_, scheme_, hashes_);
+  FlatSketch& sketch = scratch.sketch();
+  make_sketch(segment, params_, scheme_, hashes_, scratch.sketch_scratch(),
+              sketch);
+  const FlatSketchIndex& index = table_.flat();
+  auto& postings = scratch.postings();
 
   MapResult best;
   scratch.votes().new_round();
@@ -68,13 +90,50 @@ MapResult JemMapper::map_segment(std::string_view segment,
     // sketch k-mers within one trial still earns a single vote, enforced by
     // the per-trial `seen` round.
     scratch.seen().new_round();
-    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
-      for (io::SeqId subject : table_.lookup(t, kmer)) {
+    const std::span<const KmerCode> kmers = sketch.trial(t);
+    postings.resize(kmers.size());
+    index.lookup_many(t, kmers, postings);
+    for (const std::span<const io::SeqId> subjects : postings) {
+      for (io::SeqId subject : subjects) {
         if (!scratch.seen().first_time(subject)) continue;
         const std::uint32_t count = scratch.votes().increment(subject);
         // Final winner = max votes, ties to the smallest subject id; the
         // online update below realizes exactly that order without a final
         // scan over all subjects.
+        if (count > best.votes ||
+            (count == best.votes && subject < best.subject)) {
+          best.votes = count;
+          best.subject = subject;
+        }
+      }
+    }
+  }
+
+  if (best.votes < params_.min_votes) return {};
+  return best;
+}
+
+MapResult JemMapper::map_segment_reference(std::string_view segment,
+                                           MapScratch& scratch) const {
+  // Frozen pre-overhaul kernel for the JEM scheme (per-trial std::deque
+  // windows, allocated per call); CSR binary-search lookups below. This is
+  // the baseline BENCH_hotpath.json measures the hot path against.
+  const Sketch sketch =
+      scheme_ == SketchScheme::kJem
+          ? sketch_by_jem_reference(
+                minimizer_scan(segment,
+                               {params_.k, params_.w, params_.ordering}),
+                params_.segment_length, hashes_)
+          : make_sketch(segment, params_, scheme_, hashes_);
+
+  MapResult best;
+  scratch.votes().new_round();
+  for (int t = 0; t < params_.trials; ++t) {
+    scratch.seen().new_round();
+    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
+      for (io::SeqId subject : table_.lookup(t, kmer)) {
+        if (!scratch.seen().first_time(subject)) continue;
+        const std::uint32_t count = scratch.votes().increment(subject);
         if (count > best.votes ||
             (count == best.votes && subject < best.subject)) {
           best.votes = count;
@@ -96,16 +155,25 @@ MapResult JemMapper::map_segment(std::string_view segment) const {
 std::vector<MapResult> JemMapper::map_segment_topx(std::string_view segment,
                                                    std::size_t x,
                                                    MapScratch& scratch) const {
-  const Sketch sketch = make_sketch(segment, params_, scheme_, hashes_);
+  FlatSketch& sketch = scratch.sketch();
+  make_sketch(segment, params_, scheme_, hashes_, scratch.sketch_scratch(),
+              sketch);
+  const FlatSketchIndex& index = table_.flat();
+  auto& postings = scratch.postings();
 
   // Same vote counting as map_segment, but remember every subject touched
-  // this round so the full ranking can be materialized afterwards.
-  std::vector<io::SeqId> touched;
+  // this round so the full ranking can be materialized afterwards. The
+  // touched list lives in the scratch so repeat calls reuse its capacity.
+  std::vector<io::SeqId>& touched = scratch.touched();
+  touched.clear();
   scratch.votes().new_round();
   for (int t = 0; t < params_.trials; ++t) {
     scratch.seen().new_round();
-    for (KmerCode kmer : sketch.per_trial[static_cast<std::size_t>(t)]) {
-      for (io::SeqId subject : table_.lookup(t, kmer)) {
+    const std::span<const KmerCode> kmers = sketch.trial(t);
+    postings.resize(kmers.size());
+    index.lookup_many(t, kmers, postings);
+    for (const std::span<const io::SeqId> subjects : postings) {
+      for (io::SeqId subject : subjects) {
         if (!scratch.seen().first_time(subject)) continue;
         if (scratch.votes().increment(subject) == 1) {
           touched.push_back(subject);

@@ -64,8 +64,11 @@ struct SegmentTopX {
   friend bool operator==(const SegmentTopX&, const SegmentTopX&) = default;
 };
 
-/// Per-thread mutable state for the query phase (the lazy counters of the
-/// paper's S4 implementation notes).
+/// Per-thread mutable state for the query phase: the lazy counters of the
+/// paper's S4 implementation notes plus every buffer the sketch kernels and
+/// the vote loop need, so a segment mapped with a warm scratch performs no
+/// heap allocation at all. One scratch per worker thread; the engine's
+/// ScratchPool recycles them across batches.
 class MapScratch {
  public:
   explicit MapScratch(std::size_t num_subjects)
@@ -74,15 +77,39 @@ class MapScratch {
   LazyHitCounter& votes() noexcept { return votes_; }
   LazyHitCounter& seen() noexcept { return seen_; }
 
+  /// Sketch-kernel buffers (minimizer list, window rings, emission arrays).
+  SketchScratch& sketch_scratch() noexcept { return sketch_scratch_; }
+
+  /// The segment's sketch, rebuilt in place per map_segment call.
+  FlatSketch& sketch() noexcept { return sketch_; }
+
+  /// Per-trial postings spans resolved by FlatSketchIndex::lookup_many.
+  std::vector<std::span<const io::SeqId>>& postings() noexcept {
+    return postings_;
+  }
+
+  /// Subjects touched by the current top-x round (reused across calls).
+  std::vector<io::SeqId>& touched() noexcept { return touched_; }
+
  private:
   LazyHitCounter votes_;
   LazyHitCounter seen_;
+  SketchScratch sketch_scratch_;
+  FlatSketch sketch_;
+  std::vector<std::span<const io::SeqId>> postings_;
+  std::vector<io::SeqId> touched_;
 };
 
 /// Computes the sketch of one sequence under the given scheme.
 [[nodiscard]] Sketch make_sketch(std::string_view seq, const MapParams& params,
                                  SketchScheme scheme,
                                  const HashFamily& hashes);
+
+/// Scratch-reusing form: fills `out` without steady-state allocation. Trial
+/// lists are bit-identical to the allocating overload's per_trial vectors.
+void make_sketch(std::string_view seq, const MapParams& params,
+                 SketchScheme scheme, const HashFamily& hashes,
+                 SketchScratch& scratch, FlatSketch& out);
 
 /// Sketches subjects [begin, end) of `subjects` into a fresh table (the
 /// local S2 step of the distributed algorithm; the sequential driver calls
@@ -111,12 +138,22 @@ class JemMapper {
     return subjects_;
   }
 
-  /// Maps one segment (steps 4-8 of Algorithm 2).
+  /// Maps one segment (steps 4-8 of Algorithm 2). Hot path: sketches into
+  /// the scratch's reusable buffers and votes through the table's
+  /// FlatSketchIndex with batched, prefetching lookups.
   [[nodiscard]] MapResult map_segment(std::string_view segment,
                                       MapScratch& scratch) const;
 
   /// Convenience overload allocating its own scratch (tests, examples).
   [[nodiscard]] MapResult map_segment(std::string_view segment) const;
+
+  /// The pre-overhaul query path: allocates a fresh Sketch and resolves
+  /// every (trial, k-mer) with the CSR binary search. Kept as the oracle
+  /// for the golden-equivalence tests and as the baseline bench_micro's
+  /// hot-path benchmark measures the flat+scratch path against. Returns
+  /// exactly what map_segment returns.
+  [[nodiscard]] MapResult map_segment_reference(std::string_view segment,
+                                                MapScratch& scratch) const;
 
   /// Maps one segment and returns up to `x` candidate subjects ordered by
   /// votes (descending, ties to smaller id). Subjects below min_votes are

@@ -1,6 +1,6 @@
 #include "core/minimizer.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/prng.hpp"
@@ -49,24 +49,21 @@ void validate(const MinimizerParams& p) {
   }
 }
 
-/// Appends the distinct minimizers of one ACGT run using a monotone deque.
-/// Ties are broken toward the leftmost occurrence (values equal to the new
-/// candidate are kept in the deque, so an earlier equal minimum stays at the
-/// front).
+/// Appends the distinct minimizers of one ACGT run using a monotone ring
+/// buffer (bounded by the window size, reused across runs and calls). Ties
+/// are broken toward the leftmost occurrence (values equal to the new
+/// candidate are kept in the buffer, so an earlier equal minimum stays at
+/// the front).
 void scan_run(std::string_view seq, Run run, const MinimizerParams& p,
-              const KmerCodec& codec, std::vector<Minimizer>& out) {
+              const KmerCodec& codec,
+              util::RingDeque<detail::MinimizerWindowEntry>& window_buf,
+              std::vector<Minimizer>& out) {
   const std::size_t run_len = run.end - run.begin;
   if (run_len < static_cast<std::size_t>(p.k)) return;
   const std::size_t num_kmers = run_len - static_cast<std::size_t>(p.k) + 1;
   const std::size_t window =
       std::min<std::size_t>(static_cast<std::size_t>(p.w), num_kmers);
-
-  struct Entry {
-    std::uint64_t key;  // ordering key (lexicographic code or mixed hash)
-    KmerCode canon;
-    std::uint32_t pos;  // absolute position in seq
-  };
-  std::deque<Entry> deque;
+  window_buf.clear();
 
   KmerCode fwd = 0;
   KmerCode rc = 0;
@@ -91,16 +88,18 @@ void scan_run(std::string_view seq, Run run, const MinimizerParams& p,
 
     // Maintain monotone (strictly increasing) keys front to back; equal
     // keys are kept so the leftmost minimum wins ties.
-    while (!deque.empty() && deque.back().key > key) deque.pop_back();
-    deque.push_back({key, canon, pos});
+    while (!window_buf.empty() && window_buf.back().key > key) {
+      window_buf.pop_back();
+    }
+    window_buf.push_back({key, canon, pos});
 
     // Window covering k-mers [i - window + 1, i] is complete once
     // i + 1 >= window. Evict entries that fell out of it.
     if (i + 1 >= window) {
       const auto window_begin = static_cast<std::uint32_t>(
           run.begin + i + 1 - window);
-      while (deque.front().pos < window_begin) deque.pop_front();
-      const Entry& min_entry = deque.front();
+      while (window_buf.front().pos < window_begin) window_buf.pop_front();
+      const detail::MinimizerWindowEntry& min_entry = window_buf.front();
       if (out.empty() || out.back().kmer != min_entry.canon ||
           out.back().position != min_entry.pos) {
         out.push_back({min_entry.canon, min_entry.pos});
@@ -111,14 +110,27 @@ void scan_run(std::string_view seq, Run run, const MinimizerParams& p,
 
 }  // namespace
 
-std::vector<Minimizer> minimizer_scan(std::string_view seq,
-                                      const MinimizerParams& p) {
+void minimizer_scan(std::string_view seq, const MinimizerParams& p,
+                    MinimizerScratch& scratch, std::vector<Minimizer>& out) {
   validate(p);
   const KmerCodec codec(p.k);
-  std::vector<Minimizer> out;
-  for (const Run& run : acgt_runs(seq)) {
-    scan_run(seq, run, p, codec, out);
+  out.clear();
+  // Lazy run iteration: walk the sequence once, handing each maximal ACGT
+  // run to the window scan as it is found (no per-call run vector).
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    while (i < seq.size() && base_code(seq[i]) == kInvalidBase) ++i;
+    const std::size_t begin = i;
+    while (i < seq.size() && base_code(seq[i]) != kInvalidBase) ++i;
+    if (begin < i) scan_run(seq, {begin, i}, p, codec, scratch.window, out);
   }
+}
+
+std::vector<Minimizer> minimizer_scan(std::string_view seq,
+                                      const MinimizerParams& p) {
+  MinimizerScratch scratch;
+  std::vector<Minimizer> out;
+  minimizer_scan(seq, p, scratch, out);
   return out;
 }
 

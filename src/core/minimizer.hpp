@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/kmer.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace jem::core {
 
@@ -45,6 +46,25 @@ struct MinimizerParams {
   MinimizerOrdering ordering = MinimizerOrdering::kLexicographic;
 };
 
+namespace detail {
+/// One monotone-window entry of the scan: the ordering key (lexicographic
+/// code or mixed hash), the canonical k-mer, and its absolute position.
+struct MinimizerWindowEntry {
+  std::uint64_t key;
+  KmerCode canon;
+  std::uint32_t pos;
+};
+}  // namespace detail
+
+/// Reusable state of the scan: the monotone window buffer. A scratch that
+/// survives across calls makes the scan allocation-free at steady state —
+/// the buffer's capacity converges to the largest window seen (<= w entries)
+/// and is reused, where the previous implementation paid std::deque's
+/// chunked allocations on every call.
+struct MinimizerScratch {
+  util::RingDeque<detail::MinimizerWindowEntry> window;
+};
+
 /// Computes M_o(s, w): the position-sorted list of distinct minimizer
 /// occurrences of `seq`. Sequences shorter than one full window (k + w - 1
 /// bases) within an ACGT run contribute the minimizer of each partial run
@@ -52,6 +72,12 @@ struct MinimizerParams {
 /// matching how short contigs still produce sketches in practice.
 [[nodiscard]] std::vector<Minimizer> minimizer_scan(std::string_view seq,
                                                     const MinimizerParams& p);
+
+/// Scratch-reusing form of the scan: clears and fills `out`, reusing the
+/// scratch's window buffer. ACGT runs are iterated lazily (no per-call run
+/// vector). Produces exactly the same list as the allocating overload.
+void minimizer_scan(std::string_view seq, const MinimizerParams& p,
+                    MinimizerScratch& scratch, std::vector<Minimizer>& out);
 
 /// Reference O(n·w) implementation used by property tests to validate the
 /// deque-based scan.

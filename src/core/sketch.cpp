@@ -28,9 +28,146 @@ struct HashedKmer {
 
 }  // namespace
 
+namespace {
+
+/// Fast path for the query side: when the whole minimizer list spans at most
+/// ℓ positions (always true for an end segment of length <= ℓ), every
+/// interval [p_i, p_i + ℓ] reaches the end of the list, so the interval
+/// minimum of position i is simply the suffix minimum over [i, n). One
+/// backward scan per trial replaces the sliding-window rings entirely.
+void sketch_by_jem_suffix(std::span<const Minimizer> minimizers,
+                          const HashFamily& hashes, SketchScratch& scratch,
+                          FlatSketch& out) {
+  const auto trials = static_cast<std::size_t>(hashes.trials());
+  const std::size_t count = minimizers.size();
+  out.offsets.reserve(trials + 1);
+  out.offsets.push_back(0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    auto& emitted = scratch.trial_tmp;
+    emitted.clear();
+    std::uint64_t best_hash = 0;
+    KmerCode best_kmer = 0;
+    for (std::size_t i = count; i-- > 0;) {
+      const KmerCode kmer = minimizers[i].kmer;
+      const std::uint64_t hash = hashes.hash(static_cast<int>(t), kmer);
+      // The running minimum only ever improves strictly walking backward,
+      // so each emitted (hash, kmer) is strictly smaller than the last —
+      // the emitted k-mers are already distinct, no dedup pass needed.
+      if (i + 1 == count || hash < best_hash ||
+          (hash == best_hash && kmer < best_kmer)) {
+        best_hash = hash;
+        best_kmer = kmer;
+        emitted.push_back(best_kmer);
+      }
+    }
+    std::sort(emitted.begin(), emitted.end());
+    out.kmers.insert(out.kmers.end(), emitted.begin(), emitted.end());
+    out.offsets.push_back(static_cast<std::uint32_t>(out.kmers.size()));
+  }
+}
+
+}  // namespace
+
+void sketch_by_jem(std::span<const Minimizer> minimizers,
+                   std::uint32_t interval_length, const HashFamily& hashes,
+                   SketchScratch& scratch, FlatSketch& out) {
+  const auto trials = static_cast<std::size_t>(hashes.trials());
+  out.clear();
+
+  // Suffix-minima shortcut: if the last interval's start already admits the
+  // last minimizer, every interval runs to the end of the list. Identical
+  // output to the general path — equal (hash, kmer) pairs carry equal
+  // k-mers, and each trial is sorted + deduped either way.
+  if (!minimizers.empty() &&
+      minimizers.back().position - minimizers.front().position <=
+          interval_length) {
+    sketch_by_jem_suffix(minimizers, hashes, scratch, out);
+    return;
+  }
+
+  // One sliding-window-minimum ring per trial, advanced in lockstep with
+  // the interval two-pointer. The rings and the emission buffer live in the
+  // scratch, so repeat calls allocate nothing once capacities settle.
+  auto& windows = scratch.windows;
+  if (windows.size() < trials) windows.resize(trials);
+  for (std::size_t t = 0; t < trials; ++t) windows[t].clear();
+  scratch.emitted.clear();
+
+  std::size_t right = 0;  // first minimizer not yet in any window
+  for (std::size_t i = 0; i < minimizers.size(); ++i) {
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(minimizers[i].position) + interval_length;
+
+    // Extend the interval: admit minimizers with p_j <= p_i + ℓ.
+    while (right < minimizers.size() && minimizers[right].position <= limit) {
+      const KmerCode kmer = minimizers[right].kmer;
+      for (std::size_t t = 0; t < trials; ++t) {
+        auto& window = windows[t];
+        const std::uint64_t hash = hashes.hash(static_cast<int>(t), kmer);
+        // Pop entries >= (hash, kmer): min tie-break toward smaller k-mer.
+        while (!window.empty() &&
+               !(window.back().hash < hash ||
+                 (window.back().hash == hash && window.back().kmer < kmer))) {
+          window.pop_back();
+        }
+        window.push_back({hash, kmer, static_cast<std::uint32_t>(right)});
+      }
+      ++right;
+    }
+
+    // Shrink: evict minimizers that precede the interval start, then emit
+    // every trial's interval minimum (minimizer-major layout).
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto& window = windows[t];
+      while (window.front().index < i) window.pop_front();
+      scratch.emitted.push_back(window.front().kmer);
+    }
+  }
+
+  // Normalize each trial: gather its emission column, sort, dedup, append.
+  // The result is element-for-element equal to Sketch::per_trial[t].
+  out.offsets.reserve(trials + 1);
+  out.offsets.push_back(0);
+  const std::size_t count = minimizers.size();
+  for (std::size_t t = 0; t < trials; ++t) {
+    scratch.trial_tmp.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch.trial_tmp.push_back(scratch.emitted[i * trials + t]);
+    }
+    std::sort(scratch.trial_tmp.begin(), scratch.trial_tmp.end());
+    const auto last =
+        std::unique(scratch.trial_tmp.begin(), scratch.trial_tmp.end());
+    out.kmers.insert(out.kmers.end(), scratch.trial_tmp.begin(), last);
+    out.offsets.push_back(static_cast<std::uint32_t>(out.kmers.size()));
+  }
+}
+
 Sketch sketch_by_jem(std::span<const Minimizer> minimizers,
                      std::uint32_t interval_length,
                      const HashFamily& hashes) {
+  SketchScratch scratch;
+  FlatSketch flat;
+  sketch_by_jem(minimizers, interval_length, hashes, scratch, flat);
+  Sketch sketch;
+  sketch.per_trial.resize(static_cast<std::size_t>(hashes.trials()));
+  for (int t = 0; t < hashes.trials(); ++t) {
+    const auto kmers = flat.trial(t);
+    sketch.per_trial[static_cast<std::size_t>(t)].assign(kmers.begin(),
+                                                         kmers.end());
+  }
+  return sketch;
+}
+
+Sketch sketch_by_jem(std::string_view seq, const SketchParams& params,
+                     const HashFamily& hashes) {
+  const std::vector<Minimizer> minimizers =
+      minimizer_scan(seq, params.minimizer);
+  return sketch_by_jem(minimizers, params.interval_length, hashes);
+}
+
+Sketch sketch_by_jem_reference(std::span<const Minimizer> minimizers,
+                               std::uint32_t interval_length,
+                               const HashFamily& hashes) {
   const int trials = hashes.trials();
   Sketch sketch;
   sketch.per_trial.resize(static_cast<std::size_t>(trials));
@@ -77,13 +214,6 @@ Sketch sketch_by_jem(std::span<const Minimizer> minimizers,
   return sketch;
 }
 
-Sketch sketch_by_jem(std::string_view seq, const SketchParams& params,
-                     const HashFamily& hashes) {
-  const std::vector<Minimizer> minimizers =
-      minimizer_scan(seq, params.minimizer);
-  return sketch_by_jem(minimizers, params.interval_length, hashes);
-}
-
 Sketch sketch_by_jem_naive(std::span<const Minimizer> minimizers,
                            std::uint32_t interval_length,
                            const HashFamily& hashes) {
@@ -113,13 +243,16 @@ Sketch sketch_by_jem_naive(std::span<const Minimizer> minimizers,
   return sketch;
 }
 
-Sketch classic_minhash(std::string_view seq, int k, const HashFamily& hashes) {
-  const int trials = hashes.trials();
-  Sketch sketch;
-  sketch.per_trial.resize(static_cast<std::size_t>(trials));
+void classic_minhash(std::string_view seq, int k, const HashFamily& hashes,
+                     SketchScratch& scratch, FlatSketch& out) {
+  const auto trials = static_cast<std::size_t>(hashes.trials());
+  out.clear();
   const KmerCodec codec(k);
 
-  std::vector<HashedKmer> best(static_cast<std::size_t>(trials));
+  auto& best_hash = scratch.best_hash;
+  auto& best_kmer = scratch.best_kmer;
+  best_hash.assign(trials, 0);
+  best_kmer.assign(trials, 0);
   bool any = false;
 
   // Rolling scan over all k-mers, restarting after ambiguous bases.
@@ -138,19 +271,35 @@ Sketch classic_minhash(std::string_view seq, int k, const HashFamily& hashes) {
     valid = k;  // saturate so the counter cannot overflow on long runs
 
     const KmerCode canon = fwd < rc ? fwd : rc;
-    for (int t = 0; t < trials; ++t) {
-      const HashedKmer hk{hashes.hash(t, canon), canon};
-      auto& current = best[static_cast<std::size_t>(t)];
-      if (!any || hk.less_than(current)) current = hk;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::uint64_t hash = hashes.hash(static_cast<int>(t), canon);
+      if (!any || hash < best_hash[t] ||
+          (hash == best_hash[t] && canon < best_kmer[t])) {
+        best_hash[t] = hash;
+        best_kmer[t] = canon;
+      }
     }
     any = true;
   }
 
-  if (any) {
-    for (int t = 0; t < trials; ++t) {
-      sketch.per_trial[static_cast<std::size_t>(t)].push_back(
-          best[static_cast<std::size_t>(t)].kmer);
-    }
+  out.offsets.reserve(trials + 1);
+  out.offsets.push_back(0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (any) out.kmers.push_back(best_kmer[t]);
+    out.offsets.push_back(static_cast<std::uint32_t>(out.kmers.size()));
+  }
+}
+
+Sketch classic_minhash(std::string_view seq, int k, const HashFamily& hashes) {
+  SketchScratch scratch;
+  FlatSketch flat;
+  classic_minhash(seq, k, hashes, scratch, flat);
+  Sketch sketch;
+  sketch.per_trial.resize(static_cast<std::size_t>(hashes.trials()));
+  for (int t = 0; t < hashes.trials(); ++t) {
+    const auto kmers = flat.trial(t);
+    sketch.per_trial[static_cast<std::size_t>(t)].assign(kmers.begin(),
+                                                         kmers.end());
   }
   return sketch;
 }

@@ -31,6 +31,7 @@
 
 #include "core/hash_family.hpp"
 #include "core/minimizer.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace jem::core {
 
@@ -51,6 +52,59 @@ struct Sketch {
   }
 };
 
+/// The query-side sketch layout: all trials' k-mer lists concatenated in one
+/// flat array with a trials+1 offset table. trial(t) is sorted and
+/// deduplicated, element-for-element equal to Sketch::per_trial[t] — but the
+/// storage is two reusable vectors instead of T+1 heap blocks, which is what
+/// makes the map_segment steady state allocation-free.
+struct FlatSketch {
+  std::vector<KmerCode> kmers;           // trial-major concatenation
+  std::vector<std::uint32_t> offsets;    // trials() + 1 entries
+
+  [[nodiscard]] int trials() const noexcept {
+    return offsets.empty() ? 0 : static_cast<int>(offsets.size()) - 1;
+  }
+
+  [[nodiscard]] std::span<const KmerCode> trial(int t) const noexcept {
+    const auto i = static_cast<std::size_t>(t);
+    return std::span<const KmerCode>(kmers).subspan(
+        offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  [[nodiscard]] std::size_t total_entries() const noexcept {
+    return kmers.size();
+  }
+
+  void clear() noexcept {
+    kmers.clear();
+    offsets.clear();
+  }
+};
+
+namespace detail {
+/// One per-trial sliding-window-minimum entry of Algorithm 1's fast path:
+/// the trial hash, the k-mer, and the index of the minimizer it came from.
+struct JemWindowEntry {
+  std::uint64_t hash;
+  KmerCode kmer;
+  std::uint32_t index;
+};
+}  // namespace detail
+
+/// Reusable state of the sketch kernels. Hold one per thread (MapScratch
+/// embeds one) and every buffer converges to its high-water capacity: the
+/// minimizer list, the scan window, the T interval-minimum rings (replacing
+/// T std::deques per call), and the flat emission buffers.
+struct SketchScratch {
+  MinimizerScratch scan;                  // minimizer_scan window
+  std::vector<Minimizer> minimizers;      // M_o(s, w) of the segment
+  std::vector<util::RingDeque<detail::JemWindowEntry>> windows;  // T rings
+  std::vector<KmerCode> emitted;  // interval minima, minimizer-major (|M|*T)
+  std::vector<KmerCode> trial_tmp;        // one trial's column, for sort
+  std::vector<std::uint64_t> best_hash;   // classic MinHash running argmin
+  std::vector<KmerCode> best_kmer;
+};
+
 struct SketchParams {
   MinimizerParams minimizer;          // k and w
   std::uint32_t interval_length = 1000;  // ℓ, in bp
@@ -60,6 +114,13 @@ struct SketchParams {
 [[nodiscard]] Sketch sketch_by_jem(std::span<const Minimizer> minimizers,
                                    std::uint32_t interval_length,
                                    const HashFamily& hashes);
+
+/// Allocation-free (at steady state) form of the fast path: fills `out`
+/// reusing `scratch`. trial lists are bit-identical to the allocating
+/// overload's per_trial vectors.
+void sketch_by_jem(std::span<const Minimizer> minimizers,
+                   std::uint32_t interval_length, const HashFamily& hashes,
+                   SketchScratch& scratch, FlatSketch& out);
 
 /// Algorithm 1 from the raw sequence (runs the minimizer scan first).
 [[nodiscard]] Sketch sketch_by_jem(std::string_view seq,
@@ -71,9 +132,22 @@ struct SketchParams {
                                          std::uint32_t interval_length,
                                          const HashFamily& hashes);
 
+/// The pre-overhaul production kernel, kept verbatim: per-trial
+/// std::deque sliding windows allocated per call, no suffix shortcut.
+/// Serves as the golden-equivalence oracle for the scratch kernel and as
+/// the baseline the BM_Hotpath* benches (and BENCH_hotpath.json) compare
+/// against. Do not optimize this function.
+[[nodiscard]] Sketch sketch_by_jem_reference(
+    std::span<const Minimizer> minimizers, std::uint32_t interval_length,
+    const HashFamily& hashes);
+
 /// Classical MinHash over all canonical k-mers of `seq`. per_trial[t] has
 /// exactly one k-mer (or zero if the sequence has no valid k-mer).
 [[nodiscard]] Sketch classic_minhash(std::string_view seq, int k,
                                      const HashFamily& hashes);
+
+/// Scratch-reusing form of classic_minhash (same trial lists).
+void classic_minhash(std::string_view seq, int k, const HashFamily& hashes,
+                     SketchScratch& scratch, FlatSketch& out);
 
 }  // namespace jem::core

@@ -1,9 +1,23 @@
 #include "core/sketch_table.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace jem::core {
+
+namespace {
+
+/// CSR offsets are std::uint32_t per trial: refuse to freeze a trial whose
+/// postings would overflow them instead of silently truncating.
+void check_postings_fit(std::size_t postings) {
+  if (postings > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error(
+        "SketchTable: trial postings exceed the uint32 CSR offset range");
+  }
+}
+
+}  // namespace
 
 SketchTable::SketchTable(int trials) : trials_(trials) {
   if (trials < 1) {
@@ -54,6 +68,7 @@ void SketchTable::freeze() {
     for (auto& [kmer, postings] : bin) {
       for (io::SeqId subject : postings) flat.emplace_back(kmer, subject);
     }
+    check_postings_fit(flat.size());
     std::sort(flat.begin(), flat.end());
 
     frozen.keys.reserve(bin.size());
@@ -73,7 +88,24 @@ void SketchTable::freeze() {
   }
   bins_.clear();
   bins_.shrink_to_fit();
+  build_flat_index();
   frozen_ = true;
+}
+
+void SketchTable::build_flat_index() {
+  std::vector<FlatSketchIndex::TrialView> views;
+  views.reserve(frozen_trials_.size());
+  for (const FrozenTrial& frozen : frozen_trials_) {
+    views.push_back({frozen.keys, frozen.offsets, frozen.subjects});
+  }
+  flat_ = FlatSketchIndex::build(views);
+}
+
+const FlatSketchIndex& SketchTable::flat() const {
+  if (!frozen_) {
+    throw std::logic_error("SketchTable::flat: table is not frozen");
+  }
+  return flat_;
 }
 
 std::span<const io::SeqId> SketchTable::lookup(int trial,
@@ -158,6 +190,7 @@ SketchTable SketchTable::from_entries(int trials,
     auto& flat = per_trial[static_cast<std::size_t>(t)];
     std::sort(flat.begin(), flat.end());
     flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    check_postings_fit(flat.size());
 
     FrozenTrial& frozen = table.frozen_trials_[static_cast<std::size_t>(t)];
     frozen.subjects.reserve(flat.size());
@@ -174,6 +207,7 @@ SketchTable SketchTable::from_entries(int trials,
     table.entries_ += flat.size();
   }
   table.bins_.clear();
+  table.build_flat_index();
   table.frozen_ = true;
   return table;
 }

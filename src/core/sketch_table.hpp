@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_index.hpp"
 #include "core/sketch.hpp"
 #include "io/sequence.hpp"
 
@@ -26,14 +27,22 @@ struct SketchEntry {
 };
 static_assert(sizeof(SketchEntry) == 16);
 
-// The table has two representations:
-//  * a mutable hash-map form used while sketching local subjects (S2), and
+// The table has three representations:
+//  * a mutable hash-map form used while sketching local subjects (S2),
 //  * a frozen CSR form — per trial, a position-sorted key array with a
 //    postings array — matching the paper's description of S_global as
 //    "T lists" (Fig 2). from_entries builds the frozen form directly by
 //    sorting the allgathered wire entries, which is markedly cheaper than
 //    re-inserting hundreds of thousands of entries into hash maps at every
-//    rank, and lookups become cache-friendly binary searches.
+//    rank, and lookups become cache-friendly binary searches; and
+//  * a FlatSketchIndex built alongside the CSR form on freeze — the
+//    open-addressing form the query hot path probes (O(1) per lookup, with
+//    batched prefetching). lookup() keeps answering from the CSR arrays so
+//    the two forms can be validated against each other; flat() exposes the
+//    hash index JemMapper queries.
+// Freezing throws std::length_error if any trial's postings exceed the
+// std::uint32_t offset range of the CSR layout (2^32 - 1 entries per trial)
+// rather than silently truncating.
 class SketchTable {
  public:
   /// Creates an empty (mutable) table with `trials` trial bins.
@@ -55,8 +64,14 @@ class SketchTable {
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
 
   /// Subjects that produced `kmer` in trial `t` (empty span if none).
+  /// On a frozen table this is the CSR binary search; the hot path uses
+  /// flat() instead.
   [[nodiscard]] std::span<const io::SeqId> lookup(int trial,
                                                   KmerCode kmer) const;
+
+  /// The open-addressing query index (throws std::logic_error unless
+  /// frozen). Lookups agree exactly with lookup() on a frozen table.
+  [[nodiscard]] const FlatSketchIndex& flat() const;
 
   /// Number of stored (trial, kmer, subject) entries.
   [[nodiscard]] std::size_t size() const noexcept { return entries_; }
@@ -91,9 +106,13 @@ class SketchTable {
     std::vector<io::SeqId> subjects;         // concatenated postings
   };
 
+  /// Builds flat_ from the frozen CSR arrays (last step of freezing).
+  void build_flat_index();
+
   int trials_ = 0;
   std::vector<Bin> bins_;
   std::vector<FrozenTrial> frozen_trials_;
+  FlatSketchIndex flat_;
   bool frozen_ = false;
   std::size_t entries_ = 0;
 };

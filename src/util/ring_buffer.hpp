@@ -1,0 +1,104 @@
+// RingDeque — a growable power-of-two ring buffer with deque semantics
+// (push_back / pop_back / pop_front / front / back), built for the sketch
+// hot path where std::deque's chunked allocation dominates the profile.
+//
+// Unlike std::deque, clearing a RingDeque keeps its storage, so a scratch
+// object that survives across map_segment calls makes the sliding-window
+// kernels allocation-free at steady state: after the first few segments the
+// capacity has grown to the high-water mark and every later call reuses it.
+// Indexing is a mask (capacity is always a power of two), so front/back
+// access compiles to a load plus an AND.
+//
+// T must be trivially copyable (the growth path memmoves elements in two
+// contiguous spans); the window-minimum entries stored here are POD triples.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace jem::util {
+
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque requires trivially copyable elements");
+
+ public:
+  RingDeque() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Drops all elements; keeps the storage (the point of the class).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Ensures capacity for at least `n` elements without further growth.
+  void reserve(std::size_t n) {
+    if (n > slots_.size()) grow(round_up_pow2(n));
+  }
+
+  void push_back(const T& value) {
+    if (size_ == slots_.size()) grow(slots_.empty() ? 16 : slots_.size() * 2);
+    slots_[(head_ + size_) & mask_] = value;
+    ++size_;
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  [[nodiscard]] const T& front() const noexcept { return slots_[head_]; }
+  [[nodiscard]] T& front() noexcept { return slots_[head_]; }
+  [[nodiscard]] const T& back() const noexcept {
+    return slots_[(head_ + size_ - 1) & mask_];
+  }
+  [[nodiscard]] T& back() noexcept {
+    return slots_[(head_ + size_ - 1) & mask_];
+  }
+
+  /// i-th element from the front (0 = front). No bounds check.
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return slots_[(head_ + i) & mask_];
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 16;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void grow(std::size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    if (size_ > 0) {
+      // Unroll the ring into the front of the new storage: the live range
+      // wraps at most once, so it is one or two contiguous memcpys.
+      const std::size_t first = std::min(size_, slots_.size() - head_);
+      std::memcpy(next.data(), slots_.data() + head_, first * sizeof(T));
+      std::memcpy(next.data() + first, slots_.data(),
+                  (size_ - first) * sizeof(T));
+    }
+    slots_ = std::move(next);
+    mask_ = slots_.size() - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace jem::util

@@ -1,0 +1,159 @@
+#include "core/flat_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/sketch_table.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+/// Builds a random mutable table with `entries` (trial, kmer, subject)
+/// inserts, keys drawn from a pool of `distinct_keys` so postings lists get
+/// multiple subjects.
+SketchTable random_table(util::Xoshiro256ss& rng, int trials,
+                         std::size_t entries, std::size_t distinct_keys,
+                         std::size_t subjects) {
+  std::vector<KmerCode> pool(distinct_keys);
+  for (auto& kmer : pool) kmer = rng();
+  SketchTable table(trials);
+  for (std::size_t i = 0; i < entries; ++i) {
+    table.insert(static_cast<int>(rng.bounded(
+                     static_cast<std::uint64_t>(trials))),
+                 pool[rng.bounded(pool.size())],
+                 static_cast<io::SeqId>(rng.bounded(subjects)));
+  }
+  return table;
+}
+
+TEST(FlatSketchIndex, FlatThrowsBeforeFreeze) {
+  SketchTable table(3);
+  table.insert(0, 42, 1);
+  EXPECT_THROW((void)table.flat(), std::logic_error);
+  table.freeze();
+  EXPECT_NO_THROW((void)table.flat());
+}
+
+TEST(FlatSketchIndex, MatchesCsrLookupOnRandomTables) {
+  util::Xoshiro256ss rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const int trials = 1 + static_cast<int>(rng.bounded(8));
+    const std::size_t keys = 1 + rng.bounded(300);
+    SketchTable table =
+        random_table(rng, trials, 10 + rng.bounded(2000), keys,
+                     1 + rng.bounded(50));
+
+    // Collect the key set before freezing (lookup on the mutable form).
+    std::vector<SketchEntry> entries = table.to_entries();
+    table.freeze();
+    const FlatSketchIndex& index = table.flat();
+    EXPECT_EQ(index.key_count(), table.key_count());
+    EXPECT_GE(index.capacity(), 2 * index.key_count());
+
+    // Every stored key: flat postings == CSR postings (same order too —
+    // both are sorted by subject id).
+    for (const SketchEntry& entry : entries) {
+      const auto trial = static_cast<int>(entry.trial);
+      const auto csr = table.lookup(trial, entry.kmer);
+      const auto flat = index.lookup(trial, entry.kmer);
+      ASSERT_EQ(csr.size(), flat.size());
+      for (std::size_t i = 0; i < csr.size(); ++i) {
+        ASSERT_EQ(csr[i], flat[i]);
+      }
+    }
+
+    // Random absent keys miss in both forms.
+    for (int probe = 0; probe < 200; ++probe) {
+      const KmerCode kmer = rng();
+      const int trial = static_cast<int>(
+          rng.bounded(static_cast<std::uint64_t>(trials)));
+      EXPECT_EQ(table.lookup(trial, kmer).empty(),
+                index.lookup(trial, kmer).empty());
+    }
+  }
+}
+
+TEST(FlatSketchIndex, LookupManyMatchesSingleLookups) {
+  util::Xoshiro256ss rng(12);
+  SketchTable table = random_table(rng, 4, 3000, 400, 64);
+  table.freeze();
+  const FlatSketchIndex& index = table.flat();
+
+  for (int t = 0; t < 4; ++t) {
+    // A mix of present and absent keys, long enough to engage prefetching.
+    std::vector<KmerCode> kmers;
+    for (int i = 0; i < 500; ++i) kmers.push_back(rng());
+    for (const SketchEntry& entry : table.to_entries()) {
+      if (static_cast<int>(entry.trial) == t) kmers.push_back(entry.kmer);
+    }
+
+    std::vector<std::span<const io::SeqId>> out(kmers.size());
+    index.lookup_many(t, kmers, out);
+    for (std::size_t i = 0; i < kmers.size(); ++i) {
+      const auto single = index.lookup(t, kmers[i]);
+      ASSERT_EQ(single.size(), out[i].size());
+      ASSERT_EQ(single.data(), out[i].data());
+    }
+  }
+}
+
+TEST(FlatSketchIndex, EmptyTrialsLookupCleanly) {
+  SketchTable table(5);
+  table.insert(2, 77, 9);  // trials 0,1,3,4 stay empty
+  table.freeze();
+  const FlatSketchIndex& index = table.flat();
+  EXPECT_EQ(index.trials(), 5);
+  for (int t = 0; t < 5; ++t) {
+    if (t == 2) {
+      ASSERT_EQ(index.lookup(t, 77).size(), 1u);
+      EXPECT_EQ(index.lookup(t, 77)[0], 9u);
+    } else {
+      EXPECT_TRUE(index.lookup(t, 77).empty());
+    }
+    EXPECT_TRUE(index.lookup(t, 78).empty());
+  }
+}
+
+TEST(FlatSketchIndex, FromEntriesBuildsSameIndexAsFreeze) {
+  util::Xoshiro256ss rng(13);
+  SketchTable table = random_table(rng, 3, 1500, 200, 32);
+  const std::vector<SketchEntry> entries = table.to_entries();
+  table.freeze();
+
+  const SketchTable rebuilt = SketchTable::from_entries(3, entries);
+  const FlatSketchIndex& a = table.flat();
+  const FlatSketchIndex& b = rebuilt.flat();
+  EXPECT_EQ(a.key_count(), b.key_count());
+  for (const SketchEntry& entry : entries) {
+    const auto trial = static_cast<int>(entry.trial);
+    const auto from_freeze = a.lookup(trial, entry.kmer);
+    const auto from_entries = b.lookup(trial, entry.kmer);
+    ASSERT_EQ(from_freeze.size(), from_entries.size());
+    for (std::size_t i = 0; i < from_freeze.size(); ++i) {
+      ASSERT_EQ(from_freeze[i], from_entries[i]);
+    }
+  }
+}
+
+TEST(FlatSketchIndex, AdversarialKeysCollidingInLowBits) {
+  // Keys equal modulo a small power of two all hash to nearby home slots
+  // only if mix64 fails to spread them; either way linear probing must
+  // resolve every key.
+  SketchTable table(1);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    table.insert(0, i << 32, static_cast<io::SeqId>(i));
+  }
+  table.freeze();
+  const FlatSketchIndex& index = table.flat();
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto postings = index.lookup(0, i << 32);
+    ASSERT_EQ(postings.size(), 1u);
+    EXPECT_EQ(postings[0], static_cast<io::SeqId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace jem::core

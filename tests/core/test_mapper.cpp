@@ -323,6 +323,91 @@ TEST_F(MapperTest, TiledMappingCoversInteriorSegments) {
   EXPECT_EQ(interior, 8);
 }
 
+TEST_F(MapperTest, HotPathMatchesReferencePathExactly) {
+  // Golden equivalence of the query overhaul: the flat-index + scratch hot
+  // path must return bit-identical results to the pre-overhaul allocating
+  // CSR path on every kind of segment, with one scratch reused throughout.
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  util::Xoshiro256ss rng(31337);
+  for (int round = 0; round < 60; ++round) {
+    std::string segment;
+    switch (round % 4) {
+      case 0:  // in-genome segment
+        segment = genome_.substr(rng.bounded(genome_.size() - 1200),
+                                 200 + rng.bounded(1000));
+        break;
+      case 1:  // reverse strand
+        segment = reverse_complement(
+            genome_.substr(rng.bounded(genome_.size() - 1000), 1000));
+        break;
+      case 2:  // unrelated sequence
+        segment = random_dna(rng, 100 + rng.bounded(900));
+        break;
+      case 3:  // N-rich in-genome segment
+        segment = genome_.substr(rng.bounded(genome_.size() - 1000), 1000);
+        for (std::size_t i = 0; i < segment.size(); ++i) {
+          if (rng.bounded(15) == 0) segment[i] = 'N';
+        }
+        break;
+    }
+    const MapResult fast = mapper.map_segment(segment, scratch);
+    const MapResult reference = mapper.map_segment_reference(segment, scratch);
+    ASSERT_EQ(fast, reference) << "round " << round;
+  }
+}
+
+TEST_F(MapperTest, HotPathMatchesReferenceUnderClassicMinhash) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kClassicMinhash);
+  MapScratch scratch(subjects_.size());
+  util::Xoshiro256ss rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    const std::string segment =
+        genome_.substr(rng.bounded(genome_.size() - 1000), 1000);
+    ASSERT_EQ(mapper.map_segment(segment, scratch),
+              mapper.map_segment_reference(segment, scratch));
+  }
+}
+
+TEST_F(MapperTest, TopXReusesScratchAcrossCalls) {
+  // map_segment_topx now keeps its touched list in the scratch; repeated
+  // calls must not leak state between segments, and the front hit must
+  // stay equal to map_segment's winner.
+  const JemMapper mapper(subjects_, params_);
+  MapScratch scratch(subjects_.size());
+  for (int contig = 0; contig < 10; ++contig) {
+    const std::string segment =
+        genome_.substr(static_cast<std::size_t>(contig) * 6000 + 3000, 1000);
+    const auto hits = mapper.map_segment_topx(segment, 5, scratch);
+    const MapResult best = mapper.map_segment(segment, scratch);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits.front(), best);
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+      const bool ordered =
+          hits[i - 1].votes > hits[i].votes ||
+          (hits[i - 1].votes == hits[i].votes &&
+           hits[i - 1].subject < hits[i].subject);
+      EXPECT_TRUE(ordered) << "hits must stay sorted by (votes desc, id)";
+    }
+  }
+}
+
+TEST_F(MapperTest, AdoptedTableIsFrozenForTheHotPath) {
+  // The table-adopting constructor must freeze a mutable table so the
+  // flat index exists; results agree with the self-sketching constructor.
+  const HashFamily hashes(params_.trials, params_.seed);
+  SketchTable table = sketch_subjects(
+      subjects_, 0, static_cast<io::SeqId>(subjects_.size()), params_,
+      SketchScheme::kJem, hashes);
+  EXPECT_FALSE(table.frozen());
+  const JemMapper adopted(subjects_, params_, SketchScheme::kJem,
+                          std::move(table));
+  EXPECT_TRUE(adopted.table().frozen());
+  const JemMapper fresh(subjects_, params_);
+  const std::string segment = genome_.substr(20'500, 1000);
+  EXPECT_EQ(adopted.map_segment(segment), fresh.map_segment(segment));
+}
+
 TEST(MapperValidation, RejectsBadParams) {
   io::SequenceSet subjects;
   subjects.add("c", "ACGTACGTACGTACGTACGT");

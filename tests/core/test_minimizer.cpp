@@ -84,6 +84,43 @@ TEST(MinimizerScan, MatchesNaiveOnRepetitiveSequence) {
   }
 }
 
+TEST(MinimizerScan, ScratchOverloadMatchesNaiveWithReusedBuffers) {
+  // The allocation-free scan must stay bit-identical to the naive reference
+  // while one scratch + output vector is reused across wildly different
+  // inputs — random sequences, k/w corners, and N-rich content.
+  util::Xoshiro256ss rng(46);
+  MinimizerScratch scratch;
+  std::vector<Minimizer> out;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string seq = random_dna(rng, 20 + rng.bounded(800));
+    // Sprinkle ambiguous bases in half the trials to exercise run breaks.
+    if (trial % 2 == 0) {
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (rng.bounded(10) == 0) seq[i] = 'N';
+      }
+    }
+    const int k = 1 + static_cast<int>(rng.bounded(16));
+    const int w = 1 + static_cast<int>(rng.bounded(30));
+    const auto ordering = rng.bounded(2) == 0
+                              ? MinimizerOrdering::kLexicographic
+                              : MinimizerOrdering::kRandomHash;
+    const MinimizerParams params{k, w, ordering};
+    minimizer_scan(seq, params, scratch, out);
+    ASSERT_EQ(out, minimizer_scan_naive(seq, params))
+        << "k=" << k << " w=" << w << " len=" << seq.size();
+    ASSERT_EQ(out, minimizer_scan(seq, params));
+  }
+}
+
+TEST(MinimizerScan, ScratchOverloadClearsPreviousOutput) {
+  MinimizerScratch scratch;
+  std::vector<Minimizer> out;
+  minimizer_scan("ACGTACGTACGTACGT", {4, 3}, scratch, out);
+  ASSERT_FALSE(out.empty());
+  minimizer_scan("NNNNNNNN", {4, 3}, scratch, out);
+  EXPECT_TRUE(out.empty());  // stale results must not survive
+}
+
 TEST(MinimizerScan, StrandSymmetric) {
   // The canonical minimizer *set* (k-mers, not positions) must be identical
   // for a sequence and its reverse complement.

@@ -62,6 +62,80 @@ TEST(SketchByJem, FastMatchesNaiveOnRandomInputs) {
   }
 }
 
+TEST(SketchByJem, FlatKernelMatchesNaiveWithReusedScratch) {
+  // The ring-buffer kernel writing into a reused FlatSketch must stay
+  // bit-identical to the literal Algorithm 1 loop across random minimizer
+  // lists and interval-length corners, with one scratch shared by all.
+  util::Xoshiro256ss rng(77);
+  SketchScratch scratch;
+  FlatSketch flat;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Minimizer> minimizers;
+    std::uint32_t pos = 0;
+    const std::size_t count = rng.bounded(120);  // sometimes empty
+    for (std::size_t i = 0; i < count; ++i) {
+      pos += 1 + static_cast<std::uint32_t>(rng.bounded(150));
+      minimizers.push_back({rng() & 0xffffffffu, pos});
+    }
+    const HashFamily hashes(1 + static_cast<int>(rng.bounded(10)), rng());
+    const auto interval =
+        static_cast<std::uint32_t>(1 + rng.bounded(3000));
+    sketch_by_jem(minimizers, interval, hashes, scratch, flat);
+    const Sketch naive = sketch_by_jem_naive(minimizers, interval, hashes);
+    ASSERT_EQ(flat.trials(), naive.trials());
+    for (int t = 0; t < naive.trials(); ++t) {
+      const auto kmers = flat.trial(t);
+      const auto& expected = naive.per_trial[static_cast<std::size_t>(t)];
+      ASSERT_EQ(std::vector<KmerCode>(kmers.begin(), kmers.end()), expected)
+          << "round " << round << " trial " << t;
+    }
+  }
+}
+
+TEST(SketchByJem, FlatKernelMatchesAllocatingOverloadOnNRichSequences) {
+  util::Xoshiro256ss rng(78);
+  SketchScratch scratch;
+  FlatSketch flat;
+  const HashFamily hashes(7, 21);
+  for (int round = 0; round < 10; ++round) {
+    std::string seq = random_dna(rng, 2000);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (rng.bounded(20) == 0) seq[i] = 'N';
+    }
+    const SketchParams params{{9, 7}, 400};
+    const Sketch alloc = sketch_by_jem(seq, params, hashes);
+
+    MinimizerScratch scan;
+    std::vector<Minimizer> minimizers;
+    minimizer_scan(seq, params.minimizer, scan, minimizers);
+    sketch_by_jem(minimizers, params.interval_length, hashes, scratch, flat);
+    for (int t = 0; t < 7; ++t) {
+      const auto kmers = flat.trial(t);
+      ASSERT_EQ(std::vector<KmerCode>(kmers.begin(), kmers.end()),
+                alloc.per_trial[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+TEST(ClassicMinhash, FlatOverloadMatchesAllocating) {
+  util::Xoshiro256ss rng(79);
+  SketchScratch scratch;
+  FlatSketch flat;
+  const HashFamily hashes(9, 31);
+  for (const std::string& seq :
+       {random_dna(rng, 500), std::string("ACGT"), std::string("NNNN"),
+        std::string()}) {
+    const Sketch alloc = classic_minhash(seq, 8, hashes);
+    classic_minhash(seq, 8, hashes, scratch, flat);
+    ASSERT_EQ(flat.trials(), alloc.trials());
+    for (int t = 0; t < alloc.trials(); ++t) {
+      const auto kmers = flat.trial(t);
+      ASSERT_EQ(std::vector<KmerCode>(kmers.begin(), kmers.end()),
+                alloc.per_trial[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
 TEST(SketchByJem, FromSequenceMatchesFromMinimizers) {
   util::Xoshiro256ss rng(8);
   const std::string seq = random_dna(rng, 3000);
@@ -233,6 +307,40 @@ TEST(ClassicMinhash, SkipsAmbiguousKmers) {
   const HashFamily hashes(3, 22);
   const Sketch sketch = classic_minhash(seq, 6, hashes);
   EXPECT_EQ(sketch.per_trial[0].size(), 1u);
+}
+
+TEST(SketchByJem, FlatKernelMatchesFrozenReferenceKernel) {
+  // The pre-overhaul deque kernel is the golden oracle: the scratch kernel
+  // must reproduce it exactly through both of its branches — the suffix
+  // shortcut (minimizer span <= interval) and the general sliding windows
+  // (span > interval).
+  util::Xoshiro256ss rng(78);
+  SketchScratch scratch;
+  FlatSketch flat;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Minimizer> minimizers;
+    std::uint32_t pos = 0;
+    const std::size_t count = rng.bounded(150);
+    // Half the rounds use tight spacing so the whole list fits one interval
+    // (suffix branch); half use wide spacing (sliding branch).
+    const std::uint32_t gap = round % 2 == 0 ? 5 : 400;
+    for (std::size_t i = 0; i < count; ++i) {
+      pos += 1 + static_cast<std::uint32_t>(rng.bounded(gap));
+      minimizers.push_back({rng() & 0xffffffffu, pos});
+    }
+    const HashFamily hashes(1 + static_cast<int>(rng.bounded(8)), rng());
+    const auto interval = static_cast<std::uint32_t>(1 + rng.bounded(1500));
+    sketch_by_jem(minimizers, interval, hashes, scratch, flat);
+    const Sketch reference =
+        sketch_by_jem_reference(minimizers, interval, hashes);
+    ASSERT_EQ(flat.trials(), reference.trials());
+    for (int t = 0; t < reference.trials(); ++t) {
+      const auto kmers = flat.trial(t);
+      ASSERT_EQ(std::vector<KmerCode>(kmers.begin(), kmers.end()),
+                reference.per_trial[static_cast<std::size_t>(t)])
+          << "round " << round << " trial " << t;
+    }
+  }
 }
 
 TEST(SketchTotalEntries, SumsAcrossTrials) {

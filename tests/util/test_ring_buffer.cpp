@@ -1,0 +1,98 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/prng.hpp"
+
+namespace jem::util {
+namespace {
+
+TEST(RingDeque, StartsEmpty) {
+  RingDeque<int> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(RingDeque, PushPopBackFront) {
+  RingDeque<int> ring;
+  ring.push_back(1);
+  ring.push_back(2);
+  ring.push_back(3);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.front(), 1);
+  EXPECT_EQ(ring.back(), 3);
+  ring.pop_front();
+  EXPECT_EQ(ring.front(), 2);
+  ring.pop_back();
+  EXPECT_EQ(ring.back(), 2);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingDeque, ClearKeepsCapacity) {
+  RingDeque<int> ring;
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  const std::size_t capacity = ring.capacity();
+  EXPECT_GE(capacity, 100u);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), capacity);  // storage survives the clear
+  ring.push_back(7);
+  EXPECT_EQ(ring.front(), 7);
+  EXPECT_EQ(ring.capacity(), capacity);
+}
+
+TEST(RingDeque, ReserveRoundsUpAndPreventsGrowth) {
+  RingDeque<int> ring;
+  ring.reserve(20);
+  const std::size_t capacity = ring.capacity();
+  EXPECT_GE(capacity, 20u);
+  for (int i = 0; i < 20; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.capacity(), capacity);
+}
+
+TEST(RingDeque, GrowthPreservesOrderAcrossWrap) {
+  RingDeque<int> ring;
+  // Force the live range to wrap: fill, drain the front, refill past the
+  // old capacity.
+  for (int i = 0; i < 16; ++i) ring.push_back(i);
+  for (int i = 0; i < 10; ++i) ring.pop_front();
+  for (int i = 16; i < 40; ++i) ring.push_back(i);
+  ASSERT_EQ(ring.size(), 30u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i) + 10);
+  }
+}
+
+TEST(RingDeque, FuzzAgainstStdDeque) {
+  Xoshiro256ss rng(99);
+  RingDeque<std::uint64_t> ring;
+  std::deque<std::uint64_t> reference;
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t op = rng.bounded(5);
+    if (op <= 2 || reference.empty()) {  // bias toward growth
+      const std::uint64_t value = rng();
+      ring.push_back(value);
+      reference.push_back(value);
+    } else if (op == 3) {
+      ring.pop_front();
+      reference.pop_front();
+    } else {
+      ring.pop_back();
+      reference.pop_back();
+    }
+    ASSERT_EQ(ring.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(ring.front(), reference.front());
+      ASSERT_EQ(ring.back(), reference.back());
+    }
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(ring[i], reference[i]);
+  }
+}
+
+}  // namespace
+}  // namespace jem::util
