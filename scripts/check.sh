@@ -16,14 +16,28 @@ if grep -rn "deprecated-declarations" src/; then
   exit 1
 fi
 
-# Engine concurrency tests under ThreadSanitizer: the bounded queue and the
-# streaming pipeline are the only lock-based concurrency in the library.
+# Engine + chaos concurrency tests under ThreadSanitizer: the bounded
+# queue, the streaming pipeline and the mpisim fault paths are the
+# lock-based concurrency in the library, and the chaos suite drives them
+# through aborts/timeouts (docs/robustness.md).
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
-cmake --build build-tsan --target test_engine
-ctest --test-dir build-tsan --output-on-failure -R 'Engine|BoundedQueue'
+cmake --build build-tsan --target test_engine test_chaos
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property'
+
+# The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
+# fault-injection shutdown paths (worker aborts, queue closes, partial
+# drains) are where lifetime bugs would hide.
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
+cmake --build build-asan --target test_engine test_chaos
+ctest --test-dir build-asan --output-on-failure \
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /

@@ -65,10 +65,50 @@ void sort_by_read(std::vector<SegmentMapping>& mappings) {
 
 }  // namespace
 
+namespace {
+
+mpisim::SpmdOptions spmd_options_for(const RobustnessOptions& robust) {
+  mpisim::SpmdOptions options;
+  options.comm = robust.comm;
+  if (!robust.fault_plan.empty()) options.fault_plan = &robust.fault_plan;
+  return options;
+}
+
+/// The driver-side recovery path shared by both SPMD strategies: assembles
+/// the output from each rank's deposited local results and re-maps every
+/// un-deposited (failed) rank's query partition against a freshly built
+/// *full* sketch table — which is identical to the replicated S_global, so
+/// recovered partitions match what the failed rank would have produced.
+std::vector<SegmentMapping> recover_lost_partitions(
+    const io::SequenceSet& subjects, const io::SequenceSet& reads,
+    const MapParams& params, SketchScheme scheme,
+    const std::vector<std::pair<io::SeqId, io::SeqId>>& read_ranges,
+    const std::vector<std::vector<SegmentMapping>>& deposits,
+    const std::vector<char>& deposited, std::uint64_t& queries_recovered) {
+  std::vector<SegmentMapping> assembled;
+  const JemMapper recovery_mapper(subjects, params, scheme);
+  for (std::size_t r = 0; r < deposits.size(); ++r) {
+    if (deposited[r] != 0) {
+      assembled.insert(assembled.end(), deposits[r].begin(),
+                       deposits[r].end());
+      continue;
+    }
+    const auto [q_begin, q_end] = read_ranges[r];
+    const std::vector<SegmentMapping> recovered =
+        recovery_mapper.map_reads(reads, q_begin, q_end);
+    queries_recovered += recovered.size();
+    assembled.insert(assembled.end(), recovered.begin(), recovered.end());
+  }
+  return assembled;
+}
+
+}  // namespace
+
 DistributedResult run_distributed(const io::SequenceSet& subjects,
                                   const io::SequenceSet& reads,
                                   const MapParams& params, int ranks,
-                                  SketchScheme scheme, int threads_per_rank) {
+                                  SketchScheme scheme, int threads_per_rank,
+                                  const RobustnessOptions& robust) {
   params.validate();
   if (threads_per_rank < 1) {
     throw std::invalid_argument(
@@ -92,80 +132,112 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   const auto read_ranges = partition_by_bases(reads, ranks);
   const double load_s = load_timer.elapsed_s();
 
-  mpisim::run_spmd(ranks, [&](mpisim::Comm& comm) {
-    const int rank = comm.rank();
-    const auto [s_begin, s_end] =
-        subject_ranges[static_cast<std::size_t>(rank)];
-    const auto [q_begin, q_end] = read_ranges[static_cast<std::size_t>(rank)];
+  // Per-rank slots for the recovery path: each rank deposits its local
+  // results before the final gather and flags how far it got (distinct
+  // vector elements, written only by the owning rank — no locking needed).
+  const auto p = static_cast<std::size_t>(ranks);
+  std::vector<std::vector<SegmentMapping>> deposits(p);
+  std::vector<char> deposited(p, 0);
+  std::vector<char> shared_sketch(p, 0);
 
-    // Every rank derives the shared hash family from the experiment seed.
-    const HashFamily hashes(params.trials, params.seed);
+  const mpisim::SpmdReport spmd = mpisim::run_spmd_ft(
+      ranks,
+      [&](mpisim::Comm& comm) {
+        const int rank = comm.rank();
+        const auto r = static_cast<std::size_t>(rank);
+        const auto [s_begin, s_end] = subject_ranges[r];
+        const auto [q_begin, q_end] = read_ranges[r];
 
-    // S2: sketch local subjects.
-    util::WallTimer sketch_timer;
-    const SketchTable local =
-        sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
-    const std::vector<SketchEntry> local_entries = local.to_entries();
-    const double sketch_s = sketch_timer.elapsed_s();
+        // Every rank derives the shared hash family from the experiment
+        // seed.
+        const HashFamily hashes(params.trials, params.seed);
 
-    // S3: allgatherv the sketch entries; rebuild the replicated table.
-    util::WallTimer gather_timer;
-    const std::vector<SketchEntry> global_entries =
-        comm.allgatherv<SketchEntry>(local_entries);
-    const double gather_s = gather_timer.elapsed_s();
+        // S2: sketch local subjects.
+        comm.fault_point("S2:sketch");
+        util::WallTimer sketch_timer;
+        const SketchTable local =
+            sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+        const std::vector<SketchEntry> local_entries = local.to_entries();
+        const double sketch_s = sketch_timer.elapsed_s();
 
-    util::WallTimer build_timer;
-    SketchTable global =
-        SketchTable::from_entries(params.trials, global_entries);
-    const double build_s = build_timer.elapsed_s();
+        // S3: allgatherv the sketch entries; rebuild the replicated table.
+        util::WallTimer gather_timer;
+        const std::vector<SketchEntry> global_entries =
+            comm.allgatherv<SketchEntry>(local_entries);
+        const double gather_s = gather_timer.elapsed_s();
+        shared_sketch[r] = 1;  // this rank's entries reached the union
 
-    // S4: map local queries — sequentially, or with a rank-private thread
-    // pool in hybrid mode.
-    util::WallTimer map_timer;
-    const JemMapper mapper(subjects, params, scheme, std::move(global));
-    std::vector<SegmentMapping> local_mappings;
-    if (threads_per_rank == 1) {
-      local_mappings = mapper.map_reads(reads, q_begin, q_end);
-    } else {
-      util::ThreadPool pool(static_cast<std::size_t>(threads_per_rank));
-      std::vector<std::vector<SegmentMapping>> partials(pool.size());
-      util::parallel_for_blocks(
-          pool, q_begin, q_end, pool.size(),
-          [&](std::size_t block, std::size_t begin, std::size_t end) {
-            partials[block] = mapper.map_reads(
-                reads, static_cast<io::SeqId>(begin),
-                static_cast<io::SeqId>(end));
-          });
-      for (auto& partial : partials) {
-        local_mappings.insert(local_mappings.end(), partial.begin(),
-                              partial.end());
-      }
-    }
-    const double map_s = map_timer.elapsed_s();
+        util::WallTimer build_timer;
+        SketchTable global =
+            SketchTable::from_entries(params.trials, global_entries);
+        const double build_s = build_timer.elapsed_s();
 
-    // Gather results at rank 0.
-    std::vector<MappingWire> wire;
-    wire.reserve(local_mappings.size());
-    for (const SegmentMapping& mapping : local_mappings) {
-      wire.push_back(to_wire(mapping));
-    }
-    const auto all_wire = comm.gatherv<MappingWire>(wire, /*root=*/0);
+        // S4: map local queries — sequentially, or with a rank-private
+        // thread pool in hybrid mode.
+        comm.fault_point("S4:map");
+        util::WallTimer map_timer;
+        const JemMapper mapper(subjects, params, scheme, std::move(global));
+        std::vector<SegmentMapping> local_mappings;
+        if (threads_per_rank == 1) {
+          local_mappings = mapper.map_reads(reads, q_begin, q_end);
+        } else {
+          util::ThreadPool pool(static_cast<std::size_t>(threads_per_rank));
+          std::vector<std::vector<SegmentMapping>> partials(pool.size());
+          util::parallel_for_blocks(
+              pool, q_begin, q_end, pool.size(),
+              [&](std::size_t block, std::size_t begin, std::size_t end) {
+                partials[block] = mapper.map_reads(
+                    reads, static_cast<io::SeqId>(begin),
+                    static_cast<io::SeqId>(end));
+              });
+          for (auto& partial : partials) {
+            local_mappings.insert(local_mappings.end(), partial.begin(),
+                                  partial.end());
+          }
+        }
+        const double map_s = map_timer.elapsed_s();
 
-    std::lock_guard lock(report_mutex);
-    max_sketch_s = std::max(max_sketch_s, sketch_s);
-    max_map_s = std::max(max_map_s, map_s);
-    allgather_s = std::max(allgather_s, gather_s);
-    build_global_s = std::max(build_global_s, build_s);
-    table_entries_max = std::max(
-        table_entries_max, static_cast<std::uint64_t>(mapper.table().size()));
-    queries_mapped += local_mappings.size();
-    if (rank == 0) {
-      sketch_bytes = global_entries.size() * sizeof(SketchEntry);
-      for (const auto& part : all_wire) {
-        for (const MappingWire& w : part) gathered.push_back(from_wire(w));
-      }
-    }
-  });
+        deposits[r] = local_mappings;
+        deposited[r] = 1;
+
+        // Gather results at rank 0.
+        std::vector<MappingWire> wire;
+        wire.reserve(local_mappings.size());
+        for (const SegmentMapping& mapping : local_mappings) {
+          wire.push_back(to_wire(mapping));
+        }
+        const auto all_wire = comm.gatherv<MappingWire>(wire, /*root=*/0);
+
+        std::lock_guard lock(report_mutex);
+        max_sketch_s = std::max(max_sketch_s, sketch_s);
+        max_map_s = std::max(max_map_s, map_s);
+        allgather_s = std::max(allgather_s, gather_s);
+        build_global_s = std::max(build_global_s, build_s);
+        table_entries_max =
+            std::max(table_entries_max,
+                     static_cast<std::uint64_t>(mapper.table().size()));
+        queries_mapped += local_mappings.size();
+        if (rank == 0) {
+          sketch_bytes = global_entries.size() * sizeof(SketchEntry);
+          for (const auto& part : all_wire) {
+            for (const MappingWire& w : part) gathered.push_back(from_wire(w));
+          }
+        }
+      },
+      spmd_options_for(robust));
+
+  std::uint64_t queries_recovered = 0;
+  double recover_s = 0.0;
+  if (!spmd.ok()) {
+    // Assemble from the per-rank deposits (the rank-0 gather may itself be
+    // incomplete — or rank 0 may be the casualty) and re-map what was lost.
+    util::WallTimer recover_timer;
+    gathered = recover_lost_partitions(subjects, reads, params, scheme,
+                                       read_ranges, deposits, deposited,
+                                       queries_recovered);
+    recover_s = recover_timer.elapsed_s();
+    queries_mapped += queries_recovered;
+  }
 
   sort_by_read(gathered);
   result.mappings = std::move(gathered);
@@ -177,6 +249,15 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   result.report.sketch_bytes = sketch_bytes;
   result.report.queries_mapped = queries_mapped;
   result.report.table_entries_max = table_entries_max;
+  result.report.failed_ranks = spmd.failed_ranks();
+  result.report.queries_recovered = queries_recovered;
+  result.report.recover_s = recover_s;
+  result.report.faults_injected = spmd.faults_injected;
+  for (const int rank : result.report.failed_ranks) {
+    if (shared_sketch[static_cast<std::size_t>(rank)] == 0) {
+      result.report.degraded = true;  // its sketch never reached survivors
+    }
+  }
   return result;
 }
 
@@ -208,8 +289,8 @@ static_assert(sizeof(HitReply) == 12);
 DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
                                               const io::SequenceSet& reads,
                                               const MapParams& params,
-                                              int ranks,
-                                              SketchScheme scheme) {
+                                              int ranks, SketchScheme scheme,
+                                              const RobustnessOptions& robust) {
   params.validate();
   DistributedResult result;
   result.report.ranks = ranks;
@@ -222,8 +303,17 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
   std::uint64_t table_entries_max = 0;
   std::uint64_t queries_mapped = 0;
 
-  const mpisim::CommStats comm_stats =
-      mpisim::run_spmd(ranks, [&](mpisim::Comm& comm) {
+  // Recovery slots, one per rank (written only by the owner; see the
+  // replicated driver). Unlike the replicated strategy, *any* abort before
+  // the replies exchange degrades survivors: the dead rank's table shard
+  // stops answering probes, so surviving queries lose those votes.
+  const auto num_ranks = static_cast<std::size_t>(ranks);
+  std::vector<std::vector<SegmentMapping>> deposits(num_ranks);
+  std::vector<char> deposited(num_ranks, 0);
+  std::vector<char> served(num_ranks, 0);
+
+  const mpisim::SpmdReport spmd =
+      mpisim::run_spmd_ft(ranks, [&](mpisim::Comm& comm) {
     const int rank = comm.rank();
     const int p = comm.size();
     const auto [s_begin, s_end] =
@@ -233,6 +323,7 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
 
     // S2: sketch local subjects, then route every entry to its k-mer's
     // owner rank (one all-to-all replaces the allgather union).
+    comm.fault_point("P:route");
     const SketchTable local =
         sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
     std::vector<std::vector<SketchEntry>> outgoing(
@@ -250,6 +341,7 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
         SketchTable::from_entries(params.trials, shard_entries);
 
     // S4a: sketch local query segments and bucket the probes by owner.
+    comm.fault_point("P:map");
     std::vector<SegmentMapping> local_segments;
     std::vector<std::vector<QueryProbe>> probes(static_cast<std::size_t>(p));
     for (io::SeqId read = q_begin; read < q_end; ++read) {
@@ -291,6 +383,7 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
       }
     }
     auto incoming_replies = comm.all_to_allv<HitReply>(replies);
+    served[static_cast<std::size_t>(rank)] = 1;  // shard answered all probes
 
     // S4c: aggregate votes locally. Sorting by (segment, trial, subject)
     // and deduplicating realizes the per-trial hit *sets* of Algorithm 2.
@@ -333,6 +426,9 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
       }
     }
 
+    deposits[static_cast<std::size_t>(rank)] = local_segments;
+    deposited[static_cast<std::size_t>(rank)] = 1;
+
     // Gather results at rank 0 (same as the replicated driver).
     std::vector<MappingWire> wire;
     wire.reserve(local_segments.size());
@@ -351,7 +447,18 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
         for (const MappingWire& w : part) gathered.push_back(from_wire(w));
       }
     }
-  });
+  }, spmd_options_for(robust));
+
+  std::uint64_t queries_recovered = 0;
+  double recover_s = 0.0;
+  if (!spmd.ok()) {
+    util::WallTimer recover_timer;
+    gathered = recover_lost_partitions(subjects, reads, params, scheme,
+                                       read_ranges, deposits, deposited,
+                                       queries_recovered);
+    recover_s = recover_timer.elapsed_s();
+    queries_mapped += queries_recovered;
+  }
 
   sort_by_read(gathered);
   result.mappings = std::move(gathered);
@@ -359,7 +466,16 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
   result.report.table_entries_max = table_entries_max;
   // For the partitioned strategy the interesting volume is everything the
   // collectives moved (entry routing + probes + replies + result gather).
-  result.report.sketch_bytes = comm_stats.collective_bytes;
+  result.report.sketch_bytes = spmd.stats.collective_bytes;
+  result.report.failed_ranks = spmd.failed_ranks();
+  result.report.queries_recovered = queries_recovered;
+  result.report.recover_s = recover_s;
+  result.report.faults_injected = spmd.faults_injected;
+  for (const int rank : result.report.failed_ranks) {
+    if (served[static_cast<std::size_t>(rank)] == 0) {
+      result.report.degraded = true;  // its shard stopped answering probes
+    }
+  }
   return result;
 }
 
@@ -367,9 +483,13 @@ DistributedResult run_staged(const io::SequenceSet& subjects,
                              const io::SequenceSet& reads,
                              const MapParams& params, int ranks,
                              const mpisim::NetworkModel& model,
-                             SketchScheme scheme) {
+                             SketchScheme scheme,
+                             const RobustnessOptions& robust) {
   params.validate();
   mpisim::StagedExecutor executor(ranks, model);
+  if (!robust.fault_plan.empty()) {
+    executor.set_fault_plan(&robust.fault_plan);
+  }
   DistributedResult result;
   result.report.ranks = ranks;
 
@@ -430,6 +550,19 @@ DistributedResult run_staged(const io::SequenceSet& subjects,
   result.report.build_global_s = build_s;
   result.report.map_queries_s = executor.step_s("S4:map-queries");
   result.report.sketch_bytes = volume;
+  result.report.failed_ranks = executor.failed_ranks();
+  result.report.faults_injected = executor.faults_injected();
+  for (const mpisim::StagedExecutor::StepRecord& step : executor.steps()) {
+    if (step.name.rfind("recover:", 0) == 0) {
+      result.report.recover_s += step.cost_s;
+    }
+  }
+  // The model re-executes lost work, so the output is always complete; the
+  // failed ranks' mapping counts show up as recovered, never degraded.
+  for (const int rank : result.report.failed_ranks) {
+    result.report.queries_recovered +=
+        per_rank_mappings[static_cast<std::size_t>(rank)].size();
+  }
   return result;
 }
 

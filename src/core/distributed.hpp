@@ -48,6 +48,19 @@ static_assert(sizeof(MappingWire) == 24);
 [[nodiscard]] MappingWire to_wire(const SegmentMapping& mapping) noexcept;
 [[nodiscard]] SegmentMapping from_wire(const MappingWire& wire) noexcept;
 
+/// Fault/timeout configuration for the distributed drivers
+/// (docs/robustness.md). Default-constructed = no faults, infinite waits —
+/// exactly the pre-robustness behavior.
+struct RobustnessOptions {
+  /// Deterministic fault schedule threaded through every mpisim collective
+  /// plus the drivers' named sites ("S2:sketch", "S4:map", "P:route",
+  /// "P:map"; staged mode uses its step names).
+  util::FaultPlan fault_plan;
+
+  /// Timeout/retry policy for blocking communicator waits.
+  mpisim::CommConfig comm;
+};
+
 /// Per-step timing/volume record of one distributed run (Fig 7a / Fig 8).
 struct DistributedStepReport {
   int ranks = 1;
@@ -62,6 +75,19 @@ struct DistributedStepReport {
   // strategy this is the full table at every rank; for the partitioned
   // strategy it is the biggest shard — the memory-scaling story.
   std::uint64_t table_entries_max = 0;
+
+  // Robustness accounting (all zero/false on a fault-free run).
+  std::vector<int> failed_ranks;        // ranks that aborted, ascending
+  std::uint64_t queries_recovered = 0;  // segments re-mapped by the driver
+  double recover_s = 0.0;               // time spent redoing lost work
+  std::uint64_t faults_injected = 0;    // fault decisions that fired
+  /// True when a failure cost shared state the survivors depended on (a
+  /// rank died before contributing its sketch to S3, or before answering
+  /// probes in partitioned mode): every query is still mapped, but
+  /// survivor results were computed against an incomplete table and may
+  /// differ from the fault-free run. False means the recovered output is
+  /// bit-identical to a fault-free run.
+  bool degraded = false;
 
   [[nodiscard]] double total_s() const noexcept {
     return load_s + sketch_subjects_s + allgather_s + build_global_s +
@@ -89,10 +115,18 @@ struct DistributedResult {
 /// enables the hybrid MPI+threads mode (the paper's platform supported
 /// OpenMPI and OpenMP side by side): each rank maps its local queries with a
 /// rank-private thread pool. Results are identical for any configuration.
+///
+/// With `robust` set, ranks that abort (injected faults, timeouts) are
+/// tolerated: the survivors complete, the driver re-maps every failed
+/// rank's query partition against the full sketch table, and the report
+/// records failed_ranks / queries_recovered / degraded. A rank that dies
+/// after S3 (e.g. at site "S4:map") costs no shared state, so the output
+/// is bit-identical to the fault-free run.
 [[nodiscard]] DistributedResult run_distributed(
     const io::SequenceSet& subjects, const io::SequenceSet& reads,
     const MapParams& params, int ranks,
-    SketchScheme scheme = SketchScheme::kJem, int threads_per_rank = 1);
+    SketchScheme scheme = SketchScheme::kJem, int threads_per_rank = 1,
+    const RobustnessOptions& robust = {});
 
 /// Partitioned-table strategy: instead of replicating S_global at every
 /// rank (the paper's S3, space O(n·m_s·T) *per process* — its §III-C1
@@ -104,13 +138,18 @@ struct DistributedResult {
 [[nodiscard]] DistributedResult run_distributed_partitioned(
     const io::SequenceSet& subjects, const io::SequenceSet& reads,
     const MapParams& params, int ranks,
-    SketchScheme scheme = SketchScheme::kJem);
+    SketchScheme scheme = SketchScheme::kJem,
+    const RobustnessOptions& robust = {});
 
-/// Staged bulk-synchronous execution with modeled communication.
+/// Staged bulk-synchronous execution with modeled communication. A fault
+/// plan in `robust` alters the modeled timeline (delays add to step costs;
+/// an aborted rank's work is re-billed to "recover:<step>" records) —
+/// results are always complete because the model re-executes lost work.
 [[nodiscard]] DistributedResult run_staged(
     const io::SequenceSet& subjects, const io::SequenceSet& reads,
     const MapParams& params, int ranks,
     const mpisim::NetworkModel& model = {},
-    SketchScheme scheme = SketchScheme::kJem);
+    SketchScheme scheme = SketchScheme::kJem,
+    const RobustnessOptions& robust = {});
 
 }  // namespace jem::core

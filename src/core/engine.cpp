@@ -12,10 +12,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <utility>
 
+#include "io/fasta.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +30,12 @@ void MapRequest::validate() const {
   }
   if (min_votes && *min_votes < 1) {
     throw std::invalid_argument("MapRequest: min_votes must be >= 1");
+  }
+  if (stage_timeout.count() < 0) {
+    throw std::invalid_argument("MapRequest: stage_timeout must be >= 0");
+  }
+  if (max_retries < 0) {
+    throw std::invalid_argument("MapRequest: max_retries must be >= 0");
   }
 }
 
@@ -104,6 +113,42 @@ BatchOutput map_range(const JemMapper& mapper, const io::SequenceSet& reads,
     apply_min_votes(*request.min_votes, out.topx);
   }
   return out;
+}
+
+/// Detaches the pipeline's fault injector from the stream on every exit
+/// path (the stream outlives the run and must not keep a dangling pointer).
+class StreamInjectorGuard {
+ public:
+  StreamInjectorGuard(io::BatchStream& stream, util::FaultInjector* injector)
+      : stream_(stream) {
+    stream_.set_fault_injector(
+        injector != nullptr && injector->active() ? injector : nullptr);
+  }
+  ~StreamInjectorGuard() { stream_.set_fault_injector(nullptr); }
+
+  StreamInjectorGuard(const StreamInjectorGuard&) = delete;
+  StreamInjectorGuard& operator=(const StreamInjectorGuard&) = delete;
+
+ private:
+  io::BatchStream& stream_;
+};
+
+/// Maps a contained pipeline exception to its structured description.
+/// With no `out` the exception propagates unchanged (run_stream semantics).
+void resolve_failure(const std::exception_ptr& error, EngineFailure* out) {
+  if (error == nullptr) return;
+  if (out == nullptr) std::rethrow_exception(error);
+  try {
+    std::rethrow_exception(error);
+  } catch (const util::FaultAbort& abort) {
+    *out = {abort.site(), abort.what()};
+  } catch (const EngineTimeout& timeout) {
+    *out = {timeout.site(), timeout.what()};
+  } catch (const io::ParseError& parse) {
+    *out = {"stream.next", parse.what()};
+  } catch (const std::exception& other) {
+    *out = {"pipeline", other.what()};
+  }
 }
 
 /// Recycles MapScratch instances across pool tasks so the kPool backend
@@ -253,11 +298,44 @@ MapReport MappingEngine::run(const io::SequenceSet& reads,
 EngineStats MappingEngine::run_stream(io::BatchStream& stream,
                                       const MapRequest& request,
                                       const BatchSink& sink) const {
+  return run_stream_impl(stream, request, sink, nullptr);
+}
+
+MapReport MappingEngine::run_stream_guarded(io::BatchStream& stream,
+                                            const MapRequest& request,
+                                            const BatchSink& sink) const {
+  MapReport report;
+  EngineFailure failure;  // site stays empty unless a failure is resolved
+  report.stats = run_stream_impl(stream, request, sink, &failure);
+  if (!failure.site.empty()) report.failure = std::move(failure);
+  return report;
+}
+
+EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
+                                           const MapRequest& request,
+                                           const BatchSink& sink,
+                                           EngineFailure* failure_out) const {
   request.validate();
   check_min_votes(request, mapper_.params());
 
   const util::WallTimer wall;
   EngineStats stats;
+
+  // Fault wiring. The reader injector rides inside stream.next (site
+  // "stream.next"); the other sites are keyed directly by batch index so
+  // decisions are independent of worker interleaving.
+  const util::FaultPlan& plan = request.fault_plan;
+  const bool faults = !plan.empty();
+  util::FaultInjector reader_injector(&plan, 0);
+  const StreamInjectorGuard injector_guard(stream, &reader_injector);
+  std::atomic<std::uint64_t> faults_fired{0};
+  const auto batch_fault = [&](std::string_view site,
+                               std::uint64_t index) -> util::FaultDecision {
+    if (!faults) return {};
+    const util::FaultDecision decision = plan.decide(0, site, index);
+    if (decision.action != util::FaultAction::kNone) ++faults_fired;
+    return decision;
+  };
 
   const auto map_batch = [&](io::ReadBatch&& batch, MapScratch& scratch) {
     BatchResult result;
@@ -273,34 +351,67 @@ EngineStats MappingEngine::run_stream(io::BatchStream& stream,
   if (request.backend != MapBackend::kPool) {
     // Single-threaded pipeline (kOpenMP parallelizes inside each batch).
     MapScratch scratch(mapper_.subjects().size());
-    io::ReadBatch batch;
-    while (true) {
-      const util::WallTimer read_timer;
-      const bool more = stream.next(batch);
-      stats.read_s += read_timer.elapsed_s();
-      if (!more) break;
-      const util::WallTimer map_timer;
-      BatchResult result;
-      if (request.backend == MapBackend::kOpenMP) {
-        result.batch = std::move(batch);
-        MapRequest sub = request;
-        sub.batch_size = 0;  // auto-chunk the batch across OpenMP threads
-        MapReport sub_report =
-            detail::run_request(mapper_, result.batch.reads, sub);
-        result.mappings = std::move(sub_report.mappings);
-        result.topx = std::move(sub_report.topx);
-      } else {
-        result = map_batch(std::move(batch), scratch);
+    std::exception_ptr error;
+    try {
+      io::ReadBatch batch;
+      while (true) {
+        const util::WallTimer read_timer;
+        const bool more = stream.next(batch);
+        stats.read_s += read_timer.elapsed_s();
+        if (!more) break;
+        const util::FaultDecision map_fault = batch_fault("map", batch.index);
+        if (map_fault.action == util::FaultAction::kAbort) {
+          throw util::FaultAbort(0, "map");
+        }
+        if (map_fault.action == util::FaultAction::kDrop) {
+          ++stats.batches_dropped;
+          continue;
+        }
+        if (map_fault.action == util::FaultAction::kDelay) {
+          std::this_thread::sleep_for(map_fault.delay);
+        }
+        const util::WallTimer map_timer;
+        BatchResult result;
+        if (request.backend == MapBackend::kOpenMP) {
+          result.batch = std::move(batch);
+          MapRequest sub = request;
+          sub.batch_size = 0;  // auto-chunk the batch across OpenMP threads
+          sub.fault_plan = {};  // faults are this pipeline's, not the kernel's
+          MapReport sub_report =
+              detail::run_request(mapper_, result.batch.reads, sub);
+          result.mappings = std::move(sub_report.mappings);
+          result.topx = std::move(sub_report.topx);
+        } else {
+          result = map_batch(std::move(batch), scratch);
+        }
+        stats.map_s += map_timer.elapsed_s();
+        stats.batches += 1;
+        stats.reads += result.batch.reads.size();
+        stats.segments += result.mappings.size() + result.topx.size();
+        const util::FaultDecision sink_fault =
+            batch_fault("sink", result.batch.index);
+        if (sink_fault.action == util::FaultAction::kAbort) {
+          throw util::FaultAbort(0, "sink");
+        }
+        if (sink_fault.action == util::FaultAction::kDrop) {
+          ++stats.batches_dropped;
+          continue;
+        }
+        if (sink_fault.action == util::FaultAction::kDelay) {
+          std::this_thread::sleep_for(sink_fault.delay);
+        }
+        const util::WallTimer emit_timer;
+        sink(result);
+        stats.emit_s += emit_timer.elapsed_s();
       }
-      stats.map_s += map_timer.elapsed_s();
-      stats.batches += 1;
-      stats.reads += result.batch.reads.size();
-      stats.segments += result.mappings.size() + result.topx.size();
-      const util::WallTimer emit_timer;
-      sink(result);
-      stats.emit_s += emit_timer.elapsed_s();
+    } catch (...) {
+      error = std::current_exception();
     }
+    stats.faults_injected =
+        faults_fired.load() + reader_injector.faults_injected();
+    stats.batches_dropped += reader_injector.drops_injected();
     stats.wall_s = wall.elapsed_s();
+    resolve_failure(error, failure_out);
     return stats;
   }
 
@@ -315,46 +426,128 @@ EngineStats MappingEngine::run_stream(io::BatchStream& stream,
   std::atomic<std::uint64_t> emit_ns{0};
   std::atomic<std::uint64_t> reads_mapped{0};
   std::atomic<std::uint64_t> segments{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> retries{0};
 
   std::mutex emit_mutex;
   std::map<std::uint64_t, BatchResult> pending;  // guarded by emit_mutex
+  std::set<std::uint64_t> dropped_set;           // guarded by emit_mutex
   std::uint64_t next_emit = 0;                   // guarded by emit_mutex
+  std::uint64_t dropped_count = 0;               // guarded by emit_mutex
   std::exception_ptr sink_error;                 // guarded by emit_mutex
+  std::exception_ptr worker_error;               // guarded by emit_mutex
+
+  // Flushes the ready in-order prefix, skipping over indices whose batch
+  // was dropped by a fault (the holes must advance next_emit or the
+  // emitter would wait forever for a batch that never comes). Holding the
+  // lock serializes sink calls and keeps them in batch order.
+  const auto flush_locked = [&] {
+    while (sink_error == nullptr) {
+      if (dropped_set.erase(next_emit) > 0) {
+        ++next_emit;
+        continue;
+      }
+      const auto it = pending.find(next_emit);
+      if (it == pending.end()) break;
+      const util::FaultDecision fault = batch_fault("sink", next_emit);
+      if (fault.action == util::FaultAction::kAbort) {
+        sink_error = std::make_exception_ptr(util::FaultAbort(0, "sink"));
+        queue.close();
+        break;
+      }
+      if (fault.action == util::FaultAction::kDrop) {
+        ++dropped_count;
+        pending.erase(it);
+        ++next_emit;
+        continue;
+      }
+      if (fault.action == util::FaultAction::kDelay) {
+        std::this_thread::sleep_for(fault.delay);
+      }
+      try {
+        sink(it->second);
+      } catch (...) {
+        sink_error = std::current_exception();
+        queue.close();  // aborts the producer and idle workers
+      }
+      pending.erase(it);
+      ++next_emit;
+    }
+  };
+
+  // Timed pop honoring the retry budget. Returns false once the queue is
+  // closed and drained; throws EngineTimeout when the budget runs out.
+  const auto timed_pop = [&](io::ReadBatch& out) -> bool {
+    if (request.stage_timeout.count() == 0) {
+      std::optional<io::ReadBatch> batch = queue.pop();
+      if (!batch) return false;
+      out = std::move(*batch);
+      return true;
+    }
+    auto allowance = request.stage_timeout;
+    for (int attempt = 0;; ++attempt) {
+      switch (queue.pop_wait_for(out, allowance)) {
+        case util::QueueOpResult::kSuccess:
+          return true;
+        case util::QueueOpResult::kClosed:
+          return false;
+        case util::QueueOpResult::kTimeout:
+          break;
+      }
+      ++timeouts;
+      if (attempt >= request.max_retries) throw EngineTimeout("queue.pop");
+      ++retries;
+      allowance *= 2;
+    }
+  };
 
   const auto worker = [&] {
     MapScratch scratch(mapper_.subjects().size());
-    while (true) {
-      const util::WallTimer pop_timer;
-      std::optional<io::ReadBatch> batch = queue.pop();
-      pop_wait_ns += pop_timer.elapsed_ns();
-      if (!batch) break;
+    try {
+      io::ReadBatch raw;
+      while (true) {
+        const util::WallTimer pop_timer;
+        const bool more = timed_pop(raw);
+        pop_wait_ns += pop_timer.elapsed_ns();
+        if (!more) break;
 
-      const util::WallTimer map_timer;
-      BatchResult result = map_batch(std::move(*batch), scratch);
-      map_ns += map_timer.elapsed_ns();
-      reads_mapped += result.batch.reads.size();
-      segments += result.mappings.size() + result.topx.size();
+        const util::FaultDecision fault = batch_fault("map", raw.index);
+        if (fault.action == util::FaultAction::kAbort) {
+          throw util::FaultAbort(0, "map");
+        }
+        if (fault.action == util::FaultAction::kDrop) {
+          std::lock_guard lock(emit_mutex);
+          dropped_set.insert(raw.index);
+          ++dropped_count;
+          flush_locked();
+          continue;
+        }
+        if (fault.action == util::FaultAction::kDelay) {
+          std::this_thread::sleep_for(fault.delay);
+        }
 
-      const util::WallTimer emit_timer;
+        const util::WallTimer map_timer;
+        BatchResult result = map_batch(std::move(raw), scratch);
+        map_ns += map_timer.elapsed_ns();
+        reads_mapped += result.batch.reads.size();
+        segments += result.mappings.size() + result.topx.size();
+
+        const util::WallTimer emit_timer;
+        {
+          std::lock_guard lock(emit_mutex);
+          pending.emplace(result.batch.index, std::move(result));
+          flush_locked();
+        }
+        emit_ns += emit_timer.elapsed_ns();
+      }
+    } catch (...) {
+      // A dying worker must shut the whole pipeline down: without the
+      // close() the producer could block forever on a full queue.
       {
         std::lock_guard lock(emit_mutex);
-        pending.emplace(result.batch.index, std::move(result));
-        // Flush the ready in-order prefix. Holding the lock serializes
-        // sink calls and keeps them in batch order.
-        for (auto it = pending.find(next_emit);
-             it != pending.end() && sink_error == nullptr;
-             it = pending.find(next_emit)) {
-          try {
-            sink(it->second);
-          } catch (...) {
-            sink_error = std::current_exception();
-            queue.close();  // aborts the producer and idle workers
-          }
-          pending.erase(it);
-          ++next_emit;
-        }
+        if (worker_error == nullptr) worker_error = std::current_exception();
       }
-      emit_ns += emit_timer.elapsed_ns();
+      queue.close();
     }
   };
 
@@ -374,19 +567,52 @@ EngineStats MappingEngine::run_stream(io::BatchStream& stream,
       const bool more = stream.next(batch);
       stats.read_s += read_timer.elapsed_s();
       if (!more) break;
+
+      const util::FaultDecision fault = batch_fault("queue.push", batch.index);
+      if (fault.action == util::FaultAction::kAbort) {
+        throw util::FaultAbort(0, "queue.push");
+      }
+      if (fault.action == util::FaultAction::kDrop) {
+        std::lock_guard lock(emit_mutex);
+        dropped_set.insert(batch.index);
+        ++dropped_count;
+        flush_locked();
+        continue;
+      }
+      if (fault.action == util::FaultAction::kDelay) {
+        std::this_thread::sleep_for(fault.delay);
+      }
+
       const util::WallTimer push_timer;
-      const bool pushed = queue.push(std::move(batch));
+      bool pushed = false;
+      if (request.stage_timeout.count() == 0) {
+        pushed = queue.push(std::move(batch));
+      } else {
+        auto allowance = request.stage_timeout;
+        for (int attempt = 0;; ++attempt) {
+          const util::QueueOpResult outcome =
+              queue.push_wait_for(batch, allowance);
+          if (outcome == util::QueueOpResult::kSuccess) {
+            pushed = true;
+            break;
+          }
+          if (outcome == util::QueueOpResult::kClosed) break;
+          ++timeouts;
+          if (attempt >= request.max_retries) {
+            throw EngineTimeout("queue.push");
+          }
+          ++retries;
+          allowance *= 2;
+        }
+      }
       push_wait_ns += push_timer.elapsed_ns();
-      if (!pushed) break;  // pipeline aborted by a sink failure
+      if (!pushed) break;  // pipeline aborted by a sink or worker failure
     }
   } catch (...) {
-    read_error = std::current_exception();  // rethrown after shutdown
+    read_error = std::current_exception();  // resolved after shutdown
   }
   queue.close();
   for (std::future<void>& future : futures) future.get();
-
-  if (read_error) std::rethrow_exception(read_error);
-  if (sink_error) std::rethrow_exception(sink_error);
 
   stats.batches = next_emit;
   stats.reads = reads_mapped.load();
@@ -395,7 +621,22 @@ EngineStats MappingEngine::run_stream(io::BatchStream& stream,
   stats.emit_s = static_cast<double>(emit_ns.load()) * 1e-9;
   stats.queue_wait_s =
       static_cast<double>(pop_wait_ns.load() + push_wait_ns) * 1e-9;
+  stats.faults_injected =
+      faults_fired.load() + reader_injector.faults_injected();
+  stats.batches_dropped = dropped_count + reader_injector.drops_injected();
+  stats.timeouts = timeouts.load();
+  stats.retries = retries.load();
   stats.wall_s = wall.elapsed_s();
+
+  // Failure priority: the reader saw the error first, then the sink, then
+  // any worker. Exactly one is resolved (or rethrown).
+  if (read_error != nullptr) {
+    resolve_failure(read_error, failure_out);
+  } else if (sink_error != nullptr) {
+    resolve_failure(sink_error, failure_out);
+  } else {
+    resolve_failure(worker_error, failure_out);
+  }
   return stats;
 }
 

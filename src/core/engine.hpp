@@ -22,14 +22,18 @@
 // records.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/mapper.hpp"
 #include "core/params.hpp"
 #include "io/batch_stream.hpp"
+#include "util/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 
 namespace jem::core {
@@ -75,6 +79,22 @@ struct MapRequest {
   /// Bounds memory and provides backpressure.
   std::size_t queue_depth = 4;
 
+  /// Streaming only: upper bound on any single queue wait (producer push,
+  /// worker pop). 0 = wait forever (the pre-robustness semantics). With a
+  /// timeout set, each wait is retried up to `max_retries` times with the
+  /// allowance doubling per attempt; exhaustion throws EngineTimeout, which
+  /// run_stream_guarded converts into a structured MapReport failure
+  /// instead of a deadlocked pipeline.
+  std::chrono::milliseconds stage_timeout{0};
+  int max_retries = 3;
+
+  /// Deterministic fault schedule for chaos testing (docs/robustness.md).
+  /// Streaming only; decisions are keyed by batch index at sites
+  /// "stream.next", "queue.push", "map" and "sink", so the same plan
+  /// replays the same schedule regardless of thread interleaving. An empty
+  /// plan (the default) costs nothing.
+  util::FaultPlan fault_plan;
+
   void validate() const;
 };
 
@@ -89,18 +109,53 @@ struct EngineStats {
   double queue_wait_s = 0.0;    // producer full-waits + worker empty-waits
   double wall_s = 0.0;          // whole-run wall clock
 
+  // Robustness counters (streaming runs with a fault plan / timeouts).
+  std::uint64_t faults_injected = 0;  // fault decisions that fired
+  std::uint64_t batches_dropped = 0;  // batches lost to injected drops
+  std::uint64_t timeouts = 0;         // queue waits that expired
+  std::uint64_t retries = 0;          // expired waits that were retried
+
   /// End-to-end throughput in segments per second of wall time.
   [[nodiscard]] double segments_per_s() const noexcept {
     return wall_s > 0.0 ? static_cast<double>(segments) / wall_s : 0.0;
   }
 };
 
+/// A queue wait in the streaming pipeline exhausted its retry budget.
+class EngineTimeout : public std::runtime_error {
+ public:
+  explicit EngineTimeout(std::string site)
+      : std::runtime_error("engine: stage timed out at " + site),
+        site_(std::move(site)) {}
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Structured description of a failed streaming run: the pipeline site that
+/// failed ("stream.next", "queue.push", "map", "sink", "pipeline") and the
+/// underlying exception text.
+struct EngineFailure {
+  std::string site;
+  std::string message;
+};
+
 /// Result of an in-memory run. Exactly one of `mappings` (kEnds / kTiled)
 /// and `topx` (kTopX) is populated, matching the request's mode.
+/// run_stream_guarded reuses this shape with only `stats` and `failure`
+/// populated (results went to the sink).
 struct MapReport {
   std::vector<SegmentMapping> mappings;
   std::vector<SegmentTopX> topx;
   EngineStats stats;
+
+  /// Set when a guarded streaming run failed (aborted, timed out, or threw)
+  /// instead of completing; empty on success.
+  std::optional<EngineFailure> failure;
+
+  [[nodiscard]] bool ok() const noexcept { return !failure.has_value(); }
 };
 
 class MappingEngine;
@@ -154,7 +209,20 @@ class MappingEngine {
   EngineStats run_stream(io::BatchStream& stream, const MapRequest& request,
                          const BatchSink& sink) const;
 
+  /// run_stream with failures contained: injected aborts, stage timeouts,
+  /// parse errors and sink exceptions shut the pipeline down cleanly and
+  /// come back as report.failure instead of propagating (programming errors
+  /// — e.g. an invalid request — still throw). Stats reflect the work done
+  /// up to the failure.
+  [[nodiscard]] MapReport run_stream_guarded(io::BatchStream& stream,
+                                             const MapRequest& request,
+                                             const BatchSink& sink) const;
+
  private:
+  EngineStats run_stream_impl(io::BatchStream& stream,
+                              const MapRequest& request, const BatchSink& sink,
+                              EngineFailure* failure_out) const;
+
   JemMapper mapper_;
 };
 

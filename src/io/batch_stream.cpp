@@ -8,13 +8,19 @@ BatchStream::BatchStream(std::istream& in, std::size_t batch_size)
     : reader_(in), batch_size_(batch_size == 0 ? 1 : batch_size) {}
 
 bool BatchStream::next(ReadBatch& batch) {
-  const std::uint64_t first = reader_.records_read();
-  SequenceSet reads = reader_.next_batch(batch_size_);
-  if (reads.empty()) return false;
-  batch.index = batches_read_++;
-  batch.first_record = first;
-  batch.reads = std::move(reads);
-  return true;
+  for (;;) {
+    const std::uint64_t first = reader_.records_read();
+    SequenceSet reads = reader_.next_batch(batch_size_);
+    if (reads.empty()) return false;
+    if (injector_ != nullptr && !injector_->fire("stream.next")) {
+      ++batches_dropped_;
+      continue;  // batch lost in transit; deliver the next one instead
+    }
+    batch.index = batches_read_++;
+    batch.first_record = first;
+    batch.reads = std::move(reads);
+    return true;
+  }
 }
 
 }  // namespace jem::io

@@ -17,8 +17,21 @@
 //  * Point-to-point send/recv match on (source, tag) with FIFO order per
 //    (source, dest, tag) channel; send is buffered (never blocks on the
 //    receiver), recv blocks.
+//
+// Robustness layer (docs/robustness.md):
+//  * A rank that leaves the program — normal return, exception, or injected
+//    FaultAbort — is marked inactive; pending and future collectives
+//    complete over the remaining ranks instead of deadlocking, and its slot
+//    in the exchange contributes nothing.
+//  * CommConfig adds opt-in timeouts with bounded retry + exponential
+//    backoff to every blocking wait; exhaustion throws TimeoutError (or
+//    PeerFailedError when the awaited peer is known dead).
+//  * A util::FaultInjector attached to a Comm turns every collective and
+//    p2p call into a fault site keyed by (rank, site, invocation): delays
+//    stall the call, drops void its payload, aborts throw FaultAbort.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -30,8 +43,11 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
+
+#include "util/fault_plan.hpp"
 
 namespace jem::mpisim {
 
@@ -44,6 +60,51 @@ struct CommStats {
   std::uint64_t collective_bytes = 0;  // total payload across all ranks
   std::uint64_t p2p_messages = 0;
   std::uint64_t p2p_bytes = 0;
+  std::uint64_t p2p_dropped = 0;   // sends voided by faults or dead peers
+  std::uint64_t wait_timeouts = 0;  // individual waits that expired
+  std::uint64_t wait_retries = 0;   // expired waits that were retried
+};
+
+/// Blocking-wait policy for collectives and recv. The default (timeout 0)
+/// waits forever — exactly the pre-robustness semantics. With a timeout set,
+/// each wait is retried up to `max_retries` times, the allowance growing by
+/// `backoff` per attempt, before TimeoutError is thrown.
+struct CommConfig {
+  std::chrono::milliseconds timeout{0};  // 0 = wait forever
+  int max_retries = 3;
+  double backoff = 2.0;
+
+  void validate() const {
+    if (timeout.count() < 0) {
+      throw std::invalid_argument("CommConfig: timeout must be >= 0");
+    }
+    if (max_retries < 0) {
+      throw std::invalid_argument("CommConfig: max_retries must be >= 0");
+    }
+    if (backoff < 1.0) {
+      throw std::invalid_argument("CommConfig: backoff must be >= 1");
+    }
+  }
+};
+
+/// Base class of the runtime's communication failures.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocking wait exhausted its timeout budget (stalled peer or wedged
+/// collective). The operation did not complete.
+class TimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// The awaited peer is known to have left the program (aborted or returned)
+/// and can never satisfy the wait.
+class PeerFailedError : public CommError {
+ public:
+  using CommError::CommError;
 };
 
 namespace detail {
@@ -52,19 +113,28 @@ namespace detail {
 /// the point-to-point mailboxes.
 class SharedState {
  public:
-  explicit SharedState(int size) : size_(size), slots_(size) {}
+  explicit SharedState(int size, CommConfig config = {});
 
-  /// All-to-all deposit/exchange: every rank deposits `bytes`; once the last
-  /// rank arrives, a snapshot of all deposits becomes visible to every rank.
-  /// This single primitive implements barrier (empty payload), allgatherv,
-  /// gather, bcast and reduce.
+  /// All-to-all deposit/exchange: every active rank deposits `bytes`; once
+  /// the last active rank arrives, a snapshot of all deposits becomes
+  /// visible to every rank (inactive ranks' slots stay empty). This single
+  /// primitive implements barrier (empty payload), allgatherv, gather,
+  /// bcast and reduce.
   using Snapshot = std::shared_ptr<const std::vector<std::vector<std::byte>>>;
   [[nodiscard]] Snapshot exchange(int rank, std::vector<std::byte> bytes);
 
   void send(int from, int to, int tag, std::vector<std::byte> bytes);
   [[nodiscard]] std::vector<std::byte> recv(int to, int from, int tag);
 
+  /// Removes `rank` from every current and future collective, waking any
+  /// peer whose wait it was blocking. `failed` records the rank in
+  /// failed_ranks() (aborts) vs. a silent retirement (normal return).
+  void mark_inactive(int rank, bool failed);
+
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
   [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
   [[nodiscard]] CommStats stats() const;
 
  private:
@@ -75,11 +145,26 @@ class SharedState {
     auto operator<=>(const ChannelKey&) const = default;
   };
 
+  /// Waits on cv_ until `done` holds, honoring config_'s timeout/retry
+  /// policy. Returns false when the budget is exhausted (never when
+  /// timeout == 0, which waits forever).
+  template <typename Predicate>
+  bool wait_with_policy(std::unique_lock<std::mutex>& lock, Predicate done);
+
+  /// Publishes the current round if every active rank has arrived.
+  /// Caller holds mutex_.
+  void try_publish_locked();
+
   const int size_;
+  const CommConfig config_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::vector<std::byte>> slots_;
+  std::vector<char> in_round_;   // rank deposited in the current round
+  std::vector<char> inactive_;   // rank left the program
+  std::vector<char> failed_;     // subset of inactive_: abnormal exits
+  int active_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
   Snapshot snapshot_;
@@ -121,21 +206,41 @@ std::vector<T> from_bytes(std::span<const std::byte> bytes) {
 /// ranks.
 class Comm {
  public:
-  Comm(int rank, std::shared_ptr<detail::SharedState> state)
-      : rank_(rank), state_(std::move(state)) {}
+  Comm(int rank, std::shared_ptr<detail::SharedState> state,
+       util::FaultInjector* injector = nullptr)
+      : rank_(rank), state_(std::move(state)), injector_(injector) {}
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept { return state_->size(); }
 
+  /// Ranks that aborted (threw) so far. Survivor-side degradation
+  /// accounting: a failed rank's collective contributions are empty from
+  /// the round it died in onward.
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    return state_->failed_ranks();
+  }
+
+  /// Named fault site for driver code (e.g. "S4:map" between collectives):
+  /// applies the attached injector's next decision for `site` — sleeps on
+  /// delay, throws util::FaultAbort on abort; drop is a no-op here. Without
+  /// an injector this is free.
+  void fault_point(std::string_view site) {
+    if (injector_ != nullptr) (void)injector_->fire(site);
+  }
+
   /// MPI_Barrier.
-  void barrier() { (void)state_->exchange(rank_, {}); }
+  void barrier() {
+    (void)guard_payload("barrier", {});
+    (void)state_->exchange(rank_, {});
+  }
 
   /// MPI_Allgatherv: concatenation of every rank's vector, in rank order,
-  /// visible at every rank.
+  /// visible at every rank. Ranks that died (or whose payload a fault
+  /// dropped) contribute nothing.
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(std::span<const T> local) {
-    const auto snapshot =
-        state_->exchange(rank_, detail::to_bytes<T>(local));
+    const auto snapshot = state_->exchange(
+        rank_, guard_payload("allgatherv", detail::to_bytes<T>(local)));
     std::vector<T> out;
     std::size_t total = 0;
     for (const auto& part : *snapshot) total += part.size() / sizeof(T);
@@ -156,7 +261,8 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> gatherv(std::span<const T> local,
                                                     int root) {
-    const auto snapshot = state_->exchange(rank_, detail::to_bytes<T>(local));
+    const auto snapshot = state_->exchange(
+        rank_, guard_payload("gatherv", detail::to_bytes<T>(local)));
     std::vector<std::vector<T>> out;
     if (rank_ == root) {
       out.reserve(snapshot->size());
@@ -167,49 +273,71 @@ class Comm {
     return out;
   }
 
-  /// MPI_Bcast from `root`.
+  /// MPI_Bcast from `root`. If the root died before this round (or its
+  /// payload was dropped), every rank receives an empty vector.
   template <typename T>
   [[nodiscard]] std::vector<T> bcast(std::span<const T> local, int root) {
     std::vector<std::byte> payload;
     if (rank_ == root) payload = detail::to_bytes<T>(local);
-    const auto snapshot = state_->exchange(rank_, std::move(payload));
+    const auto snapshot =
+        state_->exchange(rank_, guard_payload("bcast", std::move(payload)));
     return detail::from_bytes<T>((*snapshot)[static_cast<std::size_t>(root)]);
   }
 
-  /// MPI_Allreduce with a binary combiner over single values.
+  /// MPI_Allreduce with a binary combiner over single values. Empty slots
+  /// (dead ranks, dropped payloads) are skipped; throws CommError if no
+  /// rank contributed.
   template <typename T, typename Op>
   [[nodiscard]] T all_reduce(const T& local, Op op) {
     const auto snapshot = state_->exchange(
-        rank_, detail::to_bytes<T>(std::span<const T>(&local, 1)));
-    T acc = detail::from_bytes<T>((*snapshot)[0])[0];
-    for (int r = 1; r < size(); ++r) {
-      acc = op(acc, detail::from_bytes<T>(
-                        (*snapshot)[static_cast<std::size_t>(r)])[0]);
+        rank_, guard_payload("all_reduce", detail::to_bytes<T>(
+                                               std::span<const T>(&local, 1))));
+    bool seeded = false;
+    T acc{};
+    for (const auto& part : *snapshot) {
+      if (part.empty()) continue;
+      const T value = detail::from_bytes<T>(part)[0];
+      acc = seeded ? op(acc, value) : value;
+      seeded = true;
     }
+    if (!seeded) throw CommError("all_reduce: no surviving contributions");
     return acc;
   }
 
-  /// Element-wise all-reduce over equal-length vectors.
+  /// Element-wise all-reduce over equal-length vectors. Empty slots are
+  /// skipped; throws CommError if no rank contributed.
   template <typename T, typename Op>
   [[nodiscard]] std::vector<T> all_reduce_vec(std::span<const T> local,
                                               Op op) {
-    const auto snapshot = state_->exchange(rank_, detail::to_bytes<T>(local));
-    std::vector<T> acc = detail::from_bytes<T>((*snapshot)[0]);
-    for (int r = 1; r < size(); ++r) {
-      const auto part =
-          detail::from_bytes<T>((*snapshot)[static_cast<std::size_t>(r)]);
-      if (part.size() != acc.size()) {
+    const auto snapshot = state_->exchange(
+        rank_,
+        guard_payload("all_reduce_vec", detail::to_bytes<T>(local)));
+    std::vector<T> acc;
+    bool seeded = false;
+    for (const auto& part : *snapshot) {
+      if (part.empty()) continue;
+      const auto values = detail::from_bytes<T>(part);
+      if (!seeded) {
+        acc = values;
+        seeded = true;
+        continue;
+      }
+      if (values.size() != acc.size()) {
         throw std::logic_error("all_reduce_vec: mismatched lengths");
       }
       for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] = op(acc[i], part[i]);
+        acc[i] = op(acc[i], values[i]);
       }
+    }
+    if (!seeded) {
+      throw CommError("all_reduce_vec: no surviving contributions");
     }
     return acc;
   }
 
   /// MPI_Alltoallv: `per_dest[d]` is this rank's payload for rank d; the
-  /// result's element [s] is the payload rank s sent to this rank.
+  /// result's element [s] is the payload rank s sent to this rank. A dead
+  /// rank's (or dropped) slot yields empty payloads from that source.
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> all_to_allv(
       const std::vector<std::vector<T>>& per_dest) {
@@ -232,10 +360,12 @@ class Comm {
       blob.insert(blob.end(), encoded.begin(), encoded.end());
     }
 
-    const auto snapshot = state_->exchange(rank_, std::move(blob));
+    const auto snapshot = state_->exchange(
+        rank_, guard_payload("all_to_allv", std::move(blob)));
     std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
     for (int src = 0; src < size(); ++src) {
       const auto& src_blob = (*snapshot)[static_cast<std::size_t>(src)];
+      if (src_blob.empty()) continue;  // dead or dropped source
       // Walk the header to find this rank's slice.
       const std::size_t header =
           static_cast<std::size_t>(size()) * sizeof(std::uint64_t);
@@ -262,29 +392,81 @@ class Comm {
     return received;
   }
 
-  /// Buffered MPI_Send.
+  /// Buffered MPI_Send. A drop fault voids the message (counted in stats).
   template <typename T>
   void send(std::span<const T> data, int dest, int tag = 0) {
-    state_->send(rank_, dest, tag, detail::to_bytes<T>(data));
+    state_->send(rank_, dest, tag,
+                 guard_payload("send", detail::to_bytes<T>(data)));
   }
 
-  /// Blocking MPI_Recv; returns the payload.
+  /// Blocking MPI_Recv; returns the payload. Throws PeerFailedError when
+  /// the source died with nothing queued, TimeoutError on wait exhaustion.
   template <typename T>
   [[nodiscard]] std::vector<T> recv(int source, int tag = 0) {
+    fault_point("recv");
     return detail::from_bytes<T>(state_->recv(rank_, source, tag));
   }
 
   [[nodiscard]] CommStats stats() const { return state_->stats(); }
 
  private:
+  /// Applies the injector at a payload-carrying site: delay sleeps, abort
+  /// throws, drop replaces the payload with an empty one (the rank still
+  /// participates in the collective, so the protocol stays aligned — only
+  /// its data is lost, as with a dropped network message).
+  std::vector<std::byte> guard_payload(std::string_view site,
+                                       std::vector<std::byte> payload) {
+    if (injector_ != nullptr && !injector_->fire(site)) payload.clear();
+    return payload;
+  }
+
   int rank_;
   std::shared_ptr<detail::SharedState> state_;
+  util::FaultInjector* injector_;
 };
 
 /// Launches `size` ranks, each running `body(comm)` on its own thread, and
 /// joins them (analogous to mpirun -np size). Exceptions thrown by any rank
-/// are rethrown (the first one, by rank order) after all ranks finish or die.
+/// are rethrown (the first one, by rank order) after all ranks finish; a
+/// throwing rank is marked inactive so surviving ranks' collectives
+/// complete (degraded) instead of deadlocking.
 /// Returns the aggregate communication statistics of the run.
 CommStats run_spmd(int size, const std::function<void(Comm&)>& body);
+
+/// One abnormal rank exit in a fault-tolerant run.
+struct RankFailure {
+  int rank = -1;
+  std::string site;     // fault site or collective that detected the death
+  std::string message;  // exception text
+};
+
+struct SpmdOptions {
+  CommConfig comm;
+  /// Not owned; may be null (no injected faults). Each rank gets its own
+  /// util::FaultInjector over this plan.
+  const util::FaultPlan* fault_plan = nullptr;
+};
+
+struct SpmdReport {
+  CommStats stats;
+  std::vector<RankFailure> failures;  // ordered by rank
+  std::uint64_t faults_injected = 0;  // decisions that fired, all ranks
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    std::vector<int> ranks;
+    ranks.reserve(failures.size());
+    for (const RankFailure& failure : failures) ranks.push_back(failure.rank);
+    return ranks;
+  }
+};
+
+/// Fault-tolerant SPMD execution: ranks that die of injected faults or
+/// communication errors (util::FaultAbort, TimeoutError, PeerFailedError)
+/// are recorded in the report instead of rethrown, and the remaining ranks
+/// run to completion. Any other exception still propagates (after every
+/// rank has finished, so nothing leaks or deadlocks).
+SpmdReport run_spmd_ft(int size, const std::function<void(Comm&)>& body,
+                       const SpmdOptions& options = {});
 
 }  // namespace jem::mpisim

@@ -8,42 +8,111 @@
 namespace jem::mpisim {
 
 StagedExecutor::StagedExecutor(int num_ranks, NetworkModel model)
-    : num_ranks_(num_ranks), model_(model) {
+    : num_ranks_(num_ranks),
+      model_(model),
+      failed_(static_cast<std::size_t>(num_ranks), 0) {
   if (num_ranks <= 0) {
     throw std::invalid_argument("StagedExecutor: num_ranks must be positive");
   }
 }
 
+std::vector<int> StagedExecutor::failed_ranks() const {
+  std::vector<int> ranks;
+  for (int rank = 0; rank < num_ranks_; ++rank) {
+    if (failed_[static_cast<std::size_t>(rank)] != 0) ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+util::FaultDecision StagedExecutor::decide_fault(int rank,
+                                                 std::string_view name,
+                                                 std::uint64_t invocation) {
+  if (plan_ == nullptr || plan_->empty()) return {};
+  const util::FaultDecision decision = plan_->decide(rank, name, invocation);
+  if (decision.action != util::FaultAction::kNone) ++faults_injected_;
+  return decision;
+}
+
 void StagedExecutor::compute_step(std::string_view name,
                                   const std::function<void(int)>& fn) {
+  const std::uint64_t invocation = [&] {
+    const auto it = site_calls_.find(name);
+    if (it != site_calls_.end()) return it->second++;
+    site_calls_.emplace(std::string(name), 1);
+    return std::uint64_t{0};
+  }();
+
   StepRecord record;
   record.name = std::string(name);
   record.per_rank_s.reserve(static_cast<std::size_t>(num_ranks_));
+  std::vector<double> recovered;
   for (int rank = 0; rank < num_ranks_; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    const util::FaultDecision decision = decide_fault(rank, name, invocation);
+    if (decision.action == util::FaultAction::kAbort) failed_[r] = 1;
+    // The work always runs (downstream steps need the results to exist);
+    // a failed rank's time is billed to the recovery step instead.
     util::WallTimer timer;
     fn(rank);
-    record.per_rank_s.push_back(timer.elapsed_s());
+    const double elapsed = timer.elapsed_s();
+    if (failed_[r] != 0) {
+      record.per_rank_s.push_back(0.0);
+      recovered.push_back(elapsed);
+      continue;
+    }
+    double modeled = elapsed;
+    if (decision.action == util::FaultAction::kDelay) {
+      modeled += static_cast<double>(decision.delay.count()) / 1000.0;
+    }
+    record.per_rank_s.push_back(modeled);
   }
   record.cost_s =
       *std::max_element(record.per_rank_s.begin(), record.per_rank_s.end());
   steps_.push_back(std::move(record));
+
+  if (!recovered.empty()) {
+    // Lost partitions are redone serially by a survivor: sum, not max.
+    StepRecord recover;
+    recover.name = "recover:" + std::string(name);
+    double sum = 0.0;
+    for (const double s : recovered) sum += s;
+    recover.cost_s = sum;
+    recover.per_rank_s = std::move(recovered);
+    steps_.push_back(std::move(recover));
+  }
+}
+
+void StagedExecutor::comm_delay_s(std::string_view name, double& cost) {
+  const std::uint64_t invocation = [&] {
+    const auto it = site_calls_.find(name);
+    if (it != site_calls_.end()) return it->second++;
+    site_calls_.emplace(std::string(name), 1);
+    return std::uint64_t{0};
+  }();
+  const util::FaultDecision decision =
+      decide_fault(util::FaultPlan::kAnyRank, name, invocation);
+  if (decision.action == util::FaultAction::kDelay) {
+    cost += static_cast<double>(decision.delay.count()) / 1000.0;
+  }
 }
 
 void StagedExecutor::comm_allgatherv(std::string_view name,
                                      std::uint64_t total_bytes) {
-  steps_.push_back({std::string(name), true,
-                    model_.allgatherv_s(num_ranks_, total_bytes), {},
-                    total_bytes});
+  double cost = model_.allgatherv_s(num_ranks_, total_bytes);
+  comm_delay_s(name, cost);
+  steps_.push_back({std::string(name), true, cost, {}, total_bytes});
 }
 
 void StagedExecutor::comm_barrier(std::string_view name) {
-  steps_.push_back(
-      {std::string(name), true, model_.barrier_s(num_ranks_), {}, 0});
+  double cost = model_.barrier_s(num_ranks_);
+  comm_delay_s(name, cost);
+  steps_.push_back({std::string(name), true, cost, {}, 0});
 }
 
 void StagedExecutor::comm_reduce(std::string_view name, std::uint64_t bytes) {
-  steps_.push_back(
-      {std::string(name), true, model_.reduce_s(num_ranks_, bytes), {}, bytes});
+  double cost = model_.reduce_s(num_ranks_, bytes);
+  comm_delay_s(name, cost);
+  steps_.push_back({std::string(name), true, cost, {}, bytes});
 }
 
 double StagedExecutor::total_s() const noexcept {

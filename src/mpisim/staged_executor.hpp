@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "mpisim/network_model.hpp"
+#include "util/fault_plan.hpp"
 
 namespace jem::mpisim {
 
@@ -32,6 +34,23 @@ class StagedExecutor {
 
   [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
   [[nodiscard]] const NetworkModel& model() const noexcept { return model_; }
+
+  /// Attaches a fault plan (not owned; null detaches). Every step name is a
+  /// fault site keyed by (rank, name, per-name invocation count). Because
+  /// the executor is a performance *model*, faults alter the modeled
+  /// timeline, not real execution: kDelay adds the delay to the rank's
+  /// modeled step time, and kAbort marks the rank failed — its work still
+  /// runs (the results must exist) but is re-billed to a "recover:<name>"
+  /// step, modeling a survivor redoing the lost partition serially. kDrop
+  /// has no modeled cost and is ignored.
+  void set_fault_plan(const util::FaultPlan* plan) noexcept { plan_ = plan; }
+
+  /// Ranks marked failed by kAbort decisions so far, ascending.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
 
   /// Runs fn(rank) for every rank in turn, timing each. The step's parallel
   /// cost is the maximum per-rank time.
@@ -67,9 +86,23 @@ class StagedExecutor {
   [[nodiscard]] double step_s(std::string_view name) const noexcept;
 
  private:
+  /// Fault decision for the current invocation of `name` at `rank`
+  /// (kAnyRank for comm steps). Counts fired faults.
+  util::FaultDecision decide_fault(int rank, std::string_view name,
+                                   std::uint64_t invocation);
+
+  /// Adds any injected delay for this comm step's invocation to `cost`
+  /// (comm faults are keyed rank-agnostically on kAnyRank).
+  void comm_delay_s(std::string_view name, double& cost);
+
   int num_ranks_;
   NetworkModel model_;
   std::vector<StepRecord> steps_;
+
+  const util::FaultPlan* plan_ = nullptr;
+  std::map<std::string, std::uint64_t, std::less<>> site_calls_;
+  std::vector<char> failed_;
+  std::uint64_t faults_injected_ = 0;
 };
 
 }  // namespace jem::mpisim

@@ -1,0 +1,143 @@
+#include "util/fault_plan.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/prng.hpp"
+
+namespace jem::util {
+
+namespace {
+
+/// FNV-1a over the site name; mixed once more so short names spread.
+std::uint64_t hash_site(std::string_view site) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::delay_at(int rank, std::string site,
+                               std::uint64_t invocation,
+                               std::chrono::milliseconds delay) {
+  events_.push_back(
+      {rank, std::move(site), invocation, FaultAction::kDelay, delay});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_at(int rank, std::string site,
+                              std::uint64_t invocation) {
+  events_.push_back(
+      {rank, std::move(site), invocation, FaultAction::kDrop, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::abort_at(int rank, std::string site,
+                               std::uint64_t invocation) {
+  events_.push_back(
+      {rank, std::move(site), invocation, FaultAction::kAbort, {}});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed,
+                            const RandomFaultRates& rates) {
+  if (rates.delay < 0.0 || rates.drop < 0.0 || rates.abort < 0.0 ||
+      rates.delay + rates.drop + rates.abort > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan::random: rates must be non-negative and sum to <= 1");
+  }
+  if (rates.max_delay.count() < 1) {
+    throw std::invalid_argument("FaultPlan::random: max_delay must be >= 1ms");
+  }
+  FaultPlan plan;
+  plan.random_ = true;
+  plan.seed_ = seed;
+  plan.rates_ = rates;
+  return plan;
+}
+
+FaultDecision FaultPlan::decide(int rank, std::string_view site,
+                                std::uint64_t invocation) const {
+  for (const Event& event : events_) {
+    const bool rank_match = event.rank == kAnyRank || event.rank == rank;
+    const bool site_match = event.site.empty() || event.site == site;
+    const bool call_match =
+        event.invocation == kAnyInvocation || event.invocation == invocation;
+    if (rank_match && site_match && call_match) {
+      return {event.action, event.delay};
+    }
+  }
+  if (!random_) return {};
+
+  // One hash decides the action, a dependent hash the delay magnitude —
+  // both pure functions of the key, so the schedule is replayable.
+  const std::uint64_t key =
+      mix64(seed_ ^ hash_site(site)) ^
+      mix64(static_cast<std::uint64_t>(static_cast<std::int64_t>(rank)) +
+            0x9e3779b97f4a7c15ULL) ^
+      mix64(invocation + 0x2545f4914f6cdd1dULL);
+  const double u =
+      static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;  // [0, 1)
+  if (u < rates_.abort) return {FaultAction::kAbort, {}};
+  if (u < rates_.abort + rates_.drop) return {FaultAction::kDrop, {}};
+  if (u < rates_.abort + rates_.drop + rates_.delay) {
+    const auto span = static_cast<std::uint64_t>(rates_.max_delay.count());
+    const std::chrono::milliseconds delay{
+        1 + static_cast<std::int64_t>(mix64(key + 1) % span)};
+    return {FaultAction::kDelay, delay};
+  }
+  return {};
+}
+
+FaultDecision FaultInjector::next(std::string_view site) {
+  if (plan_ == nullptr) return {};
+  std::uint64_t invocation = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = std::find_if(counters_.begin(), counters_.end(),
+                           [&](const auto& c) { return c.first == site; });
+    if (it == counters_.end()) {
+      counters_.emplace_back(std::string(site), 0);
+      it = counters_.end() - 1;
+    }
+    invocation = it->second++;
+  }
+  const FaultDecision decision = plan_->decide(rank_, site, invocation);
+  switch (decision.action) {
+    case FaultAction::kDelay:
+      ++delays_;
+      break;
+    case FaultAction::kDrop:
+      ++drops_;
+      break;
+    case FaultAction::kAbort:
+      ++aborts_;
+      break;
+    case FaultAction::kNone:
+      break;
+  }
+  return decision;
+}
+
+bool FaultInjector::fire(std::string_view site) {
+  if (plan_ == nullptr) return true;
+  const FaultDecision decision = next(site);
+  switch (decision.action) {
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(decision.delay);
+      return true;
+    case FaultAction::kDrop:
+      return false;
+    case FaultAction::kAbort:
+      throw FaultAbort(rank_, std::string(site));
+    case FaultAction::kNone:
+      break;
+  }
+  return true;
+}
+
+}  // namespace jem::util

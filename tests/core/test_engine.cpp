@@ -221,8 +221,9 @@ TEST_F(EngineGoldenTest, MinVotesBelowMapperFloorThrows) {
   EXPECT_THROW((void)strict_engine.run(reads_, request),
                std::invalid_argument);
   // At or above the floor is fine.
-  EXPECT_NO_THROW((void)strict_engine.run(
-      reads_, MapRequest{.min_votes = 4}));
+  MapRequest at_floor;
+  at_floor.min_votes = 4;
+  EXPECT_NO_THROW((void)strict_engine.run(reads_, at_floor));
   EXPECT_NO_THROW((void)engine.run(reads_, request));
 }
 

@@ -3,6 +3,7 @@
 // module's error type.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -98,6 +99,58 @@ TEST(ParserRobustness, TruncatedFastqAlwaysThrows) {
     } catch (const ParseError&) {
     }
   }
+}
+
+TEST(ParserRobustness, TruncatedGzipThrowsAtEveryCutPoint) {
+  const std::string payload = ">r1\nACGTACGTACGTACGT\n>r2\nTTTTGGGGCCCCAAAA\n";
+  const std::string full = gzip_compress(payload);
+  ASSERT_EQ(gzip_decompress(full), payload);
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    EXPECT_THROW((void)gzip_decompress(full.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at byte " << cut << " of " << full.size();
+  }
+}
+
+TEST(ParserRobustness, ReadSequencesFileOnTruncatedGzipThrowsParseError) {
+  const std::string payload = ">r1\nACGTACGTACGT\n";
+  const std::string full = gzip_compress(payload);
+  const std::string path = ::testing::TempDir() + "/jem_truncated.fa.gz";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(),
+              static_cast<std::streamsize>(full.size() / 2));  // cut in half
+  }
+  EXPECT_THROW((void)read_sequences_file(path), ParseError);
+}
+
+TEST(ParserRobustness, CrlfFastaAndFastqParseIdenticallyToLf) {
+  std::istringstream fasta("  \r\n>r1 extra\r\nACGT\r\nTTTT\r\n>r2\r\nGGGG\r\n");
+  const auto fa = read_sequences(fasta);
+  ASSERT_EQ(fa.size(), 2u);
+  EXPECT_EQ(fa[0].name, "r1");
+  EXPECT_EQ(fa[0].bases, "ACGTTTTT");
+  EXPECT_EQ(fa[1].bases, "GGGG");
+
+  std::istringstream fastq("@q1\r\nACGT\r\n+\r\nIIII\r\n");
+  const auto fq = read_sequences(fastq);
+  ASSERT_EQ(fq.size(), 1u);
+  EXPECT_EQ(fq[0].name, "q1");
+  EXPECT_EQ(fq[0].bases, "ACGT");
+}
+
+TEST(ParserRobustness, MidRecordEofFastaThrowsNeverAborts) {
+  // A header with no sequence — at the end or the middle — is an error the
+  // caller can catch, not a crash or a silently empty record.
+  for (const char* broken : {">r1\n", ">r1\nACGT\n>r2\n", ">r1\n>r2\nACGT\n"}) {
+    std::istringstream in(broken);
+    EXPECT_THROW((void)read_fasta(in), ParseError) << "input: " << broken;
+  }
+  // But a final record missing only the trailing newline is fine.
+  std::istringstream ok(">r1\nACGT");
+  const auto records = read_fasta(ok);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].bases, "ACGT");
 }
 
 }  // namespace
