@@ -5,13 +5,16 @@
 // and the alignment kernels.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "align/banded.hpp"
 #include "baseline/mashmap_like.hpp"
 #include "baseline/minimap_like.hpp"
+#include "core/index_serde.hpp"
 #include "core/jem.hpp"
+#include "io/artifact.hpp"
 #include "io/gzip.hpp"
 #include "io/packed_sequence_set.hpp"
 #include "mpisim/communicator.hpp"
@@ -517,6 +520,88 @@ void BM_Allgatherv(benchmark::State& state) {
                           static_cast<std::int64_t>(elements * 8));
 }
 BENCHMARK(BM_Allgatherv)->Arg(2)->Arg(4)->Arg(8);
+
+// BM_IndexLoad*: the index persistence trade-off (docs/persistence.md) —
+// what --load-index buys over rebuilding the sketch index from FASTA.
+// The subject set is shared across the family so the numbers compare.
+struct IndexLoadFixture {
+  io::SequenceSet subjects;
+  core::MapParams params;
+  std::string bytes;  // serialized artifact
+
+  IndexLoadFixture() {
+    const std::string genome = random_dna(23, 800'000);
+    for (int i = 0; i < 16; ++i) {
+      subjects.add("c" + std::to_string(i),
+                   genome.substr(static_cast<std::size_t>(i) * 50'000,
+                                 50'000));
+    }
+    params = core::MapParams::make()
+                 .k(16)
+                 .window(20)
+                 .trials(8)
+                 .segment_length(800)
+                 .seed(7)
+                 .build();
+    const core::JemMapper mapper(subjects, params);
+    bytes = core::serialize_index(mapper.table(), params,
+                                  core::SketchScheme::kJem, subjects);
+  }
+};
+
+const IndexLoadFixture& index_load_fixture() {
+  static const IndexLoadFixture fixture;
+  return fixture;
+}
+
+void BM_IndexLoadBuildFromFasta(benchmark::State& state) {
+  const IndexLoadFixture& fx = index_load_fixture();
+  for (auto _ : state) {
+    const core::JemMapper mapper(fx.subjects, fx.params);
+    benchmark::DoNotOptimize(mapper.table().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexLoadBuildFromFasta);
+
+void BM_IndexLoadSerialize(benchmark::State& state) {
+  const IndexLoadFixture& fx = index_load_fixture();
+  const core::JemMapper mapper(fx.subjects, fx.params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::serialize_index(
+        mapper.table(), fx.params, core::SketchScheme::kJem, fx.subjects));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.bytes.size()));
+}
+BENCHMARK(BM_IndexLoadSerialize);
+
+void BM_IndexLoadDeserialize(benchmark::State& state) {
+  const IndexLoadFixture& fx = index_load_fixture();
+  for (auto _ : state) {
+    core::SketchTable table = core::deserialize_index(
+        fx.bytes, fx.params, core::SketchScheme::kJem, fx.subjects);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.bytes.size()));
+}
+BENCHMARK(BM_IndexLoadDeserialize);
+
+void BM_IndexLoadFromDisk(benchmark::State& state) {
+  const IndexLoadFixture& fx = index_load_fixture();
+  const std::string path = "/tmp/jem_bench_index.jemidx";
+  io::atomic_write_file(path, fx.bytes);
+  for (auto _ : state) {
+    core::SketchTable table = core::load_index(
+        path, fx.params, core::SketchScheme::kJem, fx.subjects);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.bytes.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_IndexLoadFromDisk);
 
 void BM_EditDistance(benchmark::State& state) {
   const std::string a = random_dna(14, 1000);

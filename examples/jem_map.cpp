@@ -6,9 +6,19 @@
 //   jem_map --subjects contigs.fa --queries reads.fq --output out.tsv
 //           [--k 16] [--w 100] [--trials 30] [--segment 1000]
 //           [--ranks 4 | --threads 8] [--scheme jem|minhash]
+//           [--save-index idx | --load-index idx]
+//           [--batch N --checkpoint run.ckpt [--resume]]
 //
 // With --demo (no input files) it simulates a small dataset, maps it, and
 // writes both the inputs and the mapping under --output-dir.
+//
+// Persistence (docs/persistence.md): --save-index/--load-index use the
+// checksummed artifact format (a corrupt or mismatched index is rejected
+// with its reason and rebuilt from FASTA). --checkpoint journals batch
+// progress during a streaming run (--batch); after a crash, rerunning with
+// --resume fast-forwards past the journaled batches and continues into the
+// same output, which is published atomically and byte-identical to an
+// uninterrupted run.
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -43,8 +53,10 @@ int main(int argc, const char** argv) {
   bool demo = false;
   bool tiled = false;
   std::uint64_t batch = 0;
-  std::string save_index;
-  std::string load_index;
+  std::string save_index_path;
+  std::string load_index_path;
+  std::string checkpoint_path;
+  bool resume = false;
 
   util::Options options;
   options.add_string("subjects", subjects_path, "contigs FASTA path");
@@ -72,10 +84,18 @@ int main(int argc, const char** argv) {
   options.add_uint("batch", batch,
                    "stream queries in batches of N reads (constant memory; "
                    "combine with --threads for the pipelined pool)");
-  options.add_string("save-index", save_index,
-                     "write the subject sketch table to this file");
-  options.add_string("load-index", load_index,
-                     "reuse a sketch table written by --save-index");
+  options.add_string("save-index", save_index_path,
+                     "write the subject sketch index (checksummed artifact) "
+                     "to this file");
+  options.add_string("load-index", load_index_path,
+                     "reuse an index written by --save-index (any defect is "
+                     "reported and the index rebuilt from FASTA)");
+  options.add_string("checkpoint", checkpoint_path,
+                     "with --batch: journal batch progress to this file so "
+                     "an interrupted run can --resume");
+  options.add_flag("resume", resume,
+                   "continue a checkpointed run from its journal (falls "
+                   "back to a fresh run when the journal is unusable)");
   try {
     (void)options.parse(argc, argv);
   } catch (const util::OptionError& error) {
@@ -156,6 +176,7 @@ int main(int argc, const char** argv) {
 
   util::WallTimer timer;
   std::vector<io::MappingLine> lines;
+  bool published = false;  // checkpointed runs write their output themselves
   if (ranks > 0) {
     const core::DistributedResult result =
         partitioned
@@ -171,26 +192,31 @@ int main(int argc, const char** argv) {
                      << result.report.allgather_s << " s";
   } else {
     std::optional<core::MappingEngine> engine;
-    if (!load_index.empty()) {
-      std::ifstream index_in(load_index, std::ios::binary);
-      if (!index_in) {
-        std::cerr << "error: cannot open index " << load_index << '\n';
-        return 1;
+    bool loaded_index = false;
+    if (!load_index_path.empty()) {
+      try {
+        engine.emplace(subjects, params, scheme,
+                       core::load_index(load_index_path, params, scheme,
+                                        subjects));
+        loaded_index = true;
+        util::log_info() << "loaded sketch index from " << load_index_path
+                         << " (freeze skipped)";
+      } catch (const io::ArtifactError& error) {
+        // A bad artifact is never fatal: report why and rebuild from FASTA.
+        util::log_info() << "index " << load_index_path << " rejected ("
+                         << error.what() << "); rebuilding from FASTA";
       }
-      engine.emplace(subjects, params, scheme,
-                     core::SketchTable::load(index_in));
-      util::log_info() << "loaded sketch table from " << load_index;
-    } else {
-      engine.emplace(subjects, params, scheme);
     }
-    if (!save_index.empty()) {
-      std::ofstream index_out(save_index, std::ios::binary);
-      if (!index_out) {
-        std::cerr << "error: cannot write index " << save_index << '\n';
+    if (!engine) engine.emplace(subjects, params, scheme);
+    if (!save_index_path.empty() && !loaded_index) {
+      try {
+        core::save_index(save_index_path, engine->mapper().table(), params,
+                         scheme, subjects);
+        util::log_info() << "saved sketch index to " << save_index_path;
+      } catch (const io::ArtifactError& error) {
+        std::cerr << "error: cannot save index: " << error.what() << '\n';
         return 1;
       }
-      engine->mapper().table().save(index_out);
-      util::log_info() << "saved sketch table to " << save_index;
     }
 
     core::MapRequest request;
@@ -202,7 +228,77 @@ int main(int argc, const char** argv) {
 
     core::EngineStats stats;
     try {
-      if (batch > 0 && !demo) {
+      if (batch > 0 && !demo && !checkpoint_path.empty()) {
+        // Checkpointed streaming: each in-order batch is appended to
+        // <output>.partial and journaled; a killed run resumes past the
+        // journal and the final output (published atomically) is byte-
+        // identical to an uninterrupted run (docs/persistence.md).
+        const std::string query_data = io::read_file_auto(queries_path);
+        std::istringstream stream(query_data);
+        io::BatchStream batches(stream, batch);
+        const core::JemMapper& mapper = engine->mapper();
+
+        // The fingerprint binds the journal to this exact run: mapping
+        // parameters + scheme, subject set, query bytes, and the request
+        // shape that determines batch boundaries and output layout.
+        io::JournalFingerprint fp;
+        fp.words[0] = core::params_digest(params, scheme);
+        fp.words[1] = core::subjects_digest(subjects);
+        fp.words[2] = io::xxh64(query_data);
+        fp.words[3] = io::xxh64(std::string(tiled ? "tiled" : "ends") +
+                                ";batch=" + std::to_string(batch));
+
+        std::optional<io::MappingOutput> output;
+        std::optional<io::CheckpointWriter> journal;
+        if (resume) {
+          try {
+            const io::ResumePoint point =
+                io::read_journal(checkpoint_path, fp);
+            output.emplace(output_path, point.output_bytes,
+                           point.output_hash);
+            journal.emplace(
+                io::CheckpointWriter::reopen(checkpoint_path, fp, point));
+            const std::uint64_t skipped = batches.skip(point.batches_done);
+            util::log_info()
+                << "resumed at batch " << point.batches_done << " ("
+                << skipped << " reads already mapped"
+                << (point.torn_records != 0 ? ", torn journal tail discarded"
+                                            : "")
+                << ")";
+          } catch (const io::ArtifactError& error) {
+            util::log_info() << "cannot resume (" << error.what()
+                             << "); restarting from scratch";
+            journal.reset();
+            output.reset();
+          }
+        }
+        if (!output) {
+          output.emplace(output_path);
+          journal.emplace(io::CheckpointWriter::create(checkpoint_path, fp));
+        }
+        journal->set_output_state([&] { return output->state(); });
+        request.checkpoint = &*journal;
+
+        stats = engine->run_stream(
+            batches, request,
+            [&](const core::MappingEngine::BatchResult& result) {
+              std::ostringstream chunk;
+              io::write_mappings(chunk, mapper.to_mapping_lines(
+                                            result.batch.reads,
+                                            result.mappings));
+              output->append(std::move(chunk).str());
+              // Sync before the journal append: a journal record must never
+              // claim bytes the disk does not have.
+              output->sync();
+            });
+        output->publish();
+        journal->close();
+        io::remove_journal(checkpoint_path);
+        published = true;
+        util::log_info() << "streamed " << stats.reads << " reads ("
+                         << stats.batches_skipped << " batches resumed past, "
+                         << stats.journal_appends << " journal records)";
+      } else if (batch > 0 && !demo) {
         // Streaming mode: constant memory in the query set. The engine
         // reads batches on this thread and maps them on the pool behind a
         // bounded queue, emitting results in input order. Parsing happens
@@ -237,15 +333,25 @@ int main(int argc, const char** argv) {
                      << stats.map_s << " s, emit " << stats.emit_s
                      << " s, queue-wait " << stats.queue_wait_s << " s)";
   }
+  if (published) {
+    util::log_info() << "checkpointed run finished in " << timer.elapsed_s()
+                     << " s";
+    std::cout << "published " << output_path << '\n';
+    return 0;
+  }
+
   util::log_info() << "mapped " << lines.size() << " end segments in "
                    << timer.elapsed_s() << " s";
 
-  std::ofstream out(output_path);
-  if (!out) {
-    std::cerr << "error: cannot write " << output_path << '\n';
+  try {
+    std::ostringstream serialized;
+    io::write_mappings(serialized, lines);
+    io::atomic_write_file(output_path, std::move(serialized).str());
+  } catch (const io::ArtifactError& error) {
+    std::cerr << "error: cannot write " << output_path << ": " << error.what()
+              << '\n';
     return 1;
   }
-  io::write_mappings(out, lines);
   std::uint64_t mapped = 0;
   for (const auto& line : lines) {
     if (line.mapped()) ++mapped;

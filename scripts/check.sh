@@ -30,14 +30,17 @@ ctest --test-dir build-tsan --output-on-failure \
 
 # The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # fault-injection shutdown paths (worker aborts, queue closes, partial
-# drains) are where lifetime bugs would hide.
+# drains) are where lifetime bugs would hide. The persistence suites ride
+# along (docs/persistence.md): every artifact corruption case — truncation,
+# bit rot, torn journal records, stale resume state — must be detected as a
+# structured error without tripping ASan/UBSan while parsing hostile bytes.
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target test_engine test_chaos
+cmake --build build-asan --target test_engine test_chaos test_io test_core
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /
@@ -58,4 +61,29 @@ for e in quickstart hybrid_scaffold hybrid_pipeline parameter_study; do
   "./build/examples/$e"
 done
 ./build/examples/jem_map --demo --output /tmp/jem_check.tsv
+
+# Kill-and-resume smoke (docs/persistence.md): SIGKILL a checkpointed
+# streaming run mid-flight, resume it, and require the published output to
+# be byte-identical to an uninterrupted run. If the kill happens to land
+# after completion the resume exercises the journal-gone full-re-run
+# fallback instead — either way the diff must be empty.
+SMOKE=/tmp/jem_ckpt_smoke
+rm -rf "$SMOKE" && mkdir -p "$SMOKE"
+./build/examples/make_dataset --preset "E. coli" --prefix "$SMOKE/ds" \
+  --cap-bp 300000
+./build/examples/jem_map --subjects "$SMOKE/ds_contigs.fa" \
+  --queries "$SMOKE/ds_reads.fq.gz" --output "$SMOKE/golden.tsv"
+./build/examples/jem_map --subjects "$SMOKE/ds_contigs.fa" \
+  --queries "$SMOKE/ds_reads.fq.gz" --output "$SMOKE/out.tsv" \
+  --batch 20 --checkpoint "$SMOKE/run.ckpt" &
+JEM_PID=$!
+sleep 0.05
+kill -9 "$JEM_PID" 2>/dev/null || true
+wait "$JEM_PID" 2>/dev/null || true
+./build/examples/jem_map --subjects "$SMOKE/ds_contigs.fa" \
+  --queries "$SMOKE/ds_reads.fq.gz" --output "$SMOKE/out.tsv" \
+  --batch 20 --checkpoint "$SMOKE/run.ckpt" --resume
+diff "$SMOKE/golden.tsv" "$SMOKE/out.tsv"
+echo "kill-and-resume smoke: byte-identical"
+rm -rf "$SMOKE"
 echo "ALL CHECKS PASSED"

@@ -1,9 +1,11 @@
 #include "core/distributed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <stdexcept>
 
+#include "core/index_serde.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -108,7 +110,8 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
                                   const io::SequenceSet& reads,
                                   const MapParams& params, int ranks,
                                   SketchScheme scheme, int threads_per_rank,
-                                  const RobustnessOptions& robust) {
+                                  const RobustnessOptions& robust,
+                                  const IndexCacheOptions& index_cache) {
   params.validate();
   if (threads_per_rank < 1) {
     throw std::invalid_argument(
@@ -126,6 +129,9 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   std::uint64_t sketch_bytes = 0;
   std::uint64_t table_entries_max = 0;
   std::uint64_t queries_mapped = 0;
+  std::atomic<std::uint64_t> shards_loaded{0};
+  std::atomic<std::uint64_t> shards_saved{0};
+  std::atomic<std::uint64_t> shard_load_errors{0};
 
   util::WallTimer load_timer;
   const auto subject_ranges = partition_by_bases(subjects, ranks);
@@ -152,11 +158,39 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
         // seed.
         const HashFamily hashes(params.trials, params.seed);
 
-        // S2: sketch local subjects.
+        // S2: sketch local subjects — or load this rank's cached shard
+        // artifact. The artifact fingerprint binds it to (params, scheme,
+        // subject set) and the filename to (p, rank), which determine the
+        // subject range; any defect falls back to sketching, so a corrupt
+        // or stale cache can never change the output.
         comm.fault_point("S2:sketch");
         util::WallTimer sketch_timer;
-        const SketchTable local =
-            sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+        SketchTable local(params.trials);
+        bool shard_loaded = false;
+        if (index_cache.enabled() && index_cache.load) {
+          try {
+            local = load_index(index_cache.shard_path(rank, ranks), params,
+                               scheme, subjects);
+            shard_loaded = true;
+            shards_loaded.fetch_add(1, std::memory_order_relaxed);
+          } catch (const io::ArtifactError& error) {
+            // A missing shard is a plain cache miss (cold cache); anything
+            // else is a rejected artifact worth surfacing in the report.
+            if (error.reason() != io::ArtifactReason::kOpenFailed) {
+              shard_load_errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!shard_loaded) {
+          local =
+              sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+          if (index_cache.enabled() && index_cache.save) {
+            local.freeze();  // the artifact persists the frozen forms
+            save_index(index_cache.shard_path(rank, ranks), local, params,
+                       scheme, subjects);
+            shards_saved.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         const std::vector<SketchEntry> local_entries = local.to_entries();
         const double sketch_s = sketch_timer.elapsed_s();
 
@@ -253,6 +287,9 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   result.report.queries_recovered = queries_recovered;
   result.report.recover_s = recover_s;
   result.report.faults_injected = spmd.faults_injected;
+  result.report.shards_loaded = shards_loaded.load();
+  result.report.shards_saved = shards_saved.load();
+  result.report.shard_load_errors = shard_load_errors.load();
   for (const int rank : result.report.failed_ranks) {
     if (shared_sketch[static_cast<std::size_t>(rank)] == 0) {
       result.report.degraded = true;  // its sketch never reached survivors

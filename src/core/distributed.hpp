@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,31 @@ struct RobustnessOptions {
   mpisim::CommConfig comm;
 };
 
+/// Per-rank sketch-shard caching for run_distributed (replicated strategy).
+/// With a directory set, each rank persists its S2 result as a checksummed
+/// index artifact `shard_p<ranks>_r<rank>.jemidx` (core/index_serde) and
+/// later runs load it instead of re-sketching — S2 becomes file I/O. The
+/// artifact's fingerprint binds it to the exact subject set and mapping
+/// parameters; the filename binds it to the partition (rank count + rank,
+/// which determine the subject range). Any defect — truncation, bit rot, a
+/// parameter or dataset change — fails the load as a structured
+/// ArtifactError and the rank silently falls back to sketching (counted in
+/// DistributedStepReport::shard_load_errors). Output is bit-identical with
+/// caching on, off, or partially hit.
+struct IndexCacheOptions {
+  std::string dir;    // empty = caching disabled
+  bool save = true;   // persist freshly sketched shards
+  bool load = true;   // try loading shards before sketching
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+
+  /// The shard artifact path for `rank` of `ranks`.
+  [[nodiscard]] std::string shard_path(int rank, int ranks) const {
+    return dir + "/shard_p" + std::to_string(ranks) + "_r" +
+           std::to_string(rank) + ".jemidx";
+  }
+};
+
 /// Per-step timing/volume record of one distributed run (Fig 7a / Fig 8).
 struct DistributedStepReport {
   int ranks = 1;
@@ -81,6 +107,11 @@ struct DistributedStepReport {
   std::uint64_t queries_recovered = 0;  // segments re-mapped by the driver
   double recover_s = 0.0;               // time spent redoing lost work
   std::uint64_t faults_injected = 0;    // fault decisions that fired
+
+  // Shard-cache accounting (IndexCacheOptions; all zero with caching off).
+  std::uint64_t shards_loaded = 0;      // S2 results read from artifacts
+  std::uint64_t shards_saved = 0;       // S2 results persisted this run
+  std::uint64_t shard_load_errors = 0;  // artifacts rejected (rebuilt fresh)
   /// True when a failure cost shared state the survivors depended on (a
   /// rank died before contributing its sketch to S3, or before answering
   /// probes in partitioned mode): every query is still mapped, but
@@ -126,7 +157,8 @@ struct DistributedResult {
     const io::SequenceSet& subjects, const io::SequenceSet& reads,
     const MapParams& params, int ranks,
     SketchScheme scheme = SketchScheme::kJem, int threads_per_rank = 1,
-    const RobustnessOptions& robust = {});
+    const RobustnessOptions& robust = {},
+    const IndexCacheOptions& index_cache = {});
 
 /// Partitioned-table strategy: instead of replicating S_global at every
 /// rank (the paper's S3, space O(n·m_s·T) *per process* — its §III-C1

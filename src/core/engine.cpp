@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "io/checkpoint.hpp"
 #include "io/fasta.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/timer.hpp"
@@ -131,6 +132,29 @@ class StreamInjectorGuard {
 
  private:
   io::BatchStream& stream_;
+};
+
+/// Same contract for the checkpoint writer's "ckpt.write" fault site: the
+/// writer belongs to the driver and outlives the run.
+class CheckpointInjectorGuard {
+ public:
+  CheckpointInjectorGuard(io::CheckpointWriter* writer,
+                          util::FaultInjector* injector)
+      : writer_(writer) {
+    if (writer_ != nullptr) {
+      writer_->set_fault_injector(
+          injector != nullptr && injector->active() ? injector : nullptr);
+    }
+  }
+  ~CheckpointInjectorGuard() {
+    if (writer_ != nullptr) writer_->set_fault_injector(nullptr);
+  }
+
+  CheckpointInjectorGuard(const CheckpointInjectorGuard&) = delete;
+  CheckpointInjectorGuard& operator=(const CheckpointInjectorGuard&) = delete;
+
+ private:
+  io::CheckpointWriter* writer_;
 };
 
 /// Maps a contained pipeline exception to its structured description.
@@ -326,8 +350,9 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   // decisions are independent of worker interleaving.
   const util::FaultPlan& plan = request.fault_plan;
   const bool faults = !plan.empty();
-  util::FaultInjector reader_injector(&plan, 0);
-  const StreamInjectorGuard injector_guard(stream, &reader_injector);
+  util::FaultInjector io_injector(&plan, 0);
+  const StreamInjectorGuard injector_guard(stream, &io_injector);
+  const CheckpointInjectorGuard ckpt_guard(request.checkpoint, &io_injector);
   std::atomic<std::uint64_t> faults_fired{0};
   const auto batch_fault = [&](std::string_view site,
                                std::uint64_t index) -> util::FaultDecision {
@@ -403,13 +428,23 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
         const util::WallTimer emit_timer;
         sink(result);
         stats.emit_s += emit_timer.elapsed_s();
+        if (request.checkpoint != nullptr) {
+          // The sink has the batch's output: journal it. records_done is
+          // cumulative via first_record so fault-dropped batches never
+          // shrink it.
+          request.checkpoint->append_batch(
+              result.batch.index,
+              result.batch.first_record + result.batch.reads.size());
+          ++stats.journal_appends;
+        }
       }
     } catch (...) {
       error = std::current_exception();
     }
     stats.faults_injected =
-        faults_fired.load() + reader_injector.faults_injected();
-    stats.batches_dropped += reader_injector.drops_injected();
+        faults_fired.load() + io_injector.faults_injected();
+    stats.batches_dropped += io_injector.drops_injected();
+    stats.batches_skipped = stream.batches_skipped();
     stats.wall_s = wall.elapsed_s();
     resolve_failure(error, failure_out);
     return stats;
@@ -432,8 +467,11 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   std::mutex emit_mutex;
   std::map<std::uint64_t, BatchResult> pending;  // guarded by emit_mutex
   std::set<std::uint64_t> dropped_set;           // guarded by emit_mutex
-  std::uint64_t next_emit = 0;                   // guarded by emit_mutex
+  // First batch index this run will see: a resumed stream has already
+  // consumed the journaled prefix, so the in-order emitter starts there.
+  std::uint64_t next_emit = stream.batches_read();  // guarded by emit_mutex
   std::uint64_t dropped_count = 0;               // guarded by emit_mutex
+  std::uint64_t journal_appends = 0;             // guarded by emit_mutex
   std::exception_ptr sink_error;                 // guarded by emit_mutex
   std::exception_ptr worker_error;               // guarded by emit_mutex
 
@@ -466,6 +504,14 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
       }
       try {
         sink(it->second);
+        if (request.checkpoint != nullptr) {
+          // In-order emit point: batches [0, next_emit] are now in the
+          // sink, which is exactly what the journal record asserts.
+          request.checkpoint->append_batch(
+              it->second.batch.index,
+              it->second.batch.first_record + it->second.batch.reads.size());
+          ++journal_appends;
+        }
       } catch (...) {
         sink_error = std::current_exception();
         queue.close();  // aborts the producer and idle workers
@@ -614,7 +660,7 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   queue.close();
   for (std::future<void>& future : futures) future.get();
 
-  stats.batches = next_emit;
+  stats.batches = next_emit - stream.batches_skipped();
   stats.reads = reads_mapped.load();
   stats.segments = segments.load();
   stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
@@ -622,8 +668,10 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   stats.queue_wait_s =
       static_cast<double>(pop_wait_ns.load() + push_wait_ns) * 1e-9;
   stats.faults_injected =
-      faults_fired.load() + reader_injector.faults_injected();
-  stats.batches_dropped = dropped_count + reader_injector.drops_injected();
+      faults_fired.load() + io_injector.faults_injected();
+  stats.batches_dropped = dropped_count + io_injector.drops_injected();
+  stats.batches_skipped = stream.batches_skipped();
+  stats.journal_appends = journal_appends;
   stats.timeouts = timeouts.load();
   stats.retries = retries.load();
   stats.wall_s = wall.elapsed_s();

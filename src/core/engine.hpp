@@ -36,6 +36,10 @@
 #include "util/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 
+namespace jem::io {
+class CheckpointWriter;  // io/checkpoint.hpp
+}  // namespace jem::io
+
 namespace jem::core {
 
 /// What to map per read.
@@ -95,6 +99,15 @@ struct MapRequest {
   /// plan (the default) costs nothing.
   util::FaultPlan fault_plan;
 
+  /// Streaming only: run journal for checkpointed resumable runs (not
+  /// owned; null = no checkpointing). After each batch is handed to the
+  /// sink — at the in-order emit point, so "journaled" always means "its
+  /// output and every predecessor's output are in the sink" — the engine
+  /// appends one durable record. The driver resumes by reading the journal
+  /// (io::read_journal), fast-forwarding the stream (BatchStream::skip) and
+  /// attaching a reopened writer (docs/persistence.md).
+  io::CheckpointWriter* checkpoint = nullptr;
+
   void validate() const;
 };
 
@@ -114,6 +127,10 @@ struct EngineStats {
   std::uint64_t batches_dropped = 0;  // batches lost to injected drops
   std::uint64_t timeouts = 0;         // queue waits that expired
   std::uint64_t retries = 0;          // expired waits that were retried
+
+  // Persistence counters (checkpointed / resumed streaming runs).
+  std::uint64_t batches_skipped = 0;  // resume fast-forward past the journal
+  std::uint64_t journal_appends = 0;  // checkpoint records written this run
 
   /// End-to-end throughput in segments per second of wall time.
   [[nodiscard]] double segments_per_s() const noexcept {

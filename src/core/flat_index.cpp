@@ -69,6 +69,55 @@ FlatSketchIndex FlatSketchIndex::build(std::span<const TrialView> trials) {
   return index;
 }
 
+FlatSketchIndex FlatSketchIndex::from_parts(std::vector<Slot> slots,
+                                            std::vector<std::size_t> base,
+                                            std::vector<std::size_t> mask,
+                                            std::vector<io::SeqId> subjects,
+                                            std::size_t keys) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("FlatSketchIndex::from_parts: ") +
+                                what);
+  };
+  if (base.size() != mask.size()) fail("base/mask trial count mismatch");
+
+  std::size_t expected_base = 0;
+  std::size_t occupied = 0;
+  for (std::size_t t = 0; t < base.size(); ++t) {
+    const std::size_t capacity = mask[t] + 1;
+    if (capacity == 0 || (capacity & mask[t]) != 0) {
+      fail("region capacity is not a power of two");
+    }
+    if (base[t] != expected_base) fail("regions are not contiguous");
+    expected_base += capacity;
+    if (expected_base > slots.size()) fail("regions overrun the slot array");
+
+    std::size_t region_occupied = 0;
+    for (std::size_t i = base[t]; i < base[t] + capacity; ++i) {
+      const Slot& slot = slots[i];
+      if (slot.count == 0) continue;
+      ++region_occupied;
+      if (static_cast<std::size_t>(slot.offset) + slot.count >
+          subjects.size()) {
+        fail("slot postings span exceeds the subjects pool");
+      }
+    }
+    // The probe loop terminates on an empty slot; a full region would spin
+    // forever on a missing key.
+    if (region_occupied >= capacity) fail("region has no empty slot");
+    occupied += region_occupied;
+  }
+  if (expected_base != slots.size()) fail("slot array has trailing slots");
+  if (occupied != keys) fail("occupied slot count disagrees with key count");
+
+  FlatSketchIndex index;
+  index.slots_ = std::move(slots);
+  index.base_ = std::move(base);
+  index.mask_ = std::move(mask);
+  index.subjects_ = std::move(subjects);
+  index.keys_ = keys;
+  return index;
+}
+
 void FlatSketchIndex::lookup_many(
     int trial, std::span<const KmerCode> kmers,
     std::span<std::span<const io::SeqId>> out) const {

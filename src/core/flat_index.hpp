@@ -39,6 +39,18 @@ class FlatSketchIndex {
     std::span<const io::SeqId> subjects;
   };
 
+  /// One probe slot; count == 0 marks an empty slot (every stored key has
+  /// >= 1 posting). Public for the index artifact (core/index_serde), which
+  /// persists the slot array verbatim so load skips the build entirely.
+  struct Slot {
+    KmerCode kmer = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+
+    friend bool operator==(const Slot&, const Slot&) = default;
+  };
+  static_assert(sizeof(Slot) == 16);
+
   /// An empty index (no trials); lookups are invalid until assigned from
   /// build().
   FlatSketchIndex() = default;
@@ -85,15 +97,33 @@ class FlatSketchIndex {
   void lookup_many(int trial, std::span<const KmerCode> kmers,
                    std::span<std::span<const io::SeqId>> out) const;
 
- private:
-  /// count == 0 marks an empty slot (every stored key has >= 1 posting).
-  struct Slot {
-    KmerCode kmer = 0;
-    std::uint32_t offset = 0;
-    std::uint32_t count = 0;
-  };
-  static_assert(sizeof(Slot) == 16);
+  /// Raw-part access for the index artifact: the slot array, per-trial
+  /// region geometry and postings pool exactly as built.
+  [[nodiscard]] std::span<const Slot> slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::span<const std::size_t> bases() const noexcept {
+    return base_;
+  }
+  [[nodiscard]] std::span<const std::size_t> masks() const noexcept {
+    return mask_;
+  }
+  [[nodiscard]] std::span<const io::SeqId> subjects() const noexcept {
+    return subjects_;
+  }
 
+  /// Reconstructs an index from persisted raw parts (the inverse of the
+  /// accessors above). Validates the geometry — region sizes power-of-two
+  /// and contiguous, every slot's postings span inside the pool, occupied
+  /// slot count equal to `keys` — and throws std::invalid_argument on any
+  /// violation, so a corrupted artifact can never produce an index whose
+  /// probe loop reads out of bounds or spins forever.
+  [[nodiscard]] static FlatSketchIndex from_parts(
+      std::vector<Slot> slots, std::vector<std::size_t> base,
+      std::vector<std::size_t> mask, std::vector<io::SeqId> subjects,
+      std::size_t keys);
+
+ private:
   [[nodiscard]] static std::uint64_t hash(KmerCode kmer) noexcept;
 
   std::vector<Slot> slots_;         // concatenated per-trial pow2 regions

@@ -1,0 +1,83 @@
+// Persistent sketch-index artifact (paper stages S2-S3 made durable): a
+// versioned, checksummed on-disk form of the frozen SketchTable, so the
+// global sketch table is built from FASTA once and reloaded on every later
+// run — the .mmi lesson from minimap2 applied to the JEM sketch.
+//
+// The artifact persists both frozen forms the query path needs:
+//   * the per-trial CSR arrays (keys / offsets / postings), and
+//   * the FlatSketchIndex raw parts (slot array + region geometry),
+// so load_index skips sketching, sorting AND the flat-index build: the
+// loaded table is query-ready as-is.
+//
+// Sections ("JEMIDX1\0" container, io/artifact.hpp framing):
+//   PARAMS   packed mapping-parameter fingerprint (k/w/ordering/T/ℓ/seed/
+//            min_votes/scheme) — compared field-by-field on load; any
+//            disagreement is ArtifactError(kParamsMismatch) naming the
+//            offending parameter. An index queried under different
+//            parameters would silently return wrong mappings; the
+//            fingerprint makes that impossible.
+//   SUBJSET  subject-set binding: sequence count + XXH64 over every name
+//            and base — postings reference subjects by dense id, so an
+//            index is only valid with the exact contig set it was built
+//            from.
+//   SHAPE    entry/key totals and per-trial key/posting counts.
+//   KEYS / OFFSETS / SUBJECTS    concatenated per-trial CSR arrays.
+//   FLATGEO / FLATSLOT / FLATSUB FlatSketchIndex raw parts.
+//
+// Every load failure — truncation, bit rot, foreign file, parameter or
+// subject-set mismatch — surfaces as a structured ArtifactError; callers
+// fall back to rebuild-from-FASTA (jem_map logs the reason and rebuilds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.hpp"
+#include "core/sketch_table.hpp"
+#include "io/artifact.hpp"
+#include "io/sequence_set.hpp"
+
+namespace jem::core {
+
+enum class SketchScheme;  // defined in core/mapper.hpp
+
+inline constexpr std::uint64_t kIndexArtifactMagic =
+    0x00315844494d454aULL;  // "JEMIDX1\0"
+inline constexpr std::uint32_t kIndexArtifactVersion = 1;
+
+/// XXH64 digest of the packed parameter fingerprint — the params word of
+/// the run-journal fingerprint (io/checkpoint.hpp).
+[[nodiscard]] std::uint64_t params_digest(const MapParams& params,
+                                          SketchScheme scheme);
+
+/// XXH64 digest over the subject set (count, names, bases): binds an index
+/// artifact to the exact contig set whose dense ids its postings reference.
+[[nodiscard]] std::uint64_t subjects_digest(const io::SequenceSet& subjects);
+
+/// Serializes a frozen table (throws std::logic_error on an unfrozen one)
+/// into the artifact byte string.
+[[nodiscard]] std::string serialize_index(const SketchTable& table,
+                                          const MapParams& params,
+                                          SketchScheme scheme,
+                                          const io::SequenceSet& subjects);
+
+/// serialize_index + atomic durable publish (temp + fsync + rename).
+void save_index(const std::string& path, const SketchTable& table,
+                const MapParams& params, SketchScheme scheme,
+                const io::SequenceSet& subjects);
+
+/// Parses, integrity-checks and validates an artifact against this run's
+/// parameters and subject set, returning a frozen, query-ready table.
+/// Throws io::ArtifactError on any defect (see file header).
+[[nodiscard]] SketchTable deserialize_index(std::string bytes,
+                                            const MapParams& params,
+                                            SketchScheme scheme,
+                                            const io::SequenceSet& subjects);
+
+/// deserialize_index over the file at `path` (kOpenFailed when missing).
+[[nodiscard]] SketchTable load_index(const std::string& path,
+                                     const MapParams& params,
+                                     SketchScheme scheme,
+                                     const io::SequenceSet& subjects);
+
+}  // namespace jem::core

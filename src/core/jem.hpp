@@ -8,6 +8,8 @@
 //   core::MappingEngine  — batched/streaming execution (MapRequest)
 //   core::run_distributed / run_staged — the parallel drivers (S1-S4)
 //   core::SketchScheme   — JEM sketch vs classical MinHash
+//   core::save_index / load_index — durable sketch-index artifacts
+//   io::CheckpointWriter / read_journal — resumable streaming runs
 #pragma once
 
 #include "core/distributed.hpp"
@@ -16,13 +18,16 @@
 #include "core/engine.hpp"
 #include "core/hash_family.hpp"
 #include "core/hit_counter.hpp"
+#include "core/index_serde.hpp"
 #include "core/kmer.hpp"
 #include "core/mapper.hpp"
 #include "core/minimizer.hpp"
 #include "core/params.hpp"
 #include "core/sketch.hpp"
 #include "core/sketch_table.hpp"
+#include "io/artifact.hpp"
 #include "io/batch_stream.hpp"
+#include "io/checkpoint.hpp"
 #include "io/fasta.hpp"
 #include "io/mapping_writer.hpp"
 #include "io/sequence_set.hpp"

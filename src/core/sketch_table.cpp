@@ -212,6 +212,58 @@ SketchTable SketchTable::from_entries(int trials,
   return table;
 }
 
+const SketchTable::FrozenTrial& SketchTable::frozen_trial(int trial) const {
+  if (!frozen_) {
+    throw std::logic_error("SketchTable::frozen_trial: table is not frozen");
+  }
+  return frozen_trials_.at(static_cast<std::size_t>(trial));
+}
+
+SketchTable SketchTable::from_frozen(int trials,
+                                     std::vector<FrozenTrial> frozen_trials,
+                                     FlatSketchIndex flat) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("SketchTable::from_frozen: ") +
+                                what);
+  };
+  if (trials < 1) fail("trials must be >= 1");
+  if (frozen_trials.size() != static_cast<std::size_t>(trials)) {
+    fail("trial count disagrees with the CSR arrays");
+  }
+  if (flat.trials() != trials) fail("flat index trial count mismatch");
+
+  SketchTable table(trials);
+  std::size_t keys = 0;
+  for (const FrozenTrial& frozen : frozen_trials) {
+    if (frozen.offsets.size() != frozen.keys.size() + 1) {
+      fail("offset array size disagrees with key count");
+    }
+    if (frozen.offsets.front() != 0 ||
+        frozen.offsets.back() != frozen.subjects.size()) {
+      fail("offsets do not cover the postings array");
+    }
+    for (std::size_t i = 0; i + 1 < frozen.offsets.size(); ++i) {
+      if (frozen.offsets[i] > frozen.offsets[i + 1]) {
+        fail("offsets are not non-decreasing");
+      }
+    }
+    for (std::size_t i = 1; i < frozen.keys.size(); ++i) {
+      if (frozen.keys[i - 1] >= frozen.keys[i]) {
+        fail("keys are not strictly increasing");
+      }
+    }
+    keys += frozen.keys.size();
+    table.entries_ += frozen.subjects.size();
+  }
+  if (flat.key_count() != keys) fail("flat index key count mismatch");
+
+  table.frozen_trials_ = std::move(frozen_trials);
+  table.flat_ = std::move(flat);
+  table.bins_.clear();
+  table.frozen_ = true;
+  return table;
+}
+
 namespace {
 constexpr std::uint64_t kTableMagic = 0x4a454d5f54424c31ULL;  // "JEM_TBL1"
 }  // namespace

@@ -45,6 +45,15 @@ static_assert(sizeof(SketchEntry) == 16);
 // rather than silently truncating.
 class SketchTable {
  public:
+  /// One trial's frozen list: postings sorted by (kmer, subject); keys/
+  /// offsets index the distinct k-mers (CSR layout). Public for the index
+  /// artifact (core/index_serde), which persists the arrays verbatim.
+  struct FrozenTrial {
+    std::vector<KmerCode> keys;              // sorted distinct k-mers
+    std::vector<std::uint32_t> offsets;      // keys.size() + 1 entries
+    std::vector<io::SeqId> subjects;         // concatenated postings
+  };
+
   /// Creates an empty (mutable) table with `trials` trial bins.
   explicit SketchTable(int trials);
 
@@ -88,23 +97,29 @@ class SketchTable {
   [[nodiscard]] static SketchTable from_entries(
       int trials, std::span<const SketchEntry> entries);
 
-  /// Index persistence: a versioned binary dump (magic + trials + entry
-  /// list). Subjects are only sketched once per project in practice, so
-  /// tools save the table alongside the contig set and reload it for each
-  /// read batch. load() returns a frozen table.
+  /// Legacy index persistence: a versioned binary dump (magic + trials +
+  /// entry list), retained for wire-format compatibility. New code should
+  /// use the checksummed artifact format in core/index_serde (save_index /
+  /// load_index), which also persists the frozen CSR + flat-index forms so
+  /// loading skips the freeze entirely. load() returns a frozen table.
   void save(std::ostream& out) const;
   [[nodiscard]] static SketchTable load(std::istream& in);
 
+  /// One trial's frozen CSR arrays (throws std::logic_error unless frozen).
+  [[nodiscard]] const FrozenTrial& frozen_trial(int trial) const;
+
+  /// Reconstructs a frozen table directly from persisted per-trial CSR
+  /// arrays and a pre-built flat index — the artifact load path: no re-sort,
+  /// no re-hash, no freeze. Validates CSR shape consistency (offset array
+  /// sizes, postings totals, sortedness of keys) and that the flat index
+  /// agrees on trial and key counts; throws std::invalid_argument on any
+  /// violation so a corrupted artifact cannot produce a malformed table.
+  [[nodiscard]] static SketchTable from_frozen(
+      int trials, std::vector<FrozenTrial> frozen_trials,
+      FlatSketchIndex flat);
+
  private:
   using Bin = std::unordered_map<KmerCode, std::vector<io::SeqId>>;
-
-  /// One trial's frozen list: postings sorted by (kmer, subject); keys/
-  /// key_offsets index the distinct k-mers (CSR layout).
-  struct FrozenTrial {
-    std::vector<KmerCode> keys;              // sorted distinct k-mers
-    std::vector<std::uint32_t> offsets;      // keys.size() + 1 entries
-    std::vector<io::SeqId> subjects;         // concatenated postings
-  };
 
   /// Builds flat_ from the frozen CSR arrays (last step of freezing).
   void build_flat_index();

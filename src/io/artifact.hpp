@@ -1,0 +1,169 @@
+// Versioned, checksummed binary artifact container — the on-disk framing
+// shared by the persistent sketch index (core/index_serde) and the run
+// journal (io/checkpoint). The design follows minimap2's .mmi lesson: a
+// sketch mapper becomes operable at scale once its index is a reusable,
+// integrity-checked file instead of a per-run rebuild.
+//
+// Layout (little-endian throughout):
+//
+//   u64 magic            per-artifact-kind magic ("JEMARTF1" container)
+//   u32 format_version
+//   u32 section_count
+//   section_count x {
+//     u64 tag            8-byte section name, NUL-padded ("PARAMS\0\0")
+//     u64 payload_size
+//     u64 xxh64(payload)
+//     payload bytes
+//   }
+//
+// Every load path classifies what went wrong: a truncated file, a flipped
+// bit, a foreign magic, an incompatible version — each is a structured
+// ArtifactError (never UB, never a silently wrong answer), so callers can
+// degrade gracefully (rebuild the index, restart the run) and say why.
+//
+// Publication is atomic: atomic_write_file writes to a temp file in the
+// destination directory, fsyncs, then renames over the target — a reader
+// never observes a half-written artifact, and a crash mid-write leaves the
+// previous version intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::io {
+
+/// XXH64 (Collet) one-shot digest — the per-section checksum. Dependency-
+/// free reimplementation of the reference algorithm; digests match xxhash.
+[[nodiscard]] std::uint64_t xxh64(std::string_view data,
+                                  std::uint64_t seed = 0) noexcept;
+
+/// Streaming XXH64 state: update() in arbitrary chunks, digest() at any
+/// point. Used by the checkpointed output writer, which must track the
+/// digest of an append-only file prefix without rereading it per batch.
+class Xxh64Stream {
+ public:
+  explicit Xxh64Stream(std::uint64_t seed = 0) noexcept;
+
+  void update(std::string_view data) noexcept;
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return total_; }
+
+ private:
+  std::uint64_t acc_[4];
+  unsigned char buffer_[32];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+/// Why an artifact could not be used. Every reader failure is one of these
+/// — callers switch on reason() to pick a fallback (rebuild, re-run).
+enum class ArtifactReason {
+  kOpenFailed,        // file missing or unreadable
+  kBadMagic,          // not this kind of artifact at all
+  kBadVersion,        // recognized but incompatible format version
+  kTruncated,         // file ends mid-header or mid-section
+  kChecksumMismatch,  // a section's payload fails its XXH64 (bit rot)
+  kBadSection,        // required section missing or malformed payload
+  kParamsMismatch,    // fingerprint disagrees with the requesting run
+  kStaleJournal,      // journal inconsistent with its input/output state
+  kIoError,           // write/fsync/rename failure during publish
+};
+
+/// Human-readable name of a reason ("truncated", "checksum-mismatch", ...).
+[[nodiscard]] std::string_view artifact_reason_name(
+    ArtifactReason reason) noexcept;
+
+class ArtifactError : public std::runtime_error {
+ public:
+  ArtifactError(ArtifactReason reason, std::string detail)
+      : std::runtime_error(std::string(artifact_reason_name(reason)) + ": " +
+                           detail),
+        reason_(reason) {}
+
+  [[nodiscard]] ArtifactReason reason() const noexcept { return reason_; }
+
+ private:
+  ArtifactReason reason_;
+};
+
+/// Accumulates named sections and serializes the framed container.
+class ArtifactWriter {
+ public:
+  /// `magic` identifies the artifact kind; `version` its format revision.
+  ArtifactWriter(std::uint64_t magic, std::uint32_t version)
+      : magic_(magic), version_(version) {}
+
+  /// Appends one section. `tag` must be 1..8 bytes; payload is copied.
+  void add_section(std::string_view tag, std::span<const std::byte> payload);
+  void add_section(std::string_view tag, std::string_view payload);
+
+  /// Serializes header + all sections (checksums computed here).
+  [[nodiscard]] std::string serialize() const;
+
+  /// serialize() + atomic_write_file in one step.
+  void save(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::uint64_t tag;
+    std::string payload;
+  };
+  std::uint64_t magic_;
+  std::uint32_t version_;
+  std::vector<Section> sections_;
+};
+
+/// Parses and integrity-checks a framed container. The reader keeps a copy
+/// of the bytes; section() spans stay valid for the reader's lifetime.
+class ArtifactReader {
+ public:
+  /// Parses `bytes`, verifying magic, version, framing and every section
+  /// checksum. Throws ArtifactError on any defect.
+  ArtifactReader(std::string bytes, std::uint64_t expected_magic,
+                 std::uint32_t expected_version);
+
+  /// Reads the file at `path` (throws kOpenFailed) and parses it.
+  [[nodiscard]] static ArtifactReader open(const std::string& path,
+                                           std::uint64_t expected_magic,
+                                           std::uint32_t expected_version);
+
+  [[nodiscard]] bool has_section(std::string_view tag) const noexcept;
+
+  /// The payload of section `tag`; throws kBadSection when absent.
+  [[nodiscard]] std::string_view section(std::string_view tag) const;
+
+  /// section() that also requires an exact payload size (fixed-layout
+  /// sections); throws kBadSection on a size mismatch.
+  [[nodiscard]] std::string_view section(std::string_view tag,
+                                         std::size_t expected_size) const;
+
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t tag;
+    std::size_t offset;
+    std::size_t size;
+  };
+  std::string bytes_;
+  std::vector<Entry> sections_;
+};
+
+/// Encodes a 1..8-byte tag as the u64 the container stores.
+[[nodiscard]] std::uint64_t artifact_tag(std::string_view tag);
+
+/// Durable atomic publish: writes `bytes` to `<path>.tmp.<pid>` in the
+/// target directory, fsyncs the file, renames it over `path`, then fsyncs
+/// the directory. Throws ArtifactError(kIoError) on failure (the temp file
+/// is removed best-effort).
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+}  // namespace jem::io

@@ -33,6 +33,19 @@ class BatchStream {
   /// util::FaultAbort when an attached injector aborts "stream.next".
   [[nodiscard]] bool next(ReadBatch& batch);
 
+  /// Fast-forwards past `batches` batches without delivering them — the
+  /// resume path: a journal that says n batches are already durable skips
+  /// them here, and the next delivered batch carries index n (indices
+  /// continue as if the skipped prefix had been consumed normally). Returns
+  /// the number of records skipped; stops early at end of input. Throws
+  /// ParseError on malformed records (the skipped prefix is still parsed —
+  /// a resume cannot silently jump over undecodable input).
+  std::uint64_t skip(std::uint64_t batches);
+
+  [[nodiscard]] std::uint64_t batches_skipped() const noexcept {
+    return batches_skipped_;
+  }
+
   /// Attaches a fault injector (not owned; null detaches). Each parsed
   /// batch is a "stream.next" fault site: delays stall the read, aborts
   /// throw, and a dropped batch is discarded and replaced with the next
@@ -59,6 +72,7 @@ class BatchStream {
   std::size_t batch_size_;
   std::uint64_t batches_read_ = 0;
   std::uint64_t batches_dropped_ = 0;
+  std::uint64_t batches_skipped_ = 0;
   util::FaultInjector* injector_ = nullptr;
 };
 

@@ -1,16 +1,54 @@
 // Minimal gzip (RFC 1952) support via zlib: real long-read data ships as
 // .fastq.gz, so the readers transparently accept gzip-compressed files.
+//
+// Decompression is integrity-checked end to end: zlib verifies each
+// member's trailer (CRC32 of the uncompressed bytes + ISIZE), and every
+// defect — a truncated stream, a corrupt deflate block, a trailer whose
+// CRC or length disagrees, bytes after the last member that are not
+// another gzip member — surfaces as a structured GzipError naming what
+// went wrong, never as silently short or wrong output. Multi-member files
+// (concatenated .gz, as produced by `cat a.gz b.gz` and bgzip-like tools)
+// decode to the concatenation of their members, matching gzip(1).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace jem::io {
 
+/// Why a gzip stream could not be decoded.
+enum class GzipReason {
+  kInitFailed,       // zlib could not allocate an inflate state
+  kTruncated,        // input ends mid-member (missing data or trailer)
+  kBadData,          // corrupt deflate block / bad gzip header
+  kBadCrc,           // member trailer CRC32 disagrees with the output
+  kBadLength,        // member trailer ISIZE disagrees with the output
+  kTrailingGarbage,  // bytes after the final member are not a gzip member
+};
+
+/// Human-readable name of a reason ("truncated", "bad-crc", ...).
+[[nodiscard]] std::string_view gzip_reason_name(GzipReason reason) noexcept;
+
+class GzipError : public std::runtime_error {
+ public:
+  GzipError(GzipReason reason, std::string detail)
+      : std::runtime_error(std::string("gzip ") +
+                           std::string(gzip_reason_name(reason)) + ": " +
+                           detail),
+        reason_(reason) {}
+
+  [[nodiscard]] GzipReason reason() const noexcept { return reason_; }
+
+ private:
+  GzipReason reason_;
+};
+
 /// True if the buffer starts with the gzip magic bytes (0x1f 0x8b).
 [[nodiscard]] bool is_gzip(std::string_view data) noexcept;
 
-/// Inflates a whole gzip stream. Throws std::runtime_error on corrupt input.
+/// Inflates a whole gzip stream (all members of a multi-member file).
+/// Throws GzipError on any defect; see the file header for the taxonomy.
 [[nodiscard]] std::string gzip_decompress(std::string_view data);
 
 /// Deflates to a gzip stream (used by tests and the demo writers).
@@ -18,7 +56,8 @@ namespace jem::io {
                                         int level = 6);
 
 /// Reads a whole file; transparently decompresses when gzip-compressed.
-/// Throws std::runtime_error when the file cannot be opened.
+/// Throws std::runtime_error when the file cannot be opened and GzipError
+/// when it is gzip but corrupt.
 [[nodiscard]] std::string read_file_auto(const std::string& path);
 
 }  // namespace jem::io

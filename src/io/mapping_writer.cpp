@@ -1,6 +1,13 @@
 #include "io/mapping_writer.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/string_util.hpp"
@@ -53,6 +60,182 @@ std::vector<MappingLine> read_mappings(std::istream& in) {
     lines.push_back(std::move(line));
   }
   return lines;
+}
+
+void write_mappings_atomic(const std::string& path,
+                           const std::vector<MappingLine>& lines) {
+  std::ostringstream out;
+  write_mappings(out, lines);
+  atomic_write_file(path, std::move(out).str());
+}
+
+namespace {
+
+[[noreturn]] void throw_output_io(const std::string& what) {
+  throw ArtifactError(ArtifactReason::kIoError,
+                      what + ": " + std::strerror(errno));
+}
+
+void fsync_parent_dir(const std::string& path) noexcept {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);  // best-effort: the rename itself already happened
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+MappingOutput::MappingOutput(std::string path) : path_(std::move(path)) {
+  const std::string partial = partial_path();
+  fd_ = ::open(partial.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_output_io("cannot create partial output " + partial);
+}
+
+MappingOutput::MappingOutput(std::string path, std::uint64_t bytes,
+                             std::uint64_t hash)
+    : path_(std::move(path)) {
+  const std::string partial = partial_path();
+  fd_ = ::open(partial.c_str(), O_RDWR);
+  if (fd_ < 0) {
+    throw ArtifactError(ArtifactReason::kOpenFailed,
+                        "partial output missing for resume: " + partial);
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0 || static_cast<std::uint64_t>(end) < bytes) {
+    const std::uint64_t have = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+    close_fd();
+    throw ArtifactError(ArtifactReason::kStaleJournal,
+                        "partial output has " + std::to_string(have) +
+                            " bytes, journal claims " + std::to_string(bytes));
+  }
+  // Everything past the journaled prefix is an un-journaled crash remainder.
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_SET) < 0) {
+    const int err = errno;
+    close_fd();
+    errno = err;
+    throw_output_io("cannot truncate partial output " + partial);
+  }
+  // Rehash the kept prefix: the journal's digest must reproduce exactly, or
+  // the bytes on disk are not the batches the journal says they are.
+  char buffer[1 << 16];
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::size_t want =
+        remaining < sizeof(buffer) ? static_cast<std::size_t>(remaining)
+                                   : sizeof(buffer);
+    const ssize_t n = ::read(fd_, buffer, want);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close_fd();
+      throw ArtifactError(ArtifactReason::kIoError,
+                          "cannot rehash partial output " + partial);
+    }
+    hash_.update({buffer, static_cast<std::size_t>(n)});
+    remaining -= static_cast<std::uint64_t>(n);
+  }
+  // An empty prefix (a run killed before its first journal record) has no
+  // recorded digest to compare — the zero-length truncation above already
+  // reclaimed every crash remainder byte.
+  if (bytes > 0 && hash_.digest() != hash) {
+    close_fd();
+    throw ArtifactError(
+        ArtifactReason::kStaleJournal,
+        "partial output prefix digest disagrees with the journal — the "
+        "output is not what the journal recorded (corrupt or overwritten)");
+  }
+  if (::lseek(fd_, static_cast<off_t>(bytes), SEEK_SET) < 0) {
+    const int err = errno;
+    close_fd();
+    errno = err;
+    throw_output_io("cannot seek partial output " + partial);
+  }
+}
+
+MappingOutput::MappingOutput(MappingOutput&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      hash_(other.hash_) {}
+
+MappingOutput& MappingOutput::operator=(MappingOutput&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    hash_ = other.hash_;
+  }
+  return *this;
+}
+
+MappingOutput::~MappingOutput() { close_fd(); }
+
+void MappingOutput::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void MappingOutput::append(std::string_view bytes) {
+  if (fd_ < 0) {
+    throw ArtifactError(ArtifactReason::kIoError,
+                        "output already published or discarded: " + path_);
+  }
+  const char* p = bytes.data();
+  std::size_t size = bytes.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_output_io("append to partial output " + partial_path());
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  hash_.update(bytes);
+}
+
+void MappingOutput::sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    throw_output_io("fsync of partial output " + partial_path());
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> MappingOutput::state() const noexcept {
+  return {hash_.bytes(), hash_.digest()};
+}
+
+std::uint64_t MappingOutput::bytes_written() const noexcept {
+  return hash_.bytes();
+}
+
+std::uint64_t MappingOutput::digest() const noexcept { return hash_.digest(); }
+
+void MappingOutput::publish() {
+  if (fd_ < 0) {
+    throw ArtifactError(ArtifactReason::kIoError,
+                        "output already published or discarded: " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    throw_output_io("fsync of partial output " + partial_path());
+  }
+  close_fd();
+  const std::string partial = partial_path();
+  if (std::rename(partial.c_str(), path_.c_str()) != 0) {
+    throw_output_io("publish rename " + partial + " -> " + path_);
+  }
+  fsync_parent_dir(path_);
+}
+
+void MappingOutput::discard() noexcept {
+  if (fd_ < 0 && path_.empty()) return;
+  close_fd();
+  (void)::unlink(partial_path().c_str());
 }
 
 }  // namespace jem::io

@@ -1,0 +1,380 @@
+#include "core/index_serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "core/mapper.hpp"
+#include "util/prng.hpp"
+
+namespace jem::core {
+namespace {
+
+io::ArtifactReason reason_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const io::ArtifactError& error) {
+    return error.reason();
+  }
+  ADD_FAILURE() << "expected an ArtifactError";
+  return io::ArtifactReason::kIoError;
+}
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t len) {
+  static constexpr char kBases[] = "ACGT";
+  std::string out(len, 'A');
+  for (char& c : out) c = kBases[rng.bounded(4)];
+  return out;
+}
+
+/// Byte location of one section inside the serialized container.
+struct SectionLoc {
+  std::string tag;
+  std::size_t header = 0;   // section header start (tag/size/checksum)
+  std::size_t payload = 0;  // payload start
+  std::size_t size = 0;     // payload size
+};
+
+std::vector<SectionLoc> locate_sections(const std::string& bytes) {
+  std::vector<SectionLoc> locs;
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 12, sizeof(count));
+  std::size_t cursor = 16;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectionLoc loc;
+    loc.header = cursor;
+    char tag[9] = {};
+    std::memcpy(tag, bytes.data() + cursor, 8);
+    loc.tag = tag;
+    std::uint64_t size = 0;
+    std::memcpy(&size, bytes.data() + cursor + 8, sizeof(size));
+    loc.payload = cursor + 24;
+    loc.size = static_cast<std::size_t>(size);
+    locs.push_back(loc);
+    cursor = loc.payload + loc.size;
+  }
+  return locs;
+}
+
+/// Rewrites a section's stored checksum to match its (tampered) payload, so
+/// the framing passes and the semantic validators must catch the defect.
+void fix_checksum(std::string& bytes, const SectionLoc& loc) {
+  const std::uint64_t sum =
+      io::xxh64(std::string_view(bytes).substr(loc.payload, loc.size));
+  std::memcpy(bytes.data() + loc.header + 16, &sum, sizeof(sum));
+}
+
+class IndexSerdeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Xoshiro256ss rng(2024);
+    genome_ = random_dna(rng, 20'000);
+    for (int i = 0; i < 8; ++i) {
+      subjects_.add("contig_" + std::to_string(i),
+                    genome_.substr(static_cast<std::size_t>(i) * 2500, 2500));
+    }
+    util::Xoshiro256ss read_rng(5);
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t pos = read_rng.bounded(18'000);
+      reads_.add("read_" + std::to_string(i),
+                 genome_.substr(pos, 900 + read_rng.bounded(1000)));
+    }
+    params_ = MapParams::make()
+                  .k(16)
+                  .window(20)
+                  .trials(4)
+                  .segment_length(500)
+                  .seed(7)
+                  .build();
+  }
+
+  std::string genome_;
+  io::SequenceSet subjects_;
+  io::SequenceSet reads_;
+  MapParams params_;
+};
+
+TEST_F(IndexSerdeTest, SaveLoadProducesBitIdenticalMappings) {
+  const JemMapper fresh(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(fresh.table(), params_, SketchScheme::kJem, subjects_);
+
+  SketchTable loaded =
+      deserialize_index(bytes, params_, SketchScheme::kJem, subjects_);
+  EXPECT_TRUE(loaded.frozen());  // query-ready without freeze()
+
+  const JemMapper reloaded(subjects_, params_, SketchScheme::kJem,
+                           std::move(loaded));
+  EXPECT_EQ(reloaded.map_reads(reads_), fresh.map_reads(reads_));
+}
+
+TEST_F(IndexSerdeTest, SerializationIsDeterministicAndStable) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+  EXPECT_EQ(bytes, serialize_index(mapper.table(), params_,
+                                   SketchScheme::kJem, subjects_));
+  // A loaded table re-serializes to the same artifact: the round trip loses
+  // nothing.
+  SketchTable loaded =
+      deserialize_index(bytes, params_, SketchScheme::kJem, subjects_);
+  EXPECT_EQ(bytes,
+            serialize_index(loaded, params_, SketchScheme::kJem, subjects_));
+}
+
+TEST_F(IndexSerdeTest, SaveThenLoadFromDiskRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/jem_index_rt.jemidx";
+  const JemMapper fresh(subjects_, params_, SketchScheme::kJem);
+  save_index(path, fresh.table(), params_, SketchScheme::kJem, subjects_);
+  SketchTable loaded =
+      load_index(path, params_, SketchScheme::kJem, subjects_);
+  const JemMapper reloaded(subjects_, params_, SketchScheme::kJem,
+                           std::move(loaded));
+  EXPECT_EQ(reloaded.map_reads(reads_), fresh.map_reads(reads_));
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexSerdeTest, UnfrozenTableRefusesToSerialize) {
+  const HashFamily hashes(params_.trials, params_.seed);
+  SketchTable unfrozen = sketch_subjects(subjects_, 0, subjects_.size(),
+                                         params_, SketchScheme::kJem, hashes);
+  EXPECT_THROW((void)serialize_index(unfrozen, params_, SketchScheme::kJem,
+                                     subjects_),
+               std::logic_error);
+}
+
+TEST_F(IndexSerdeTest, MissingFileIsOpenFailed) {
+  EXPECT_EQ(reason_of([&] {
+              (void)load_index("/nonexistent/idx.jemidx", params_,
+                               SketchScheme::kJem, subjects_);
+            }),
+            io::ArtifactReason::kOpenFailed);
+}
+
+TEST_F(IndexSerdeTest, ParameterMismatchNamesTheOffendingField) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+
+  const MapParams other_k = MapParams::make()
+                                .k(15)
+                                .window(20)
+                                .trials(4)
+                                .segment_length(500)
+                                .seed(7)
+                                .build();
+  try {
+    (void)deserialize_index(bytes, other_k, SketchScheme::kJem, subjects_);
+    FAIL() << "expected kParamsMismatch";
+  } catch (const io::ArtifactError& error) {
+    EXPECT_EQ(error.reason(), io::ArtifactReason::kParamsMismatch);
+    EXPECT_NE(std::string(error.what()).find("'k'"), std::string::npos)
+        << error.what();
+  }
+
+  EXPECT_EQ(reason_of([&] {
+              (void)deserialize_index(bytes, params_,
+                                      SketchScheme::kClassicMinhash,
+                                      subjects_);
+            }),
+            io::ArtifactReason::kParamsMismatch);
+}
+
+TEST_F(IndexSerdeTest, DifferentSubjectSetIsRejected) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+
+  io::SequenceSet renamed;
+  for (io::SeqId id = 0; id < subjects_.size(); ++id) {
+    renamed.add(id == 3 ? "imposter" : std::string(subjects_.name(id)),
+                subjects_.bases(id));
+  }
+  EXPECT_EQ(reason_of([&] {
+              (void)deserialize_index(bytes, params_, SketchScheme::kJem,
+                                      renamed);
+            }),
+            io::ArtifactReason::kParamsMismatch);
+}
+
+TEST_F(IndexSerdeTest, TruncationAtEverySectionBoundaryIsDetected) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+
+  std::vector<std::size_t> cuts = {0, 8, 15};  // inside the container header
+  for (const SectionLoc& loc : locate_sections(bytes)) {
+    cuts.push_back(loc.header);            // before the section header
+    cuts.push_back(loc.header + 12);       // inside the section header
+    cuts.push_back(loc.payload);           // header kept, payload gone
+    if (loc.size > 1) cuts.push_back(loc.payload + loc.size / 2);
+    cuts.push_back(loc.payload + loc.size - 1);  // one byte short
+  }
+  for (const std::size_t keep : cuts) {
+    if (keep >= bytes.size()) continue;
+    EXPECT_EQ(reason_of([&] {
+                (void)deserialize_index(bytes.substr(0, keep), params_,
+                                        SketchScheme::kJem, subjects_);
+              }),
+              io::ArtifactReason::kTruncated)
+        << "prefix length " << keep;
+  }
+}
+
+TEST_F(IndexSerdeTest, BitRotInEverySectionIsAChecksumMismatch) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+
+  const std::vector<SectionLoc> sections = locate_sections(bytes);
+  EXPECT_EQ(sections.size(), 9u);  // PARAMS..FLATSUB, the documented layout
+  for (const SectionLoc& loc : sections) {
+    if (loc.size == 0) continue;
+    std::string corrupt = bytes;
+    corrupt[loc.payload + loc.size / 2] ^= char(0x40);
+    EXPECT_EQ(reason_of([&] {
+                (void)deserialize_index(corrupt, params_, SketchScheme::kJem,
+                                        subjects_);
+              }),
+              io::ArtifactReason::kChecksumMismatch)
+        << "section " << loc.tag;
+  }
+}
+
+TEST_F(IndexSerdeTest, ChecksummedButInconsistentSectionsAreBadSections) {
+  const JemMapper mapper(subjects_, params_, SketchScheme::kJem);
+  const std::string bytes =
+      serialize_index(mapper.table(), params_, SketchScheme::kJem, subjects_);
+  const std::vector<SectionLoc> sections = locate_sections(bytes);
+
+  const auto find = [&](std::string_view tag) -> const SectionLoc& {
+    for (const SectionLoc& loc : sections) {
+      if (loc.tag == tag) return loc;
+    }
+    throw std::logic_error("section not found");
+  };
+
+  {
+    // SHAPE totals no longer match its per-trial counts.
+    std::string tampered = bytes;
+    const SectionLoc& shape = find("SHAPE");
+    std::uint64_t total = 0;
+    std::memcpy(&total, tampered.data() + shape.payload, sizeof(total));
+    ++total;
+    std::memcpy(tampered.data() + shape.payload, &total, sizeof(total));
+    fix_checksum(tampered, shape);
+    EXPECT_EQ(reason_of([&] {
+                (void)deserialize_index(tampered, params_, SketchScheme::kJem,
+                                        subjects_);
+              }),
+              io::ArtifactReason::kBadSection);
+  }
+  {
+    // KEYS sorted order violated (valid framing, invalid CSR content).
+    std::string tampered = bytes;
+    const SectionLoc& keys = find("KEYS");
+    ASSERT_GE(keys.size, 16u);
+    char tmp[8];
+    std::memcpy(tmp, tampered.data() + keys.payload, 8);
+    std::memcpy(tampered.data() + keys.payload,
+                tampered.data() + keys.payload + 8, 8);
+    std::memcpy(tampered.data() + keys.payload + 8, tmp, 8);
+    fix_checksum(tampered, keys);
+    EXPECT_EQ(reason_of([&] {
+                (void)deserialize_index(tampered, params_, SketchScheme::kJem,
+                                        subjects_);
+              }),
+              io::ArtifactReason::kBadSection);
+  }
+  {
+    // KEYS payload not a multiple of the element size.
+    std::string tampered = bytes;
+    const SectionLoc& keys = find("KEYS");
+    tampered.erase(keys.payload, 3);
+    std::uint64_t new_size = keys.size - 3;
+    std::memcpy(tampered.data() + keys.header + 8, &new_size,
+                sizeof(new_size));
+    SectionLoc shrunk = keys;
+    shrunk.size = static_cast<std::size_t>(new_size);
+    fix_checksum(tampered, shrunk);
+    EXPECT_EQ(reason_of([&] {
+                (void)deserialize_index(tampered, params_, SketchScheme::kJem,
+                                        subjects_);
+              }),
+              io::ArtifactReason::kBadSection);
+  }
+}
+
+// --- Distributed shard cache (IndexCacheOptions) ---------------------------
+
+TEST_F(IndexSerdeTest, DistributedShardCacheIsBitIdenticalAndSelfHealing) {
+  const std::string dir = ::testing::TempDir() + "/jem_shard_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  constexpr int kRanks = 3;
+
+  const DistributedResult plain =
+      run_distributed(subjects_, reads_, params_, kRanks);
+
+  IndexCacheOptions cache;
+  cache.dir = dir;
+
+  // Cold cache: every rank sketches and persists its shard.
+  const DistributedResult first = run_distributed(
+      subjects_, reads_, params_, kRanks, SketchScheme::kJem, 1, {}, cache);
+  EXPECT_EQ(first.mappings, plain.mappings);
+  EXPECT_EQ(first.report.shards_saved, 3u);
+  EXPECT_EQ(first.report.shards_loaded, 0u);
+  EXPECT_EQ(first.report.shard_load_errors, 0u);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(std::filesystem::exists(cache.shard_path(r, kRanks)));
+  }
+
+  // Warm cache: S2 becomes file I/O; output must not change.
+  const DistributedResult second = run_distributed(
+      subjects_, reads_, params_, kRanks, SketchScheme::kJem, 1, {}, cache);
+  EXPECT_EQ(second.mappings, plain.mappings);
+  EXPECT_EQ(second.report.shards_loaded, 3u);
+  EXPECT_EQ(second.report.shards_saved, 0u);
+
+  // Bit rot in one shard: that rank detects it, re-sketches, re-saves — and
+  // the output is still bit-identical.
+  const std::string victim = cache.shard_path(1, kRanks);
+  std::string shard_bytes;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    shard_bytes.assign((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  shard_bytes[shard_bytes.size() / 2] ^= char(0x01);
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(shard_bytes.data(),
+              static_cast<std::streamsize>(shard_bytes.size()));
+  }
+  const DistributedResult third = run_distributed(
+      subjects_, reads_, params_, kRanks, SketchScheme::kJem, 1, {}, cache);
+  EXPECT_EQ(third.mappings, plain.mappings);
+  EXPECT_EQ(third.report.shard_load_errors, 1u);
+  EXPECT_EQ(third.report.shards_loaded, 2u);
+  EXPECT_EQ(third.report.shards_saved, 1u);
+
+  // The re-saved shard is valid again.
+  const DistributedResult fourth = run_distributed(
+      subjects_, reads_, params_, kRanks, SketchScheme::kJem, 1, {}, cache);
+  EXPECT_EQ(fourth.report.shards_loaded, 3u);
+  EXPECT_EQ(fourth.report.shard_load_errors, 0u);
+  EXPECT_EQ(fourth.mappings, plain.mappings);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace jem::core

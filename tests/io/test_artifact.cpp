@@ -1,0 +1,250 @@
+#include "io/artifact.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace jem::io {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x46545241544f4e41ULL;  // "ANOTARTF"
+constexpr std::uint32_t kVersion = 7;
+
+ArtifactReason reason_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ArtifactError& error) {
+    return error.reason();
+  }
+  ADD_FAILURE() << "expected an ArtifactError";
+  return ArtifactReason::kIoError;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+/// A small three-section artifact (one empty payload) used by the
+/// corruption sweeps.
+std::string sample_artifact() {
+  ArtifactWriter writer(kMagic, kVersion);
+  writer.add_section("PARAMS", std::string_view("\x01\x02\x03\x04", 4));
+  util::Xoshiro256ss rng(99);
+  std::string blob(64, '\0');
+  for (char& c : blob) c = static_cast<char>(rng.bounded(256));
+  writer.add_section("DATA", blob);
+  writer.add_section("EMPTY", std::string_view());
+  return writer.serialize();
+}
+
+// --- XXH64 -----------------------------------------------------------------
+
+TEST(Xxh64, MatchesReferenceVectors) {
+  // Published digests of Collet's reference implementation (seed 0).
+  EXPECT_EQ(xxh64(""), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(xxh64("a"), 0xd24ec4f1a98c6e5bULL);
+  EXPECT_EQ(xxh64("abc"), 0x44bc2cf5ad770999ULL);
+  // 39 bytes: exercises the 32-byte accumulator loop + finalize tail.
+  EXPECT_EQ(xxh64("Nobody inspects the spammish repetition"),
+            0xfbcea83c8a378bf1ULL);
+}
+
+TEST(Xxh64, SeedChangesTheDigest) {
+  EXPECT_NE(xxh64("abc", 1), xxh64("abc", 0));
+  EXPECT_NE(xxh64("", 1), xxh64("", 0));
+}
+
+TEST(Xxh64, StreamingMatchesOneShotForEveryChunking) {
+  util::Xoshiro256ss rng(7);
+  std::string data(10'000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.bounded(256));
+  const std::uint64_t expected = xxh64(data, 42);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{31}, std::size_t{32},
+                                  std::size_t{33}, std::size_t{4096}}) {
+    Xxh64Stream stream(42);
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+      stream.update(std::string_view(data).substr(pos, chunk));
+    }
+    EXPECT_EQ(stream.digest(), expected) << "chunk=" << chunk;
+    EXPECT_EQ(stream.bytes(), data.size());
+  }
+}
+
+TEST(Xxh64, StreamingDigestIsReadableMidStream) {
+  Xxh64Stream stream;
+  stream.update("hello ");
+  EXPECT_EQ(stream.digest(), xxh64("hello "));
+  stream.update("world");
+  EXPECT_EQ(stream.digest(), xxh64("hello world"));
+}
+
+// --- Container framing -----------------------------------------------------
+
+TEST(Artifact, RoundTripsSections) {
+  const std::string bytes = sample_artifact();
+  const ArtifactReader reader(bytes, kMagic, kVersion);
+  EXPECT_EQ(reader.section_count(), 3u);
+  EXPECT_TRUE(reader.has_section("PARAMS"));
+  EXPECT_TRUE(reader.has_section("DATA"));
+  EXPECT_TRUE(reader.has_section("EMPTY"));
+  EXPECT_FALSE(reader.has_section("NOPE"));
+  EXPECT_EQ(reader.section("PARAMS"), std::string_view("\x01\x02\x03\x04", 4));
+  EXPECT_EQ(reader.section("DATA").size(), 64u);
+  EXPECT_EQ(reader.section("EMPTY").size(), 0u);
+}
+
+TEST(Artifact, FixedSizeAccessorEnforcesTheSize) {
+  const ArtifactReader reader(sample_artifact(), kMagic, kVersion);
+  EXPECT_EQ(reader.section("PARAMS", 4).size(), 4u);
+  EXPECT_EQ(reason_of([&] { (void)reader.section("PARAMS", 5); }),
+            ArtifactReason::kBadSection);
+}
+
+TEST(Artifact, MissingSectionIsBadSection) {
+  const ArtifactReader reader(sample_artifact(), kMagic, kVersion);
+  EXPECT_EQ(reason_of([&] { (void)reader.section("NOPE"); }),
+            ArtifactReason::kBadSection);
+}
+
+TEST(Artifact, RejectsForeignMagicAndVersion) {
+  const std::string bytes = sample_artifact();
+  EXPECT_EQ(reason_of([&] { ArtifactReader r(bytes, kMagic + 1, kVersion); }),
+            ArtifactReason::kBadMagic);
+  EXPECT_EQ(reason_of([&] { ArtifactReader r(bytes, kMagic, kVersion + 1); }),
+            ArtifactReason::kBadVersion);
+}
+
+TEST(Artifact, RejectsTagsOutsideOneToEightBytes) {
+  ArtifactWriter writer(kMagic, kVersion);
+  EXPECT_THROW(writer.add_section("", "x"), ArtifactError);
+  EXPECT_THROW(writer.add_section("NINECHARS", "x"), ArtifactError);
+  writer.add_section("EIGHTCHR", "x");  // the full width is fine
+  const ArtifactReader reader(writer.serialize(), kMagic, kVersion);
+  EXPECT_EQ(reader.section("EIGHTCHR"), "x");
+}
+
+TEST(Artifact, EveryTruncationIsDetected) {
+  const std::string bytes = sample_artifact();
+  // Every proper prefix — cutting mid-header, at a section boundary, inside
+  // a section header, inside a payload — must classify as truncation.
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_EQ(reason_of([&] {
+                ArtifactReader r(bytes.substr(0, keep), kMagic, kVersion);
+              }),
+              ArtifactReason::kTruncated)
+        << "prefix length " << keep;
+  }
+}
+
+TEST(Artifact, TrailingBytesAreDetected) {
+  EXPECT_EQ(reason_of([&] {
+              ArtifactReader r(sample_artifact() + "x", kMagic, kVersion);
+            }),
+            ArtifactReason::kTruncated);
+}
+
+TEST(Artifact, EveryPayloadBitFlipIsAChecksumMismatch) {
+  const std::string bytes = sample_artifact();
+  // Walk the framing to find each payload's byte range, then flip one bit
+  // at every position inside it.
+  std::size_t cursor = 16;
+  int sections_seen = 0;
+  while (cursor < bytes.size()) {
+    std::uint64_t size = 0;
+    std::memcpy(&size, bytes.data() + cursor + 8, sizeof(size));
+    const std::size_t payload = cursor + 24;
+    for (std::size_t i = 0; i < size; ++i) {
+      std::string corrupt = bytes;
+      corrupt[payload + i] ^= char(0x10);
+      EXPECT_EQ(
+          reason_of([&] { ArtifactReader r(corrupt, kMagic, kVersion); }),
+          ArtifactReason::kChecksumMismatch)
+          << "payload byte " << i << " of section " << sections_seen;
+    }
+    // Flipping the stored checksum itself must also fail the section.
+    std::string corrupt = bytes;
+    corrupt[cursor + 16] ^= char(0x01);
+    EXPECT_EQ(reason_of([&] { ArtifactReader r(corrupt, kMagic, kVersion); }),
+              ArtifactReason::kChecksumMismatch);
+    cursor = payload + size;
+    ++sections_seen;
+  }
+  EXPECT_EQ(sections_seen, 3);
+}
+
+TEST(Artifact, ImplausibleSectionCountIsTruncation) {
+  std::string bytes = sample_artifact();
+  const std::uint32_t huge = 1u << 30;
+  std::memcpy(bytes.data() + 12, &huge, sizeof(huge));
+  EXPECT_EQ(reason_of([&] { ArtifactReader r(bytes, kMagic, kVersion); }),
+            ArtifactReason::kTruncated);
+}
+
+TEST(Artifact, OpenClassifiesAMissingFile) {
+  EXPECT_EQ(reason_of([&] {
+              (void)ArtifactReader::open("/nonexistent/dir/x.art", kMagic,
+                                         kVersion);
+            }),
+            ArtifactReason::kOpenFailed);
+}
+
+TEST(Artifact, SaveAndOpenRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/jem_artifact_rt.art";
+  ArtifactWriter writer(kMagic, kVersion);
+  writer.add_section("DATA", "payload bytes");
+  writer.save(path);
+  const ArtifactReader reader = ArtifactReader::open(path, kMagic, kVersion);
+  EXPECT_EQ(reader.section("DATA"), "payload bytes");
+}
+
+// --- Atomic publish --------------------------------------------------------
+
+TEST(AtomicWriteFile, PublishesTheExactBytes) {
+  const std::string path = ::testing::TempDir() + "/jem_atomic.bin";
+  atomic_write_file(path, "first version");
+  EXPECT_EQ(slurp(path), "first version");
+  // Overwrite goes through the same temp+rename path.
+  atomic_write_file(path, "second version");
+  EXPECT_EQ(slurp(path), "second version");
+}
+
+TEST(AtomicWriteFile, LeavesNoTempFileBehind) {
+  const std::string path = ::testing::TempDir() + "/jem_atomic_tmp.bin";
+  atomic_write_file(path, "bytes");
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::ifstream leftover(tmp);
+  EXPECT_FALSE(leftover.good());
+}
+
+TEST(AtomicWriteFile, UnwritableTargetIsIoError) {
+  EXPECT_EQ(reason_of([&] {
+              atomic_write_file("/nonexistent/dir/out.bin", "bytes");
+            }),
+            ArtifactReason::kIoError);
+}
+
+TEST(ArtifactError, CarriesReasonAndNameInMessage) {
+  const ArtifactError error(ArtifactReason::kChecksumMismatch, "section 3");
+  EXPECT_EQ(error.reason(), ArtifactReason::kChecksumMismatch);
+  EXPECT_EQ(std::string(error.what()), "checksum-mismatch: section 3");
+  EXPECT_EQ(artifact_reason_name(ArtifactReason::kStaleJournal),
+            "stale-journal");
+}
+
+}  // namespace
+}  // namespace jem::io

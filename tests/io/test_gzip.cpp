@@ -98,6 +98,67 @@ TEST(Gzip, FastaReaderAcceptsGzippedFiles) {
   EXPECT_EQ(records[1].bases, "TTTT");
 }
 
+// --- Structured corruption taxonomy (GzipError reasons) --------------------
+
+GzipReason gzip_reason_of(const std::string& data) {
+  try {
+    (void)gzip_decompress(data);
+  } catch (const GzipError& error) {
+    return error.reason();
+  }
+  ADD_FAILURE() << "expected a GzipError";
+  return GzipReason::kInitFailed;
+}
+
+TEST(Gzip, FlippedCrcTrailerIsBadCrc) {
+  // Member trailer: CRC32 (last 8..5 bytes), then ISIZE (last 4 bytes).
+  std::string compressed = gzip_compress("payload whose trailer we corrupt");
+  compressed[compressed.size() - 8] ^= char(0x01);
+  EXPECT_EQ(gzip_reason_of(compressed), GzipReason::kBadCrc);
+}
+
+TEST(Gzip, FlippedIsizeTrailerIsBadLength) {
+  std::string compressed = gzip_compress("payload whose trailer we corrupt");
+  compressed[compressed.size() - 1] ^= char(0x01);
+  EXPECT_EQ(gzip_reason_of(compressed), GzipReason::kBadLength);
+}
+
+TEST(Gzip, TruncationMidMemberIsTruncated) {
+  const std::string compressed = gzip_compress("payload that will be cut off");
+  for (const std::size_t keep : {compressed.size() / 2, compressed.size() - 1,
+                                 compressed.size() - 8}) {
+    EXPECT_EQ(gzip_reason_of(compressed.substr(0, keep)),
+              GzipReason::kTruncated)
+        << "kept " << keep << " of " << compressed.size();
+  }
+}
+
+TEST(Gzip, BytesAfterTheFinalMemberAreTrailingGarbage) {
+  const std::string compressed = gzip_compress("clean member");
+  EXPECT_EQ(gzip_reason_of(compressed + "not gzip"),
+            GzipReason::kTrailingGarbage);
+}
+
+TEST(Gzip, ConcatenatedMembersDecodeLikeGzipCat) {
+  const std::string both = gzip_compress("first half, ") +
+                           gzip_compress("second half");
+  EXPECT_EQ(gzip_decompress(both), "first half, second half");
+}
+
+TEST(Gzip, CorruptSecondMemberStillClassifies) {
+  std::string both =
+      gzip_compress("good member") + gzip_compress("bad member");
+  both[both.size() - 1] ^= char(0x01);  // second member's ISIZE
+  EXPECT_EQ(gzip_reason_of(both), GzipReason::kBadLength);
+}
+
+TEST(Gzip, ReasonNamesAreStable) {
+  EXPECT_EQ(gzip_reason_name(GzipReason::kBadCrc), "bad-crc");
+  EXPECT_EQ(gzip_reason_name(GzipReason::kTruncated), "truncated");
+  EXPECT_EQ(gzip_reason_name(GzipReason::kTrailingGarbage),
+            "trailing-garbage");
+}
+
 TEST(Gzip, FastqReaderAcceptsGzippedFiles) {
   const std::string path = ::testing::TempDir() + "/jem_reads.fq.gz";
   {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace jem::io {
@@ -63,6 +65,124 @@ TEST(MappingReader, ThrowsOnBadEndTag) {
 TEST(MappingReader, ThrowsOnBadNumber) {
   std::istringstream in("r1\tP\tten\tc1\t5\t30\n");
   EXPECT_THROW((void)read_mappings(in), std::runtime_error);
+}
+
+// --- Crash-safe output paths (docs/persistence.md) -------------------------
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+bool exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+}  // namespace
+
+TEST(MappingWriter, AtomicWriteMatchesStreamOutput) {
+  std::vector<MappingLine> lines;
+  lines.push_back({"r1", 'P', 1000, "c1", 30, 30});
+  lines.push_back({"r2", 'S', 1000, "", 0, 30});
+  const std::string path = ::testing::TempDir() + "/jem_atomic_map.tsv";
+  write_mappings_atomic(path, lines);
+
+  std::ostringstream expected;
+  write_mappings(expected, lines);
+  EXPECT_EQ(slurp(path), expected.str());
+}
+
+TEST(MappingOutput, AppendsTrackStateAndPublishAtomically) {
+  const std::string path = ::testing::TempDir() + "/jem_out_publish.tsv";
+  std::remove(path.c_str());
+  MappingOutput out(path);
+  out.append("line one\n");
+  out.append("line two\n");
+  out.sync();
+  EXPECT_EQ(out.bytes_written(), 18u);
+  EXPECT_EQ(out.digest(), xxh64("line one\nline two\n"));
+  EXPECT_EQ(out.state().first, 18u);
+  EXPECT_TRUE(exists(out.partial_path()));
+  EXPECT_FALSE(exists(path));
+
+  out.publish();
+  EXPECT_FALSE(exists(out.partial_path()));
+  EXPECT_EQ(slurp(path), "line one\nline two\n");
+}
+
+TEST(MappingOutput, ResumeTruncatesTheCrashRemainderAndContinues) {
+  const std::string path = ::testing::TempDir() + "/jem_out_resume.tsv";
+  std::uint64_t journaled_bytes = 0;
+  std::uint64_t journaled_hash = 0;
+  {
+    MappingOutput out(path);
+    out.append("durable batch\n");
+    out.sync();
+    journaled_bytes = out.state().first;
+    journaled_hash = out.state().second;
+    out.append("unjournaled crash remainder");
+    // Destroyed without publish: the .partial file stays, as after SIGKILL.
+  }
+  MappingOutput resumed(path, journaled_bytes, journaled_hash);
+  EXPECT_EQ(resumed.bytes_written(), journaled_bytes);
+  EXPECT_EQ(resumed.digest(), journaled_hash);
+  resumed.append("next batch\n");
+  resumed.publish();
+  EXPECT_EQ(slurp(path), "durable batch\nnext batch\n");
+}
+
+TEST(MappingOutput, ResumeRejectsAMismatchedPrefixDigest) {
+  const std::string path = ::testing::TempDir() + "/jem_out_badhash.tsv";
+  {
+    MappingOutput out(path);
+    out.append("actual bytes on disk\n");
+  }
+  try {
+    MappingOutput resumed(path, 21, 0x1234);  // journal claims another hash
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& error) {
+    EXPECT_EQ(error.reason(), ArtifactReason::kStaleJournal);
+  }
+  std::remove((path + ".partial").c_str());
+}
+
+TEST(MappingOutput, ResumeRejectsAPartialShorterThanTheJournalClaims) {
+  const std::string path = ::testing::TempDir() + "/jem_out_short.tsv";
+  {
+    MappingOutput out(path);
+    out.append("tiny\n");
+  }
+  try {
+    MappingOutput resumed(path, 1000, 0);
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& error) {
+    EXPECT_EQ(error.reason(), ArtifactReason::kStaleJournal);
+  }
+  std::remove((path + ".partial").c_str());
+}
+
+TEST(MappingOutput, ResumeWithoutAPartialFileIsOpenFailed) {
+  const std::string path = ::testing::TempDir() + "/jem_out_missing.tsv";
+  std::remove((path + ".partial").c_str());
+  try {
+    MappingOutput resumed(path, 10, 0);
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& error) {
+    EXPECT_EQ(error.reason(), ArtifactReason::kOpenFailed);
+  }
+}
+
+TEST(MappingOutput, DiscardRemovesThePartialFile) {
+  const std::string path = ::testing::TempDir() + "/jem_out_discard.tsv";
+  MappingOutput out(path);
+  out.append("abandoned\n");
+  EXPECT_TRUE(exists(out.partial_path()));
+  out.discard();
+  EXPECT_FALSE(exists(path + ".partial"));
+  EXPECT_THROW(out.append("more"), ArtifactError);
 }
 
 }  // namespace
