@@ -8,6 +8,7 @@
 //           [--ranks 4 | --threads 8] [--scheme jem|minhash]
 //           [--save-index idx | --load-index idx]
 //           [--batch N --checkpoint run.ckpt [--resume]]
+//           [--metrics out.json] [--trace out.trace.json] [--progress]
 //
 // With --demo (no input files) it simulates a small dataset, maps it, and
 // writes both the inputs and the mapping under --output-dir.
@@ -19,15 +20,22 @@
 // --resume fast-forwards past the journaled batches and continues into the
 // same output, which is published atomically and byte-identical to an
 // uninterrupted run.
+#include <atomic>
+#include <chrono>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <iterator>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "core/jem.hpp"
 #include "io/gzip.hpp"
 #include "io/stream_reader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/contigs.hpp"
 #include "sim/genome.hpp"
 #include "sim/hifi_reads.hpp"
@@ -57,6 +65,9 @@ int main(int argc, const char** argv) {
   std::string load_index_path;
   std::string checkpoint_path;
   bool resume = false;
+  std::string metrics_path;
+  std::string trace_path;
+  bool progress = false;
 
   util::Options options;
   options.add_string("subjects", subjects_path, "contigs FASTA path");
@@ -96,6 +107,15 @@ int main(int argc, const char** argv) {
   options.add_flag("resume", resume,
                    "continue a checkpointed run from its journal (falls "
                    "back to a fresh run when the journal is unusable)");
+  options.add_string("metrics", metrics_path,
+                     "write a metrics-registry JSON snapshot here "
+                     "(docs/observability.md)");
+  options.add_string("trace", trace_path,
+                     "write a Chrome trace_event JSON here (load in "
+                     "Perfetto / chrome://tracing)");
+  options.add_flag("progress", progress,
+                   "print a live progress line (segments/s, ETA, queue "
+                   "depth) to stderr");
   try {
     (void)options.parse(argc, argv);
   } catch (const util::OptionError& error) {
@@ -174,22 +194,111 @@ int main(int argc, const char** argv) {
                    << " queries=" << reads.size() << " k=" << k << " w=" << w
                    << " T=" << trials << " l=" << segment;
 
+  // Observability sinks: one registry + tracer for the whole invocation.
+  // IO-layer counters (io.*) land in the default registry, so it doubles as
+  // the run's registry whenever any obs output is requested.
+  const bool want_metrics = !metrics_path.empty() || progress;
+  obs::Registry& registry = obs::default_registry();
+  std::optional<obs::Tracer> tracer;
+  if (!trace_path.empty()) tracer.emplace(1 << 16, "jem_map");
+  obs::ObsHooks obs;
+  if (want_metrics) obs.metrics = &registry;
+  if (tracer) obs.tracer = &*tracer;
+
+  // Live progress: a sampler thread reads the registry (engine.batch.reads
+  // histogram accumulates as batches finish; the queue gauge tracks
+  // backpressure) and repaints one stderr line.
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (progress) {
+    const std::uint64_t total_reads = reads.size();  // 0 when streaming
+    progress_thread = std::thread([&registry, &progress_stop, total_reads] {
+      util::WallTimer progress_timer;
+      while (!progress_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        const obs::MetricsSnapshot snap = registry.snapshot();
+        const obs::MetricValue* batches = snap.find("engine.batch.reads");
+        const obs::MetricValue* depth = snap.find("engine.queue.depth");
+        const std::uint64_t done = batches != nullptr ? batches->sum : 0;
+        const double elapsed = progress_timer.elapsed_s();
+        const double rate = elapsed > 0.0
+                                ? static_cast<double>(done) / elapsed
+                                : 0.0;
+        std::ostringstream line;
+        line << "progress: " << done << " reads, "
+             << static_cast<std::uint64_t>(rate) << " reads/s";
+        if (total_reads > 0 && rate > 0.0 && done < total_reads) {
+          line << ", ETA "
+               << static_cast<std::uint64_t>(
+                      static_cast<double>(total_reads - done) / rate)
+               << " s";
+        }
+        if (depth != nullptr) line << ", queue depth " << depth->level;
+        std::cerr << '\r' << line.str() << std::flush;
+      }
+      std::cerr << '\n';
+    });
+  }
+  const auto stop_progress = [&] {
+    if (progress_thread.joinable()) {
+      progress_stop.store(true);
+      progress_thread.join();
+    }
+  };
+  // Joins the sampler on every exit path (early error returns included).
+  struct ProgressGuard {
+    const std::function<void()>& stop;
+    ~ProgressGuard() { stop(); }
+  } progress_guard{stop_progress};
+
+  // Writes the requested metrics/trace files; called on every successful
+  // exit path.
+  const auto write_obs_outputs = [&] {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << registry.snapshot().to_json() << '\n';
+      if (out) {
+        util::log_info() << "wrote metrics snapshot to " << metrics_path;
+      } else {
+        std::cerr << "warning: cannot write " << metrics_path << '\n';
+      }
+    }
+    if (tracer) {
+      std::ofstream out(trace_path);
+      out << tracer->snapshot().to_chrome_json() << '\n';
+      if (out) {
+        util::log_info() << "wrote Chrome trace to " << trace_path
+                         << " (open in Perfetto or chrome://tracing)";
+      } else {
+        std::cerr << "warning: cannot write " << trace_path << '\n';
+      }
+    }
+  };
+
   util::WallTimer timer;
   std::vector<io::MappingLine> lines;
   bool published = false;  // checkpointed runs write their output themselves
   if (ranks > 0) {
     const core::DistributedResult result =
         partitioned
-            ? core::run_distributed_partitioned(
-                  subjects, reads, params, static_cast<int>(ranks), scheme)
+            ? core::run_distributed_partitioned(subjects, reads, params,
+                                                static_cast<int>(ranks),
+                                                scheme, {}, obs)
             : core::run_distributed(subjects, reads, params,
-                                    static_cast<int>(ranks), scheme);
+                                    static_cast<int>(ranks), scheme,
+                                    /*threads_per_rank=*/1, {}, {}, obs);
     const core::JemMapper name_resolver(subjects, params, scheme,
                                         core::SketchTable(params.trials));
     lines = name_resolver.to_mapping_lines(reads, result.mappings);
     util::log_info() << "distributed (" << ranks << " ranks): total "
                      << result.report.total_s() << " s, allgather "
                      << result.report.allgather_s << " s";
+    for (const core::RankStageTimes& rank : result.report.per_rank) {
+      util::log_info() << "  rank " << rank.rank << ": sketch "
+                       << rank.sketch_s << " s, allgather "
+                       << rank.allgather_s << " s, build " << rank.build_s
+                       << " s, map " << rank.map_s << " s";
+    }
   } else {
     std::optional<core::MappingEngine> engine;
     bool loaded_index = false;
@@ -225,6 +334,7 @@ int main(int argc, const char** argv) {
         threads > 1 ? core::MapBackend::kPool : core::MapBackend::kSerial;
     request.threads = threads;
     request.batch_size = batch;
+    request.obs = obs;
 
     core::EngineStats stats;
     try {
@@ -333,9 +443,11 @@ int main(int argc, const char** argv) {
                      << stats.map_s << " s, emit " << stats.emit_s
                      << " s, queue-wait " << stats.queue_wait_s << " s)";
   }
+  stop_progress();
   if (published) {
     util::log_info() << "checkpointed run finished in " << timer.elapsed_s()
                      << " s";
+    write_obs_outputs();
     std::cout << "published " << output_path << '\n';
     return 0;
   }
@@ -352,6 +464,7 @@ int main(int argc, const char** argv) {
               << '\n';
     return 1;
   }
+  write_obs_outputs();
   std::uint64_t mapped = 0;
   for (const auto& line : lines) {
     if (line.mapped()) ++mapped;

@@ -1,0 +1,156 @@
+// Validates observability artifacts (docs/observability.md):
+//
+//   obs_check --metrics out.json      # metrics snapshot export
+//   obs_check --trace out.trace.json  # Chrome trace_event export
+//
+// Checks that the file parses as JSON and satisfies the export schema:
+// metrics files are one {"metrics":[...]} object whose entries carry a
+// name/kind/unit and the kind's value fields; trace files are one
+// {"traceEvents":[...]} object whose B/E pairs are matched per track (the
+// invariant Perfetto needs). Exit 0 on success, 1 with a diagnostic on
+// the first violation — scripts/check.sh runs this as the metrics-smoke
+// step.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using jem::obs::json::Value;
+
+int fail(const std::string& path, const std::string& message) {
+  std::cerr << "obs_check: " << path << ": " << message << '\n';
+  return 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int check_metrics(const std::string& path) {
+  const Value doc = jem::obs::json::parse(read_file(path));
+  if (!doc.is_object()) return fail(path, "top level is not an object");
+  const Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return fail(path, "missing \"metrics\" array");
+  }
+  std::string previous_name;
+  for (const Value& entry : metrics->array) {
+    if (!entry.is_object()) return fail(path, "metric entry is not an object");
+    const Value* name = entry.find("name");
+    const Value* kind = entry.find("kind");
+    const Value* unit = entry.find("unit");
+    if (name == nullptr || !name->is_string() || name->str.empty()) {
+      return fail(path, "metric entry without a name");
+    }
+    if (kind == nullptr || !kind->is_string() || unit == nullptr ||
+        !unit->is_string()) {
+      return fail(path, "metric '" + name->str + "' lacks kind/unit");
+    }
+    if (name->str <= previous_name) {
+      return fail(path, "entries not strictly name-sorted at '" + name->str +
+                            "'");
+    }
+    previous_name = name->str;
+    if (kind->str == "counter" || kind->str == "gauge") {
+      if (entry.find("value") == nullptr) {
+        return fail(path, "metric '" + name->str + "' lacks a value");
+      }
+    } else if (kind->str == "histogram") {
+      const Value* buckets = entry.find("buckets");
+      if (entry.find("count") == nullptr || entry.find("sum") == nullptr ||
+          buckets == nullptr || !buckets->is_array()) {
+        return fail(path,
+                    "histogram '" + name->str + "' lacks count/sum/buckets");
+      }
+    } else {
+      return fail(path, "metric '" + name->str + "' has unknown kind '" +
+                            kind->str + "'");
+    }
+  }
+  std::cout << "obs_check: " << path << ": ok (" << metrics->array.size()
+            << " metrics)\n";
+  return 0;
+}
+
+int check_trace(const std::string& path) {
+  const Value doc = jem::obs::json::parse(read_file(path));
+  if (!doc.is_object()) return fail(path, "top level is not an object");
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail(path, "missing \"traceEvents\" array");
+  }
+  std::map<double, int> depth_by_tid;
+  std::size_t spans = 0;
+  for (const Value& event : events->array) {
+    if (!event.is_object()) return fail(path, "event is not an object");
+    const Value* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str.empty()) {
+      return fail(path, "event without a phase");
+    }
+    const Value* tid = event.find("tid");
+    if (ph->str == "B") {
+      if (tid == nullptr) return fail(path, "B event without a tid");
+      if (event.find("name") == nullptr) {
+        return fail(path, "B event without a name");
+      }
+      ++depth_by_tid[tid->number];
+      ++spans;
+    } else if (ph->str == "E") {
+      if (tid == nullptr) return fail(path, "E event without a tid");
+      if (--depth_by_tid[tid->number] < 0) {
+        return fail(path, "E without a matching B on a track");
+      }
+    }
+  }
+  for (const auto& [tid, depth] : depth_by_tid) {
+    if (depth != 0) {
+      return fail(path, "unclosed span(s) on tid " +
+                            std::to_string(static_cast<std::int64_t>(tid)));
+    }
+  }
+  std::cout << "obs_check: " << path << ": ok (" << events->array.size()
+            << " events, " << spans << " spans)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rc = 0;
+  bool checked = false;
+  try {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string flag = argv[i];
+      const std::string path = argv[i + 1];
+      if (flag == "--metrics") {
+        rc |= check_metrics(path);
+        checked = true;
+      } else if (flag == "--trace") {
+        rc |= check_trace(path);
+        checked = true;
+      } else {
+        std::cerr << "obs_check: unknown flag '" << flag << "'\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "obs_check: " << error.what() << '\n';
+    return 1;
+  }
+  if (!checked) {
+    std::cerr << "usage: obs_check [--metrics out.json] "
+                 "[--trace out.trace.json]\n";
+    return 2;
+  }
+  return rc;
+}

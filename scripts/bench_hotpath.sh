@@ -19,7 +19,14 @@ OUT="${1:-BENCH_hotpath.json}"
 RAW="build/bench_hotpath_raw.json"
 
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build --target bench_micro
+cmake --build build --target bench_micro jem_map
+
+# Metrics snapshot of a demo run (docs/observability.md): embedded in the
+# summary so a regression report carries its own hot-path counters
+# (sketch hit rate, probe lengths, candidates per segment).
+METRICS="build/bench_hotpath_metrics.json"
+./build/examples/jem_map --demo --metrics "$METRICS" \
+  --output /dev/null >/dev/null
 
 ./build/bench/bench_micro \
   --benchmark_filter='^BM_Hotpath' \
@@ -28,12 +35,13 @@ cmake --build build --target bench_micro
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$RAW" --benchmark_out_format=json
 
-python3 - "$RAW" "$OUT" "$REPS" <<'PY'
+python3 - "$RAW" "$OUT" "$REPS" "$METRICS" <<'PY'
 import json
 import sys
 
 raw_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 raw = json.load(open(raw_path))
+metrics = json.load(open(sys.argv[4]))
 
 medians = {}
 for bench in raw["benchmarks"]:
@@ -74,6 +82,9 @@ summary = {
     "speedups": {k: round(v, 3) for k, v in speedups.items()},
     "engine_segments_per_second": round(
         medians["BM_HotpathEngineSegmentsPerSec"]["items_per_second"], 1),
+    # Demo-run metrics snapshot (docs/observability.md): the hot-path
+    # counters that explain a throughput shift (hit rate, probe lengths).
+    "metrics": metrics["metrics"],
     "acceptance": {
         "criterion": "map_segment_hot_vs_reference >= 1.5",
         "pass": speedups["map_segment_hot_vs_reference"] >= 1.5,

@@ -21,7 +21,18 @@ OUT="${1:-BENCH_persistence.json}"
 RAW="build/bench_persistence_raw.json"
 
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build --target bench_micro
+cmake --build build --target bench_micro jem_map
+
+# Metrics snapshot of a save+load round trip (docs/observability.md):
+# embedded in the summary so the io.index_cache.* counters of the
+# measured configuration travel with the numbers.
+METRICS="build/bench_persistence_metrics.json"
+IDX="build/bench_persistence_demo.idx"
+./build/examples/jem_map --demo --save-index "$IDX" \
+  --output /dev/null >/dev/null
+./build/examples/jem_map --demo --load-index "$IDX" --metrics "$METRICS" \
+  --output /dev/null >/dev/null
+rm -f "$IDX"
 
 ./build/bench/bench_micro \
   --benchmark_filter='^BM_IndexLoad' \
@@ -30,12 +41,13 @@ cmake --build build --target bench_micro
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$RAW" --benchmark_out_format=json
 
-python3 - "$RAW" "$OUT" "$REPS" <<'PY'
+python3 - "$RAW" "$OUT" "$REPS" "$METRICS" <<'PY'
 import json
 import sys
 
 raw_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 raw = json.load(open(raw_path))
+metrics = json.load(open(sys.argv[4]))
 
 medians = {}
 for bench in raw["benchmarks"]:
@@ -73,6 +85,8 @@ summary = {
     "aggregate": "median",
     "benchmarks": medians,
     "speedups": {k: round(v, 3) for k, v in speedups.items()},
+    # Round-trip metrics snapshot: io.index_cache.hits must be 1 here.
+    "metrics": metrics["metrics"],
     "acceptance": {
         "criterion": "load_from_disk_vs_rebuild >= 5",
         "pass": speedups["load_from_disk_vs_rebuild"] >= 5,

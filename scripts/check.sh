@@ -24,9 +24,9 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
-cmake --build build-tsan --target test_engine test_chaos
+cmake --build build-tsan --target test_engine test_chaos test_obs
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace'
 
 # The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # fault-injection shutdown paths (worker aborts, queue closes, partial
@@ -38,9 +38,10 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target test_engine test_chaos test_io test_core
+cmake --build build-asan --target test_engine test_chaos test_io test_core \
+  test_obs
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /
@@ -61,6 +62,22 @@ for e in quickstart hybrid_scaffold hybrid_pipeline parameter_study; do
   "./build/examples/$e"
 done
 ./build/examples/jem_map --demo --output /tmp/jem_check.tsv
+
+# Metrics smoke (docs/observability.md): a demo run and a 4-rank
+# distributed run must produce a metrics snapshot and a Chrome trace that
+# obs_check accepts — parseable JSON, schema fields present, B/E span
+# pairs matched on every track.
+./build/examples/jem_map --demo --metrics /tmp/jem_check_m.json \
+  --trace /tmp/jem_check_t.json --progress --output /tmp/jem_check.tsv
+./build/examples/obs_check --metrics /tmp/jem_check_m.json \
+  --trace /tmp/jem_check_t.json
+./build/examples/jem_map --demo --ranks 4 --metrics /tmp/jem_check_m4.json \
+  --trace /tmp/jem_check_t4.json --output /tmp/jem_check.tsv
+./build/examples/obs_check --metrics /tmp/jem_check_m4.json \
+  --trace /tmp/jem_check_t4.json
+grep -q 'distributed.rank3.map_ns' /tmp/jem_check_m4.json
+grep -q 'mpisim.allgatherv.rank0.sent_bytes' /tmp/jem_check_m4.json
+echo "metrics smoke: ok"
 
 # Kill-and-resume smoke (docs/persistence.md): SIGKILL a checkpointed
 # streaming run mid-flight, resume it, and require the published output to

@@ -6,10 +6,60 @@
 #include <stdexcept>
 
 #include "core/index_serde.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
 namespace jem::core {
+
+namespace {
+
+std::uint64_t s_to_ns(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
+}
+
+}  // namespace
+
+void DistributedStepReport::publish(obs::Registry& registry) const {
+  registry.gauge("distributed.ranks").set(ranks);
+  registry.counter("distributed.queries_mapped").add(queries_mapped);
+  registry.counter("distributed.queries_recovered").add(queries_recovered);
+  registry.counter("distributed.faults_injected").add(faults_injected);
+  registry.counter("distributed.rank_failures").add(failed_ranks.size());
+  registry.counter("distributed.shards_loaded").add(shards_loaded);
+  registry.counter("distributed.shards_saved").add(shards_saved);
+  registry.counter("distributed.shard_load_errors").add(shard_load_errors);
+  registry.counter("distributed.sketch_bytes", obs::Unit::kBytes)
+      .add(sketch_bytes);
+  registry.counter("distributed.load_ns", obs::Unit::kNanos)
+      .add(s_to_ns(load_s));
+  registry.counter("distributed.sketch_subjects_ns", obs::Unit::kNanos)
+      .add(s_to_ns(sketch_subjects_s));
+  registry.counter("distributed.allgather_ns", obs::Unit::kNanos)
+      .add(s_to_ns(allgather_s));
+  registry.counter("distributed.build_global_ns", obs::Unit::kNanos)
+      .add(s_to_ns(build_global_s));
+  registry.counter("distributed.map_queries_ns", obs::Unit::kNanos)
+      .add(s_to_ns(map_queries_s));
+  registry.counter("distributed.recover_ns", obs::Unit::kNanos)
+      .add(s_to_ns(recover_s));
+  for (const RankStageTimes& times : per_rank) {
+    const std::string prefix =
+        "distributed.rank" + std::to_string(times.rank);
+    registry.counter(prefix + ".sketch_ns", obs::Unit::kNanos)
+        .add(s_to_ns(times.sketch_s));
+    registry.counter(prefix + ".allgather_ns", obs::Unit::kNanos)
+        .add(s_to_ns(times.allgather_s));
+    registry.counter(prefix + ".build_ns", obs::Unit::kNanos)
+        .add(s_to_ns(times.build_s));
+    registry.counter(prefix + ".map_ns", obs::Unit::kNanos)
+        .add(s_to_ns(times.map_s));
+  }
+  // `comm` is not re-published here: the SPMD launcher already publishes
+  // the run's CommStats (mpisim.*) when a registry is attached.
+}
 
 std::vector<std::pair<io::SeqId, io::SeqId>> partition_by_bases(
     const io::SequenceSet& set, int ranks) {
@@ -69,10 +119,12 @@ void sort_by_read(std::vector<SegmentMapping>& mappings) {
 
 namespace {
 
-mpisim::SpmdOptions spmd_options_for(const RobustnessOptions& robust) {
+mpisim::SpmdOptions spmd_options_for(const RobustnessOptions& robust,
+                                     const obs::ObsHooks& obs) {
   mpisim::SpmdOptions options;
   options.comm = robust.comm;
   if (!robust.fault_plan.empty()) options.fault_plan = &robust.fault_plan;
+  options.obs = obs;
   return options;
 }
 
@@ -111,7 +163,8 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
                                   const MapParams& params, int ranks,
                                   SketchScheme scheme, int threads_per_rank,
                                   const RobustnessOptions& robust,
-                                  const IndexCacheOptions& index_cache) {
+                                  const IndexCacheOptions& index_cache,
+                                  const obs::ObsHooks& obs) {
   params.validate();
   if (threads_per_rank < 1) {
     throw std::invalid_argument(
@@ -145,6 +198,7 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   std::vector<std::vector<SegmentMapping>> deposits(p);
   std::vector<char> deposited(p, 0);
   std::vector<char> shared_sketch(p, 0);
+  std::vector<RankStageTimes> rank_times(p);
 
   const mpisim::SpmdReport spmd = mpisim::run_spmd_ft(
       ranks,
@@ -164,7 +218,7 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
         // subject range; any defect falls back to sketching, so a corrupt
         // or stale cache can never change the output.
         comm.fault_point("S2:sketch");
-        util::WallTimer sketch_timer;
+        obs::StageSpan sketch_span(obs, "S2:sketch");
         SketchTable local(params.trials);
         bool shard_loaded = false;
         if (index_cache.enabled() && index_cache.load) {
@@ -192,24 +246,26 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
           }
         }
         const std::vector<SketchEntry> local_entries = local.to_entries();
-        const double sketch_s = sketch_timer.elapsed_s();
+        const double sketch_s =
+            static_cast<double>(sketch_span.finish()) * 1e-9;
 
         // S3: allgatherv the sketch entries; rebuild the replicated table.
-        util::WallTimer gather_timer;
+        obs::StageSpan gather_span(obs, "S3:allgather");
         const std::vector<SketchEntry> global_entries =
             comm.allgatherv<SketchEntry>(local_entries);
-        const double gather_s = gather_timer.elapsed_s();
+        const double gather_s =
+            static_cast<double>(gather_span.finish()) * 1e-9;
         shared_sketch[r] = 1;  // this rank's entries reached the union
 
-        util::WallTimer build_timer;
+        obs::StageSpan build_span(obs, "S3:build");
         SketchTable global =
             SketchTable::from_entries(params.trials, global_entries);
-        const double build_s = build_timer.elapsed_s();
+        const double build_s = static_cast<double>(build_span.finish()) * 1e-9;
 
         // S4: map local queries — sequentially, or with a rank-private
         // thread pool in hybrid mode.
         comm.fault_point("S4:map");
-        util::WallTimer map_timer;
+        obs::StageSpan map_span(obs, "S4:map");
         const JemMapper mapper(subjects, params, scheme, std::move(global));
         std::vector<SegmentMapping> local_mappings;
         if (threads_per_rank == 1) {
@@ -229,10 +285,11 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
                                   partial.end());
           }
         }
-        const double map_s = map_timer.elapsed_s();
+        const double map_s = static_cast<double>(map_span.finish()) * 1e-9;
 
         deposits[r] = local_mappings;
         deposited[r] = 1;
+        rank_times[r] = {rank, sketch_s, gather_s, build_s, map_s};
 
         // Gather results at rank 0.
         std::vector<MappingWire> wire;
@@ -258,7 +315,7 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
           }
         }
       },
-      spmd_options_for(robust));
+      spmd_options_for(robust, obs));
 
   std::uint64_t queries_recovered = 0;
   double recover_s = 0.0;
@@ -290,11 +347,17 @@ DistributedResult run_distributed(const io::SequenceSet& subjects,
   result.report.shards_loaded = shards_loaded.load();
   result.report.shards_saved = shards_saved.load();
   result.report.shard_load_errors = shard_load_errors.load();
+  for (std::size_t r = 0; r < rank_times.size(); ++r) {
+    rank_times[r].rank = static_cast<int>(r);  // a dead rank's slot is zeroed
+  }
+  result.report.per_rank = std::move(rank_times);
+  result.report.comm = spmd.stats;
   for (const int rank : result.report.failed_ranks) {
     if (shared_sketch[static_cast<std::size_t>(rank)] == 0) {
       result.report.degraded = true;  // its sketch never reached survivors
     }
   }
+  if (obs.metrics != nullptr) result.report.publish(*obs.metrics);
   return result;
 }
 
@@ -327,7 +390,8 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
                                               const io::SequenceSet& reads,
                                               const MapParams& params,
                                               int ranks, SketchScheme scheme,
-                                              const RobustnessOptions& robust) {
+                                              const RobustnessOptions& robust,
+                                              const obs::ObsHooks& obs) {
   params.validate();
   DistributedResult result;
   result.report.ranks = ranks;
@@ -348,6 +412,7 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
   std::vector<std::vector<SegmentMapping>> deposits(num_ranks);
   std::vector<char> deposited(num_ranks, 0);
   std::vector<char> served(num_ranks, 0);
+  std::vector<RankStageTimes> rank_times(num_ranks);
 
   const mpisim::SpmdReport spmd =
       mpisim::run_spmd_ft(ranks, [&](mpisim::Comm& comm) {
@@ -361,8 +426,11 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
     // S2: sketch local subjects, then route every entry to its k-mer's
     // owner rank (one all-to-all replaces the allgather union).
     comm.fault_point("P:route");
+    obs::StageSpan sketch_span(obs, "P:sketch");
     const SketchTable local =
         sketch_subjects(subjects, s_begin, s_end, params, scheme, hashes);
+    const double sketch_s = static_cast<double>(sketch_span.finish()) * 1e-9;
+    obs::StageSpan route_span(obs, "P:route");
     std::vector<std::vector<SketchEntry>> outgoing(
         static_cast<std::size_t>(p));
     for (const SketchEntry& entry : local.to_entries()) {
@@ -374,11 +442,15 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
     for (const auto& part : incoming) {
       shard_entries.insert(shard_entries.end(), part.begin(), part.end());
     }
+    const double route_s = static_cast<double>(route_span.finish()) * 1e-9;
+    obs::StageSpan build_span(obs, "P:build-shard");
     const SketchTable shard =
         SketchTable::from_entries(params.trials, shard_entries);
+    const double build_s = static_cast<double>(build_span.finish()) * 1e-9;
 
     // S4a: sketch local query segments and bucket the probes by owner.
     comm.fault_point("P:map");
+    obs::StageSpan map_span(obs, "P:map");
     std::vector<SegmentMapping> local_segments;
     std::vector<std::vector<QueryProbe>> probes(static_cast<std::size_t>(p));
     for (io::SeqId read = q_begin; read < q_end; ++read) {
@@ -463,8 +535,11 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
       }
     }
 
+    const double map_s = static_cast<double>(map_span.finish()) * 1e-9;
     deposits[static_cast<std::size_t>(rank)] = local_segments;
     deposited[static_cast<std::size_t>(rank)] = 1;
+    rank_times[static_cast<std::size_t>(rank)] = {rank, sketch_s, route_s,
+                                                  build_s, map_s};
 
     // Gather results at rank 0 (same as the replicated driver).
     std::vector<MappingWire> wire;
@@ -484,7 +559,7 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
         for (const MappingWire& w : part) gathered.push_back(from_wire(w));
       }
     }
-  }, spmd_options_for(robust));
+  }, spmd_options_for(robust, obs));
 
   std::uint64_t queries_recovered = 0;
   double recover_s = 0.0;
@@ -508,11 +583,25 @@ DistributedResult run_distributed_partitioned(const io::SequenceSet& subjects,
   result.report.queries_recovered = queries_recovered;
   result.report.recover_s = recover_s;
   result.report.faults_injected = spmd.faults_injected;
+  for (std::size_t r = 0; r < rank_times.size(); ++r) {
+    rank_times[r].rank = static_cast<int>(r);
+    result.report.sketch_subjects_s =
+        std::max(result.report.sketch_subjects_s, rank_times[r].sketch_s);
+    result.report.allgather_s =
+        std::max(result.report.allgather_s, rank_times[r].allgather_s);
+    result.report.build_global_s =
+        std::max(result.report.build_global_s, rank_times[r].build_s);
+    result.report.map_queries_s =
+        std::max(result.report.map_queries_s, rank_times[r].map_s);
+  }
+  result.report.per_rank = std::move(rank_times);
+  result.report.comm = spmd.stats;
   for (const int rank : result.report.failed_ranks) {
     if (served[static_cast<std::size_t>(rank)] == 0) {
       result.report.degraded = true;  // its shard stopped answering probes
     }
   }
+  if (obs.metrics != nullptr) result.report.publish(*obs.metrics);
   return result;
 }
 
@@ -521,7 +610,8 @@ DistributedResult run_staged(const io::SequenceSet& subjects,
                              const MapParams& params, int ranks,
                              const mpisim::NetworkModel& model,
                              SketchScheme scheme,
-                             const RobustnessOptions& robust) {
+                             const RobustnessOptions& robust,
+                             const obs::ObsHooks& obs) {
   params.validate();
   mpisim::StagedExecutor executor(ranks, model);
   if (!robust.fault_plan.empty()) {
@@ -599,6 +689,36 @@ DistributedResult run_staged(const io::SequenceSet& subjects,
   for (const int rank : result.report.failed_ranks) {
     result.report.queries_recovered +=
         per_rank_mappings[static_cast<std::size_t>(rank)].size();
+  }
+
+  // Per-rank stage times from the executor's step records: S2/S4 vary per
+  // rank; S3 (collective + uniform rebuild) is charged identically.
+  result.report.per_rank.resize(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    RankStageTimes& times =
+        result.report.per_rank[static_cast<std::size_t>(rank)];
+    times.rank = rank;
+    times.allgather_s = result.report.allgather_s;
+    times.build_s = build_s;
+  }
+  for (const mpisim::StagedExecutor::StepRecord& step : executor.steps()) {
+    if (step.is_comm || step.name.rfind("recover:", 0) == 0) continue;
+    for (std::size_t r = 0;
+         r < step.per_rank_s.size() &&
+         r < result.report.per_rank.size();
+         ++r) {
+      if (step.name == "S2:sketch-subjects") {
+        result.report.per_rank[r].sketch_s = step.per_rank_s[r];
+      } else if (step.name == "S4:map-queries") {
+        result.report.per_rank[r].map_s = step.per_rank_s[r];
+      }
+    }
+  }
+
+  if (obs.tracer != nullptr) executor.export_trace(*obs.tracer);
+  if (obs.metrics != nullptr) {
+    executor.publish(*obs.metrics);
+    result.report.publish(*obs.metrics);
   }
   return result;
 }

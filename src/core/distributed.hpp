@@ -27,6 +27,7 @@
 #include "mpisim/communicator.hpp"
 #include "mpisim/network_model.hpp"
 #include "mpisim/staged_executor.hpp"
+#include "obs/obs.hpp"
 
 namespace jem::core {
 
@@ -87,6 +88,18 @@ struct IndexCacheOptions {
   }
 };
 
+/// One rank's stage wall times within a distributed run — the S1-S4
+/// imbalance view (docs/observability.md). The aggregate report fields are
+/// maxima over these; the spread between ranks is what the partitioning
+/// rule (S1) is supposed to minimize.
+struct RankStageTimes {
+  int rank = 0;
+  double sketch_s = 0.0;     // S2: sketch local subjects (or load shard)
+  double allgather_s = 0.0;  // S3: time inside the collective (incl. wait)
+  double build_s = 0.0;      // S3: global table reconstruction
+  double map_s = 0.0;        // S4: map local queries
+};
+
 /// Per-step timing/volume record of one distributed run (Fig 7a / Fig 8).
 struct DistributedStepReport {
   int ranks = 1;
@@ -119,6 +132,20 @@ struct DistributedStepReport {
   /// differ from the fault-free run. False means the recovered output is
   /// bit-identical to a fault-free run.
   bool degraded = false;
+
+  /// Per-rank S2/S3/S4 stage times, ascending by rank (empty only for a
+  /// rank that never reported, i.e. died before timing anything).
+  std::vector<RankStageTimes> per_rank;
+
+  /// Communication volume of the run, including the per-collective,
+  /// per-rank byte breakdown (CommStats::per_site). Zero-valued for
+  /// run_staged, whose communication is modeled, not executed.
+  mpisim::CommStats comm;
+
+  /// Adds this report to `registry` under `distributed.*` names: aggregate
+  /// counters, kNanos stage-time counters and per-rank
+  /// `distributed.rank<r>.<stage>_ns` counters.
+  void publish(obs::Registry& registry) const;
 
   [[nodiscard]] double total_s() const noexcept {
     return load_s + sketch_subjects_s + allgather_s + build_global_s +
@@ -158,7 +185,8 @@ struct DistributedResult {
     const MapParams& params, int ranks,
     SketchScheme scheme = SketchScheme::kJem, int threads_per_rank = 1,
     const RobustnessOptions& robust = {},
-    const IndexCacheOptions& index_cache = {});
+    const IndexCacheOptions& index_cache = {},
+    const obs::ObsHooks& obs = {});
 
 /// Partitioned-table strategy: instead of replicating S_global at every
 /// rank (the paper's S3, space O(n·m_s·T) *per process* — its §III-C1
@@ -171,7 +199,7 @@ struct DistributedResult {
     const io::SequenceSet& subjects, const io::SequenceSet& reads,
     const MapParams& params, int ranks,
     SketchScheme scheme = SketchScheme::kJem,
-    const RobustnessOptions& robust = {});
+    const RobustnessOptions& robust = {}, const obs::ObsHooks& obs = {});
 
 /// Staged bulk-synchronous execution with modeled communication. A fault
 /// plan in `robust` alters the modeled timeline (delays add to step costs;
@@ -182,6 +210,6 @@ struct DistributedResult {
     const MapParams& params, int ranks,
     const mpisim::NetworkModel& model = {},
     SketchScheme scheme = SketchScheme::kJem,
-    const RobustnessOptions& robust = {});
+    const RobustnessOptions& robust = {}, const obs::ObsHooks& obs = {});
 
 }  // namespace jem::core

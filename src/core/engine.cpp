@@ -25,6 +25,28 @@
 
 namespace jem::core {
 
+void EngineStats::publish(obs::Registry& registry) const {
+  using obs::Unit;
+  const auto ns = [](double s) {
+    return s > 0.0 ? static_cast<std::uint64_t>(s * 1e9) : 0;
+  };
+  registry.counter("engine.batches").add(batches);
+  registry.counter("engine.reads").add(reads);
+  registry.counter("engine.segments").add(segments);
+  registry.counter("engine.read_ns", Unit::kNanos).add(ns(read_s));
+  registry.counter("engine.map_ns", Unit::kNanos).add(ns(map_s));
+  registry.counter("engine.emit_ns", Unit::kNanos).add(ns(emit_s));
+  registry.counter("engine.queue_wait_ns", Unit::kNanos)
+      .add(ns(queue_wait_s));
+  registry.counter("engine.wall_ns", Unit::kNanos).add(ns(wall_s));
+  registry.counter("engine.faults_injected").add(faults_injected);
+  registry.counter("engine.batches_dropped").add(batches_dropped);
+  registry.counter("engine.timeouts").add(timeouts);
+  registry.counter("engine.retries").add(retries);
+  registry.counter("engine.batches_skipped").add(batches_skipped);
+  registry.counter("engine.journal_appends").add(journal_appends);
+}
+
 void MapRequest::validate() const {
   if (queue_depth == 0) {
     throw std::invalid_argument("MapRequest: queue_depth must be >= 1");
@@ -41,6 +63,29 @@ void MapRequest::validate() const {
 }
 
 namespace {
+
+/// Live metric handles an instrumented run resolves once up front, so the
+/// per-batch path never does a name lookup. All null when no registry is
+/// attached.
+struct EngineMetrics {
+  obs::Histogram* batch_reads = nullptr;
+  obs::Histogram* batch_map_ns = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+
+  explicit EngineMetrics(obs::Registry* registry) {
+    if (registry == nullptr) return;
+    batch_reads = &registry->histogram("engine.batch.reads");
+    batch_map_ns =
+        &registry->histogram("engine.batch.map_ns", obs::Unit::kNanos);
+    queue_depth = &registry->gauge("engine.queue.depth");
+  }
+
+  void record_batch(std::size_t reads, std::uint64_t map_ns) const {
+    if (batch_reads == nullptr) return;
+    batch_reads->record(reads);
+    batch_map_ns->record(map_ns);
+  }
+};
 
 std::size_t default_threads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -199,6 +244,14 @@ class ScratchPool {
     free_.push_back(std::move(scratch));
   }
 
+  /// Visits every pooled scratch (all are back in the free list once the
+  /// batch futures have completed) — the hotpath-counter publish point.
+  template <typename F>
+  void for_each(F&& visit) {
+    std::lock_guard lock(mutex_);
+    for (auto& scratch : free_) visit(*scratch);
+  }
+
  private:
   std::size_t num_subjects_;
   std::mutex mutex_;
@@ -214,6 +267,10 @@ MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
                       util::ThreadPool* external_pool) {
   request.validate();
   check_min_votes(request, mapper.params());
+
+  const obs::ObsHooks& obs = request.obs;
+  const EngineMetrics metrics(obs.metrics);
+  obs::StageSpan run_span(obs, "engine.run");
 
   const util::WallTimer wall;
   MapReport report;
@@ -233,17 +290,25 @@ MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
   std::atomic<std::uint64_t> map_ns{0};
 
   const auto run_batch = [&](std::size_t b, MapScratch& scratch) {
-    const util::WallTimer timer;
+    if (obs.metrics != nullptr) {
+      scratch.hotpath().sample_every = request.hotpath_sample_every;
+    }
+    obs::StageSpan span(obs, "map.batch", &map_ns);
     const auto begin = static_cast<io::SeqId>(b * batch);
     const auto end = static_cast<io::SeqId>(std::min(n, (b + 1) * batch));
     outputs[b] = map_range(mapper, reads, begin, end, request, scratch);
-    map_ns += timer.elapsed_ns();
+    metrics.record_batch(end - begin, span.finish());
+  };
+
+  const auto publish_hotpath = [&](MapScratch& scratch) {
+    if (obs.metrics != nullptr) scratch.hotpath().publish(*obs.metrics);
   };
 
   switch (request.backend) {
     case MapBackend::kSerial: {
       MapScratch scratch(mapper.subjects().size());
       for (std::size_t b = 0; b < num_batches; ++b) run_batch(b, scratch);
+      publish_hotpath(scratch);
       break;
     }
     case MapBackend::kPool: {
@@ -264,6 +329,7 @@ MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
         }));
       }
       for (std::future<void>& future : futures) future.get();
+      scratches.for_each(publish_hotpath);
       break;
     }
     case MapBackend::kOpenMP: {
@@ -276,10 +342,12 @@ MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
         for (std::int64_t b = 0; b < batches; ++b) {
           run_batch(static_cast<std::size_t>(b), scratch);
         }
+        publish_hotpath(scratch);  // registry updates are thread-safe
       }
 #else
       MapScratch scratch(mapper.subjects().size());
       for (std::size_t b = 0; b < num_batches; ++b) run_batch(b, scratch);
+      publish_hotpath(scratch);
 #endif
       break;
     }
@@ -300,7 +368,9 @@ MapReport run_request(const JemMapper& mapper, const io::SequenceSet& reads,
   stats.reads = n;
   stats.segments = report.mappings.size() + report.topx.size();
   stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
+  run_span.finish();
   stats.wall_s = wall.elapsed_s();
+  if (obs.metrics != nullptr) stats.publish(*obs.metrics);
   return report;
 }
 
@@ -342,6 +412,11 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   request.validate();
   check_min_votes(request, mapper_.params());
 
+  const obs::ObsHooks& obs = request.obs;
+  const EngineMetrics metrics(obs.metrics);
+  if (obs.tracer != nullptr) obs.tracer->set_thread_label("reader");
+  obs::StageSpan run_span(obs, "engine.run_stream");
+
   const util::WallTimer wall;
   EngineStats stats;
 
@@ -376,13 +451,19 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   if (request.backend != MapBackend::kPool) {
     // Single-threaded pipeline (kOpenMP parallelizes inside each batch).
     MapScratch scratch(mapper_.subjects().size());
+    if (obs.metrics != nullptr) {
+      scratch.hotpath().sample_every = request.hotpath_sample_every;
+    }
+    std::atomic<std::uint64_t> read_ns{0};
+    std::atomic<std::uint64_t> map_ns{0};
+    std::atomic<std::uint64_t> emit_ns{0};
     std::exception_ptr error;
     try {
       io::ReadBatch batch;
       while (true) {
-        const util::WallTimer read_timer;
+        obs::StageSpan read_span(obs, "read", &read_ns);
         const bool more = stream.next(batch);
-        stats.read_s += read_timer.elapsed_s();
+        read_span.finish();
         if (!more) break;
         const util::FaultDecision map_fault = batch_fault("map", batch.index);
         if (map_fault.action == util::FaultAction::kAbort) {
@@ -395,13 +476,16 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
         if (map_fault.action == util::FaultAction::kDelay) {
           std::this_thread::sleep_for(map_fault.delay);
         }
-        const util::WallTimer map_timer;
+        obs::StageSpan map_span(obs, "map.batch", &map_ns);
         BatchResult result;
         if (request.backend == MapBackend::kOpenMP) {
           result.batch = std::move(batch);
           MapRequest sub = request;
           sub.batch_size = 0;  // auto-chunk the batch across OpenMP threads
           sub.fault_plan = {};  // faults are this pipeline's, not the kernel's
+          // The kernel must not publish engine.* on top of this pipeline's
+          // own publish (the tracer nests fine, so it stays attached).
+          sub.obs.metrics = nullptr;
           MapReport sub_report =
               detail::run_request(mapper_, result.batch.reads, sub);
           result.mappings = std::move(sub_report.mappings);
@@ -409,7 +493,7 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
         } else {
           result = map_batch(std::move(batch), scratch);
         }
-        stats.map_s += map_timer.elapsed_s();
+        metrics.record_batch(result.batch.reads.size(), map_span.finish());
         stats.batches += 1;
         stats.reads += result.batch.reads.size();
         stats.segments += result.mappings.size() + result.topx.size();
@@ -425,9 +509,9 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
         if (sink_fault.action == util::FaultAction::kDelay) {
           std::this_thread::sleep_for(sink_fault.delay);
         }
-        const util::WallTimer emit_timer;
+        obs::StageSpan emit_span(obs, "emit", &emit_ns);
         sink(result);
-        stats.emit_s += emit_timer.elapsed_s();
+        emit_span.finish();
         if (request.checkpoint != nullptr) {
           // The sink has the batch's output: journal it. records_done is
           // cumulative via first_record so fault-dropped batches never
@@ -441,11 +525,19 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
     } catch (...) {
       error = std::current_exception();
     }
+    stats.read_s = static_cast<double>(read_ns.load()) * 1e-9;
+    stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
+    stats.emit_s = static_cast<double>(emit_ns.load()) * 1e-9;
     stats.faults_injected =
         faults_fired.load() + io_injector.faults_injected();
     stats.batches_dropped += io_injector.drops_injected();
     stats.batches_skipped = stream.batches_skipped();
+    run_span.finish();
     stats.wall_s = wall.elapsed_s();
+    if (obs.metrics != nullptr) {
+      scratch.hotpath().publish(*obs.metrics);
+      stats.publish(*obs.metrics);
+    }
     resolve_failure(error, failure_out);
     return stats;
   }
@@ -549,12 +641,15 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
 
   const auto worker = [&] {
     MapScratch scratch(mapper_.subjects().size());
+    if (obs.metrics != nullptr) {
+      scratch.hotpath().sample_every = request.hotpath_sample_every;
+    }
     try {
       io::ReadBatch raw;
       while (true) {
-        const util::WallTimer pop_timer;
+        obs::StageSpan pop_span(obs, "queue.wait", &pop_wait_ns);
         const bool more = timed_pop(raw);
-        pop_wait_ns += pop_timer.elapsed_ns();
+        pop_span.finish();
         if (!more) break;
 
         const util::FaultDecision fault = batch_fault("map", raw.index);
@@ -572,20 +667,22 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
           std::this_thread::sleep_for(fault.delay);
         }
 
-        const util::WallTimer map_timer;
+        obs::StageSpan map_span(obs, "map.batch", &map_ns);
         BatchResult result = map_batch(std::move(raw), scratch);
-        map_ns += map_timer.elapsed_ns();
-        reads_mapped += result.batch.reads.size();
+        const std::size_t batch_reads = result.batch.reads.size();
+        metrics.record_batch(batch_reads, map_span.finish());
+        reads_mapped += batch_reads;
         segments += result.mappings.size() + result.topx.size();
 
-        const util::WallTimer emit_timer;
+        obs::StageSpan emit_span(obs, "emit", &emit_ns);
         {
           std::lock_guard lock(emit_mutex);
           pending.emplace(result.batch.index, std::move(result));
           flush_locked();
         }
-        emit_ns += emit_timer.elapsed_ns();
+        emit_span.finish();
       }
+      if (obs.metrics != nullptr) scratch.hotpath().publish(*obs.metrics);
     } catch (...) {
       // A dying worker must shut the whole pipeline down: without the
       // close() the producer could block forever on a full queue.
@@ -601,17 +698,23 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    futures.push_back(pool.submit(worker));
+    futures.push_back(pool.submit([&, i] {
+      if (obs.tracer != nullptr) {
+        obs.tracer->set_thread_label("worker " + std::to_string(i));
+      }
+      worker();
+    }));
   }
 
   std::exception_ptr read_error;
-  std::uint64_t push_wait_ns = 0;
+  std::atomic<std::uint64_t> read_ns{0};
+  std::atomic<std::uint64_t> push_wait_ns{0};
   try {
     io::ReadBatch batch;
     while (true) {
-      const util::WallTimer read_timer;
+      obs::StageSpan read_span(obs, "read", &read_ns);
       const bool more = stream.next(batch);
-      stats.read_s += read_timer.elapsed_s();
+      read_span.finish();
       if (!more) break;
 
       const util::FaultDecision fault = batch_fault("queue.push", batch.index);
@@ -629,7 +732,7 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
         std::this_thread::sleep_for(fault.delay);
       }
 
-      const util::WallTimer push_timer;
+      obs::StageSpan push_span(obs, "queue.push", &push_wait_ns);
       bool pushed = false;
       if (request.stage_timeout.count() == 0) {
         pushed = queue.push(std::move(batch));
@@ -651,7 +754,17 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
           allowance *= 2;
         }
       }
-      push_wait_ns += push_timer.elapsed_ns();
+      push_span.finish();
+      if (pushed && obs.enabled()) {
+        // Depth after our own push: 0 means the workers are keeping up,
+        // pinned at capacity means the mappers are the bottleneck.
+        const auto depth = static_cast<std::int64_t>(queue.size());
+        if (metrics.queue_depth != nullptr) metrics.queue_depth->set(depth);
+        if (obs.tracer != nullptr) {
+          obs.tracer->counter_sample("engine.queue.depth",
+                                     static_cast<double>(depth));
+        }
+      }
       if (!pushed) break;  // pipeline aborted by a sink or worker failure
     }
   } catch (...) {
@@ -663,10 +776,11 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   stats.batches = next_emit - stream.batches_skipped();
   stats.reads = reads_mapped.load();
   stats.segments = segments.load();
+  stats.read_s = static_cast<double>(read_ns.load()) * 1e-9;
   stats.map_s = static_cast<double>(map_ns.load()) * 1e-9;
   stats.emit_s = static_cast<double>(emit_ns.load()) * 1e-9;
   stats.queue_wait_s =
-      static_cast<double>(pop_wait_ns.load() + push_wait_ns) * 1e-9;
+      static_cast<double>(pop_wait_ns.load() + push_wait_ns.load()) * 1e-9;
   stats.faults_injected =
       faults_fired.load() + io_injector.faults_injected();
   stats.batches_dropped = dropped_count + io_injector.drops_injected();
@@ -674,7 +788,10 @@ EngineStats MappingEngine::run_stream_impl(io::BatchStream& stream,
   stats.journal_appends = journal_appends;
   stats.timeouts = timeouts.load();
   stats.retries = retries.load();
+  run_span.finish();
   stats.wall_s = wall.elapsed_s();
+  if (obs.metrics != nullptr) stats.publish(*obs.metrics);
+  if (metrics.queue_depth != nullptr) metrics.queue_depth->set(0);
 
   // Failure priority: the reader saw the error first, then the sink, then
   // any worker. Exactly one is resolved (or rethrown).

@@ -33,6 +33,7 @@
 #include "core/mapper.hpp"
 #include "core/params.hpp"
 #include "io/batch_stream.hpp"
+#include "obs/obs.hpp"
 #include "util/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 
@@ -108,19 +109,47 @@ struct MapRequest {
   /// attaching a reopened writer (docs/persistence.md).
   io::CheckpointWriter* checkpoint = nullptr;
 
+  /// Optional observability sinks (not owned; docs/observability.md). With
+  /// a metrics registry attached the run publishes engine.* metrics,
+  /// per-batch histograms, and the mapper's sampled core.hotpath.*
+  /// counters; with a tracer attached every pipeline stage records spans.
+  /// A default ObsHooks{} disables all of it.
+  obs::ObsHooks obs;
+
+  /// Hot-path sampling period for core.hotpath.* counters: every Nth
+  /// segment is measured in full. Only active when obs.metrics is set.
+  std::uint32_t hotpath_sample_every = 16;
+
   void validate() const;
 };
 
-/// Observability block of one engine run (stage times are seconds).
+/// Observability block of one engine run. Since the obs layer landed this
+/// struct is a *view*: the run accumulates into the same counters that feed
+/// `MapRequest::obs.metrics`, and the struct is materialized from them at
+/// run end (publish() writes the identical values into a registry under
+/// `engine.*` names, so struct consumers and metrics consumers can never
+/// disagree). The field layout is unchanged — existing tests and callers
+/// compile and behave as before.
+///
+/// Units, precisely (the old comments drifted here):
+///  * read_s is wall-clock seconds spent inside stream parsing, measured on
+///    the reader thread only.
+///  * map_s / emit_s / queue_wait_s are CPU-seconds *summed across all
+///    workers* (and, for queue_wait_s, the producer's push waits too). With
+///    N workers each may legitimately exceed wall_s by up to a factor of N
+///    — they are utilization numbers, not elapsed time.
+///  * wall_s is elapsed wall-clock time of the whole run; segments_per_s()
+///    is the only throughput derived from it.
 struct EngineStats {
   std::uint64_t batches = 0;
   std::uint64_t reads = 0;
   std::uint64_t segments = 0;   // mapped units emitted (incl. unmapped rows)
-  double read_s = 0.0;          // stage 1: parsing / batch extraction
-  double map_s = 0.0;           // stage 2: summed map time across workers
-  double emit_s = 0.0;          // stage 3: in-order emission (sink included)
-  double queue_wait_s = 0.0;    // producer full-waits + worker empty-waits
-  double wall_s = 0.0;          // whole-run wall clock
+  double read_s = 0.0;          // parsing, reader-thread wall seconds
+  double map_s = 0.0;           // map stage, CPU-seconds summed over workers
+  double emit_s = 0.0;          // emit + sink, CPU-seconds summed over workers
+  double queue_wait_s = 0.0;    // producer full-waits + worker empty-waits,
+                                // CPU-seconds summed over all threads
+  double wall_s = 0.0;          // whole-run elapsed wall clock
 
   // Robustness counters (streaming runs with a fault plan / timeouts).
   std::uint64_t faults_injected = 0;  // fault decisions that fired
@@ -132,10 +161,18 @@ struct EngineStats {
   std::uint64_t batches_skipped = 0;  // resume fast-forward past the journal
   std::uint64_t journal_appends = 0;  // checkpoint records written this run
 
-  /// End-to-end throughput in segments per second of wall time.
+  /// End-to-end throughput in segments per second of *wall* time (not
+  /// summed CPU time — on an N-worker run this is N-fold smaller than
+  /// segments divided by map_s).
   [[nodiscard]] double segments_per_s() const noexcept {
     return wall_s > 0.0 ? static_cast<double>(segments) / wall_s : 0.0;
   }
+
+  /// Adds this run's values to `registry` under `engine.*` metric names
+  /// (counters for the tallies, kNanos counters for the stage times, and
+  /// the derived throughput as a gauge). This is the single mapping between
+  /// the struct view and the registry view.
+  void publish(obs::Registry& registry) const;
 };
 
 /// A queue wait in the streaming pipeline exhausted its retry budget.

@@ -118,20 +118,38 @@ FlatSketchIndex FlatSketchIndex::from_parts(std::vector<Slot> slots,
   return index;
 }
 
-void FlatSketchIndex::lookup_many(
+std::uint64_t FlatSketchIndex::lookup_many(
     int trial, std::span<const KmerCode> kmers,
     std::span<std::span<const io::SeqId>> out) const {
   constexpr std::size_t kPrefetchDistance = 8;
   const std::size_t t = static_cast<std::size_t>(trial);
   const std::size_t base = base_[t];
   const std::size_t mask = mask_[t];
+  std::uint64_t probed = 0;
   for (std::size_t j = 0; j < kmers.size(); ++j) {
     if (j + kPrefetchDistance < kmers.size()) {
       const std::size_t home = hash(kmers[j + kPrefetchDistance]) & mask;
       __builtin_prefetch(&slots_[base + home], 0 /* read */, 1);
     }
-    out[j] = lookup(trial, kmers[j]);
+    // Open-coded probe (same loop as lookup()) so the slots touched can be
+    // counted without a second pass.
+    const KmerCode kmer = kmers[j];
+    std::size_t i = hash(kmer) & mask;
+    std::span<const io::SeqId> result;
+    while (true) {
+      const Slot& slot = slots_[base + i];
+      ++probed;
+      if (slot.count == 0) break;
+      if (slot.kmer == kmer) {
+        result = std::span<const io::SeqId>(subjects_)
+                     .subspan(slot.offset, slot.count);
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    out[j] = result;
   }
+  return probed;
 }
 
 }  // namespace jem::core

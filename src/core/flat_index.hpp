@@ -94,8 +94,11 @@ class FlatSketchIndex {
 
   /// Batched lookup of kmers[j] in trial `t` into out[j], prefetching home
   /// slots ahead of the probe loop. `out` must have kmers.size() entries.
-  void lookup_many(int trial, std::span<const KmerCode> kmers,
-                   std::span<std::span<const io::SeqId>> out) const;
+  /// Returns the number of slots probed across all keys (>= kmers.size();
+  /// the mapper's sampled hot-path counters turn this into a probe-length
+  /// distribution at zero extra memory traffic).
+  std::uint64_t lookup_many(int trial, std::span<const KmerCode> kmers,
+                            std::span<std::span<const io::SeqId>> out) const;
 
   /// Raw-part access for the index artifact: the slot array, per-trial
   /// region geometry and postings pool exactly as built.

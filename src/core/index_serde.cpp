@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/mapper.hpp"
+#include "obs/metrics.hpp"
 
 namespace jem::core {
 
@@ -203,6 +204,7 @@ void save_index(const std::string& path, const SketchTable& table,
                 const MapParams& params, SketchScheme scheme,
                 const io::SequenceSet& subjects) {
   io::atomic_write_file(path, serialize_index(table, params, scheme, subjects));
+  obs::default_registry().counter("io.index_cache.saves").add(1);
 }
 
 SketchTable deserialize_index(std::string bytes, const MapParams& params,
@@ -323,7 +325,12 @@ SketchTable load_index(const std::string& path, const MapParams& params,
   }
   std::ostringstream raw;
   raw << in.rdbuf();
-  return deserialize_index(std::move(raw).str(), params, scheme, subjects);
+  SketchTable table =
+      deserialize_index(std::move(raw).str(), params, scheme, subjects);
+  // Only counted once the artifact fully verified — a rejected or corrupt
+  // file is not a cache hit.
+  obs::default_registry().counter("io.index_cache.hits").add(1);
+  return table;
 }
 
 }  // namespace jem::core

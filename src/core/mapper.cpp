@@ -4,8 +4,27 @@
 #include <mutex>
 
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace jem::core {
+
+void HotpathCounters::publish(obs::Registry& registry) const {
+  using obs::Unit;
+  registry.counter("core.hotpath.segments_seen").add(segments_seen);
+  registry.counter("core.hotpath.segments_sampled").add(segments_sampled);
+  registry.counter("core.hotpath.kmer_lookups").add(kmer_lookups);
+  registry.counter("core.hotpath.sketch_hits").add(sketch_hits);
+  registry.counter("core.hotpath.sketch_misses").add(sketch_misses);
+  registry.counter("core.hotpath.probe_slots").add(probe_slots);
+  registry.counter("core.hotpath.candidates").add(candidates);
+  if (segments_sampled > 0) {
+    // Per-sampled-segment distributions (log2 buckets).
+    registry.histogram("core.hotpath.probe_slots_per_segment")
+        .record(probe_slots / segments_sampled);
+    registry.histogram("core.hotpath.candidates_per_segment")
+        .record(candidates / segments_sampled);
+  }
+}
 
 Sketch make_sketch(std::string_view seq, const MapParams& params,
                    SketchScheme scheme, const HashFamily& hashes) {
@@ -82,6 +101,8 @@ MapResult JemMapper::map_segment(std::string_view segment,
               sketch);
   const FlatSketchIndex& index = table_.flat();
   auto& postings = scratch.postings();
+  HotpathCounters& hotpath = scratch.hotpath();
+  const bool sampled = hotpath.tick_sample();
 
   MapResult best;
   scratch.votes().new_round();
@@ -92,11 +113,19 @@ MapResult JemMapper::map_segment(std::string_view segment,
     scratch.seen().new_round();
     const std::span<const KmerCode> kmers = sketch.trial(t);
     postings.resize(kmers.size());
-    index.lookup_many(t, kmers, postings);
+    const std::uint64_t probed = index.lookup_many(t, kmers, postings);
+    if (sampled) {
+      hotpath.probe_slots += probed;
+      hotpath.kmer_lookups += kmers.size();
+      for (const std::span<const io::SeqId> subjects : postings) {
+        subjects.empty() ? ++hotpath.sketch_misses : ++hotpath.sketch_hits;
+      }
+    }
     for (const std::span<const io::SeqId> subjects : postings) {
       for (io::SeqId subject : subjects) {
         if (!scratch.seen().first_time(subject)) continue;
         const std::uint32_t count = scratch.votes().increment(subject);
+        if (sampled && count == 1) ++hotpath.candidates;
         // Final winner = max votes, ties to the smallest subject id; the
         // online update below realizes exactly that order without a final
         // scan over all subjects.
@@ -166,12 +195,21 @@ std::vector<MapResult> JemMapper::map_segment_topx(std::string_view segment,
   // touched list lives in the scratch so repeat calls reuse its capacity.
   std::vector<io::SeqId>& touched = scratch.touched();
   touched.clear();
+  HotpathCounters& hotpath = scratch.hotpath();
+  const bool sampled = hotpath.tick_sample();
   scratch.votes().new_round();
   for (int t = 0; t < params_.trials; ++t) {
     scratch.seen().new_round();
     const std::span<const KmerCode> kmers = sketch.trial(t);
     postings.resize(kmers.size());
-    index.lookup_many(t, kmers, postings);
+    const std::uint64_t probed = index.lookup_many(t, kmers, postings);
+    if (sampled) {
+      hotpath.probe_slots += probed;
+      hotpath.kmer_lookups += kmers.size();
+      for (const std::span<const io::SeqId> subjects : postings) {
+        subjects.empty() ? ++hotpath.sketch_misses : ++hotpath.sketch_hits;
+      }
+    }
     for (const std::span<const io::SeqId> subjects : postings) {
       for (io::SeqId subject : subjects) {
         if (!scratch.seen().first_time(subject)) continue;
@@ -181,6 +219,7 @@ std::vector<MapResult> JemMapper::map_segment_topx(std::string_view segment,
       }
     }
   }
+  if (sampled) hotpath.candidates += touched.size();
 
   std::sort(touched.begin(), touched.end(),
             [&](io::SeqId a, io::SeqId b) {

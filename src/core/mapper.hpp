@@ -21,6 +21,10 @@
 #include "io/sequence_set.hpp"
 #include "util/thread_pool.hpp"
 
+namespace jem::obs {
+class Registry;  // obs/metrics.hpp
+}  // namespace jem::obs
+
 namespace jem::core {
 
 /// Which sketch drives the mapping: the paper's JEM sketch or the classical
@@ -64,6 +68,40 @@ struct SegmentTopX {
   friend bool operator==(const SegmentTopX&, const SegmentTopX&) = default;
 };
 
+/// Sampled hot-path counters (docs/observability.md). Plain integers owned
+/// by one MapScratch — updating them is allocation- and atomic-free, which
+/// keeps the instrumented map_segment inside the <= 3% overhead budget.
+/// Disabled (sample_every == 0) they cost one predictable branch per
+/// segment. Every sample_every-th segment is measured in full: k-mer
+/// lookups, postings hits/misses, flat-index slots probed, and distinct
+/// candidate subjects voted. The engine publishes the totals into its
+/// metrics registry after the run (core.hotpath.* counters).
+struct HotpathCounters {
+  std::uint32_t sample_every = 0;  // 0 = sampling off
+  std::uint32_t tick = 0;
+
+  std::uint64_t segments_seen = 0;     // all segments (kept even unsampled)
+  std::uint64_t segments_sampled = 0;  // segments measured in full
+  std::uint64_t kmer_lookups = 0;      // sketch k-mers resolved (sampled)
+  std::uint64_t sketch_hits = 0;       // lookups with non-empty postings
+  std::uint64_t sketch_misses = 0;     // lookups with no postings
+  std::uint64_t probe_slots = 0;       // flat-index slots touched (sampled)
+  std::uint64_t candidates = 0;        // distinct subjects voted (sampled)
+
+  /// Advances the per-segment clock; true when this segment is sampled.
+  [[nodiscard]] bool tick_sample() noexcept {
+    if (sample_every == 0) return false;
+    ++segments_seen;
+    if (++tick < sample_every) return false;
+    tick = 0;
+    ++segments_sampled;
+    return true;
+  }
+
+  /// Adds the totals to the `core.hotpath.*` counters of `registry`.
+  void publish(obs::Registry& registry) const;
+};
+
 /// Per-thread mutable state for the query phase: the lazy counters of the
 /// paper's S4 implementation notes plus every buffer the sketch kernels and
 /// the vote loop need, so a segment mapped with a warm scratch performs no
@@ -91,6 +129,10 @@ class MapScratch {
   /// Subjects touched by the current top-x round (reused across calls).
   std::vector<io::SeqId>& touched() noexcept { return touched_; }
 
+  /// Sampled instrumentation (off by default; the engine enables it when a
+  /// metrics registry is attached to the run).
+  HotpathCounters& hotpath() noexcept { return hotpath_; }
+
  private:
   LazyHitCounter votes_;
   LazyHitCounter seen_;
@@ -98,6 +140,7 @@ class MapScratch {
   FlatSketch sketch_;
   std::vector<std::span<const io::SeqId>> postings_;
   std::vector<io::SeqId> touched_;
+  HotpathCounters hotpath_;
 };
 
 /// Computes the sketch of one sequence under the given scheme.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace jem::io {
 
 BatchStream::BatchStream(std::istream& in, std::size_t batch_size)
@@ -26,11 +28,13 @@ bool BatchStream::next(ReadBatch& batch) {
     if (reads.empty()) return false;
     if (injector_ != nullptr && !injector_->fire("stream.next")) {
       ++batches_dropped_;
+      obs::default_registry().counter("io.batch.dropped").add(1);
       continue;  // batch lost in transit; deliver the next one instead
     }
     batch.index = batches_read_++;
     batch.first_record = first;
     batch.reads = std::move(reads);
+    obs::default_registry().counter("io.batch.read").add(1);
     return true;
   }
 }

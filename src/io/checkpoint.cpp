@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace jem::io {
 
 namespace {
@@ -259,6 +261,7 @@ void CheckpointWriter::append(const JournalRecord& record) {
   write_all(encoded.data(), encoded.size());
   if (::fsync(fd_) != 0) throw_io("fsync of journal " + path_);
   ++appended_;
+  obs::default_registry().counter("io.checkpoint.appends").add(1);
 }
 
 void CheckpointWriter::append_batch(std::uint64_t batch_index,

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace jem::io {
 
 std::string_view gzip_reason_name(GzipReason reason) noexcept {
@@ -101,6 +103,10 @@ std::string gzip_decompress(std::string_view data) {
   }
 
   inflateEnd(&stream);
+  obs::Registry& registry = obs::default_registry();
+  registry.counter("io.gzip.streams").add(1);
+  registry.counter("io.gzip.in_bytes", obs::Unit::kBytes).add(data.size());
+  registry.counter("io.gzip.out_bytes", obs::Unit::kBytes).add(out.size());
   return out;
 }
 
@@ -139,6 +145,9 @@ std::string read_file_auto(const std::string& path) {
   std::ostringstream raw;
   raw << in.rdbuf();
   std::string data = std::move(raw).str();
+  obs::Registry& registry = obs::default_registry();
+  registry.counter("io.file.reads").add(1);
+  registry.counter("io.file.bytes", obs::Unit::kBytes).add(data.size());
   if (is_gzip(data)) return gzip_decompress(data);
   return data;
 }

@@ -2,16 +2,44 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace jem::mpisim {
+
+void CommStats::publish(obs::Registry& registry) const {
+  registry.counter("mpisim.collective.calls").add(collective_calls);
+  registry.counter("mpisim.collective.bytes", obs::Unit::kBytes)
+      .add(collective_bytes);
+  registry.counter("mpisim.p2p.messages").add(p2p_messages);
+  registry.counter("mpisim.p2p.bytes", obs::Unit::kBytes).add(p2p_bytes);
+  registry.counter("mpisim.p2p.dropped").add(p2p_dropped);
+  registry.counter("mpisim.wait.timeouts").add(wait_timeouts);
+  registry.counter("mpisim.wait.retries").add(wait_retries);
+  for (const auto& [site, volume] : per_site) {
+    registry.counter("mpisim." + site + ".calls").add(volume.calls);
+    for (std::size_t r = 0; r < volume.sent_bytes.size(); ++r) {
+      const std::string rank = ".rank" + std::to_string(r);
+      registry
+          .counter("mpisim." + site + rank + ".sent_bytes", obs::Unit::kBytes)
+          .add(volume.sent_bytes[r]);
+      registry
+          .counter("mpisim." + site + rank + ".recv_bytes", obs::Unit::kBytes)
+          .add(volume.recv_bytes[r]);
+    }
+  }
+}
 
 namespace detail {
 
-SharedState::SharedState(int size, CommConfig config)
+SharedState::SharedState(int size, CommConfig config, obs::ObsHooks obs)
     : size_(size),
       config_(config),
+      obs_(obs),
       slots_(static_cast<std::size_t>(size)),
       in_round_(static_cast<std::size_t>(size), 0),
       inactive_(static_cast<std::size_t>(size), 0),
@@ -64,30 +92,64 @@ void SharedState::try_publish_locked() {
   cv_.notify_all();
 }
 
-SharedState::Snapshot SharedState::exchange(int rank,
+SiteCommStats& SharedState::site_stats_locked(std::string_view site) {
+  const auto it = stats_.per_site.find(site);
+  SiteCommStats& volume = it != stats_.per_site.end()
+                              ? it->second
+                              : stats_.per_site[std::string(site)];
+  if (volume.sent_bytes.empty()) {
+    volume.sent_bytes.assign(static_cast<std::size_t>(size_), 0);
+    volume.recv_bytes.assign(static_cast<std::size_t>(size_), 0);
+  }
+  return volume;
+}
+
+SharedState::Snapshot SharedState::exchange(int rank, std::string_view site,
                                             std::vector<std::byte> bytes) {
+  // Declared before the lock so the span's finish (which writes the tracer's
+  // thread-local buffer) runs after mutex_ is released. The span covers the
+  // whole collective including the wait for stragglers — exactly the time a
+  // real MPI rank would spend inside the call.
+  std::optional<obs::Span> span;
+  if (obs_.tracer != nullptr) span.emplace(obs_.tracer->span(site));
+
   std::unique_lock lock(mutex_);
   const std::uint64_t my_generation = generation_;
+  const std::uint64_t sent = bytes.size();
   {
     std::lock_guard stats_lock(stats_mutex_);
-    stats_.collective_bytes += bytes.size();
+    stats_.collective_bytes += sent;
   }
   slots_[static_cast<std::size_t>(rank)] = std::move(bytes);
   in_round_[static_cast<std::size_t>(rank)] = 1;
   ++arrived_;
+  Snapshot result;
   if (arrived_ == active_) {
     try_publish_locked();
-    return snapshot_;
-  }
-  if (!wait_with_policy(lock,
-                        [&] { return generation_ != my_generation; })) {
+    result = snapshot_;
+  } else if (!wait_with_policy(
+                 lock, [&] { return generation_ != my_generation; })) {
     // This rank's deposit stays valid — if the stragglers eventually
     // arrive, the round completes with its data. The caller, however,
     // gives up; run_spmd_ft will mark it inactive.
     throw TimeoutError("exchange: collective timed out at rank " +
                        std::to_string(rank));
+  } else {
+    result = snapshot_;
   }
-  return snapshot_;
+  // Per-site accounting happens after the round completes so the pre-wait
+  // path stays as cheap as before the obs layer (timeout-sensitive tests
+  // depend on the deposit-to-wait latency).
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    SiteCommStats& volume = site_stats_locked(site);
+    ++volume.calls;
+    volume.sent_bytes[static_cast<std::size_t>(rank)] += sent;
+    std::uint64_t received = 0;
+    for (const auto& part : *result) received += part.size();
+    volume.recv_bytes[static_cast<std::size_t>(rank)] += received;
+  }
+  return result;
 }
 
 void SharedState::mark_inactive(int rank, bool failed) {
@@ -134,6 +196,9 @@ void SharedState::send(int from, int to, int tag,
     std::lock_guard stats_lock(stats_mutex_);
     ++stats_.p2p_messages;
     stats_.p2p_bytes += bytes.size();
+    SiteCommStats& volume = site_stats_locked("p2p");
+    ++volume.calls;
+    volume.sent_bytes[static_cast<std::size_t>(from)] += bytes.size();
   }
   mailboxes_[ChannelKey{from, to, tag}].push_back(std::move(bytes));
   cv_.notify_all();
@@ -160,6 +225,11 @@ std::vector<std::byte> SharedState::recv(int to, int from, int tag) {
   }
   std::vector<std::byte> bytes = std::move(queue.front());
   queue.pop_front();
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    site_stats_locked("p2p").recv_bytes[static_cast<std::size_t>(to)] +=
+        bytes.size();
+  }
   return bytes;
 }
 
@@ -188,7 +258,8 @@ SpmdRun launch_spmd(int size, const std::function<void(Comm&)>& body,
     throw std::invalid_argument("run_spmd: size must be positive");
   }
   options.comm.validate();
-  auto state = std::make_shared<detail::SharedState>(size, options.comm);
+  auto state = std::make_shared<detail::SharedState>(size, options.comm,
+                                                     options.obs);
 
   SpmdRun run;
   run.hard_errors.resize(static_cast<std::size_t>(size));
@@ -201,6 +272,10 @@ SpmdRun launch_spmd(int size, const std::function<void(Comm&)>& body,
   for (int rank = 0; rank < size; ++rank) {
     threads.emplace_back([rank, state, &body, &options, &failures, &failed,
                           &fired, &run] {
+      if (options.obs.tracer != nullptr) {
+        options.obs.tracer->set_thread_label("rank " +
+                                             std::to_string(rank));
+      }
       util::FaultInjector injector(options.fault_plan, rank);
       Comm comm(rank, state, injector.active() ? &injector : nullptr);
       const auto r = static_cast<std::size_t>(rank);
@@ -233,6 +308,13 @@ SpmdRun launch_spmd(int size, const std::function<void(Comm&)>& body,
     }
   }
   run.stats = state->stats();
+  if (options.obs.metrics != nullptr) {
+    run.stats.publish(*options.obs.metrics);
+    options.obs.metrics->counter("mpisim.faults_injected")
+        .add(run.faults_injected);
+    options.obs.metrics->counter("mpisim.rank_failures")
+        .add(run.comm_failures.size());
+  }
   return run;
 }
 

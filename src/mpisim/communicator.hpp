@@ -44,14 +44,28 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/fault_plan.hpp"
 
 namespace jem::mpisim {
 
 class Comm;
+
+/// Per-collective-site communication volume, resolved per rank. A "site" is
+/// the collective's name as passed to guard_payload ("allgatherv", "bcast",
+/// ...; point-to-point traffic is accounted under "p2p"). sent_bytes[r] is
+/// what rank r deposited; recv_bytes[r] is what rank r read back out of the
+/// published snapshot. This is the S3-imbalance view the paper's Table II
+/// needs: with skewed partitions the allgatherv rows differ per rank.
+struct SiteCommStats {
+  std::uint64_t calls = 0;                 // deposits: one per rank per op
+  std::vector<std::uint64_t> sent_bytes;   // indexed by rank
+  std::vector<std::uint64_t> recv_bytes;   // indexed by rank
+};
 
 /// Statistics about communication volume, gathered per run so the drivers
 /// can charge modeled network time to the measured byte counts.
@@ -63,6 +77,14 @@ struct CommStats {
   std::uint64_t p2p_dropped = 0;   // sends voided by faults or dead peers
   std::uint64_t wait_timeouts = 0;  // individual waits that expired
   std::uint64_t wait_retries = 0;   // expired waits that were retried
+
+  /// Byte volume broken down by collective site and rank
+  /// (docs/observability.md). Aggregate fields above are unchanged.
+  std::map<std::string, SiteCommStats, std::less<>> per_site;
+
+  /// Adds this run's totals to `registry` under `mpisim.*` names: aggregate
+  /// counters plus per-site `mpisim.<site>.rank<r>.{sent,recv}_bytes`.
+  void publish(obs::Registry& registry) const;
 };
 
 /// Blocking-wait policy for collectives and recv. The default (timeout 0)
@@ -113,15 +135,18 @@ namespace detail {
 /// the point-to-point mailboxes.
 class SharedState {
  public:
-  explicit SharedState(int size, CommConfig config = {});
+  explicit SharedState(int size, CommConfig config = {},
+                       obs::ObsHooks obs = {});
 
   /// All-to-all deposit/exchange: every active rank deposits `bytes`; once
   /// the last active rank arrives, a snapshot of all deposits becomes
   /// visible to every rank (inactive ranks' slots stay empty). This single
   /// primitive implements barrier (empty payload), allgatherv, gather,
-  /// bcast and reduce.
+  /// bcast and reduce. `site` names the collective for per-site byte
+  /// accounting and tracer spans ("allgatherv", "bcast", ...).
   using Snapshot = std::shared_ptr<const std::vector<std::vector<std::byte>>>;
-  [[nodiscard]] Snapshot exchange(int rank, std::vector<std::byte> bytes);
+  [[nodiscard]] Snapshot exchange(int rank, std::string_view site,
+                                  std::vector<std::byte> bytes);
 
   void send(int from, int to, int tag, std::vector<std::byte> bytes);
   [[nodiscard]] std::vector<std::byte> recv(int to, int from, int tag);
@@ -155,8 +180,12 @@ class SharedState {
   /// Caller holds mutex_.
   void try_publish_locked();
 
+  /// Per-site accounting helpers; caller holds stats_mutex_.
+  SiteCommStats& site_stats_locked(std::string_view site);
+
   const int size_;
   const CommConfig config_;
+  const obs::ObsHooks obs_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -231,7 +260,7 @@ class Comm {
   /// MPI_Barrier.
   void barrier() {
     (void)guard_payload("barrier", {});
-    (void)state_->exchange(rank_, {});
+    (void)state_->exchange(rank_, "barrier", {});
   }
 
   /// MPI_Allgatherv: concatenation of every rank's vector, in rank order,
@@ -240,7 +269,8 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(std::span<const T> local) {
     const auto snapshot = state_->exchange(
-        rank_, guard_payload("allgatherv", detail::to_bytes<T>(local)));
+        rank_, "allgatherv",
+        guard_payload("allgatherv", detail::to_bytes<T>(local)));
     std::vector<T> out;
     std::size_t total = 0;
     for (const auto& part : *snapshot) total += part.size() / sizeof(T);
@@ -262,7 +292,8 @@ class Comm {
   [[nodiscard]] std::vector<std::vector<T>> gatherv(std::span<const T> local,
                                                     int root) {
     const auto snapshot = state_->exchange(
-        rank_, guard_payload("gatherv", detail::to_bytes<T>(local)));
+        rank_, "gatherv",
+        guard_payload("gatherv", detail::to_bytes<T>(local)));
     std::vector<std::vector<T>> out;
     if (rank_ == root) {
       out.reserve(snapshot->size());
@@ -279,8 +310,8 @@ class Comm {
   [[nodiscard]] std::vector<T> bcast(std::span<const T> local, int root) {
     std::vector<std::byte> payload;
     if (rank_ == root) payload = detail::to_bytes<T>(local);
-    const auto snapshot =
-        state_->exchange(rank_, guard_payload("bcast", std::move(payload)));
+    const auto snapshot = state_->exchange(
+        rank_, "bcast", guard_payload("bcast", std::move(payload)));
     return detail::from_bytes<T>((*snapshot)[static_cast<std::size_t>(root)]);
   }
 
@@ -290,8 +321,9 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T all_reduce(const T& local, Op op) {
     const auto snapshot = state_->exchange(
-        rank_, guard_payload("all_reduce", detail::to_bytes<T>(
-                                               std::span<const T>(&local, 1))));
+        rank_, "all_reduce",
+        guard_payload("all_reduce", detail::to_bytes<T>(
+                                        std::span<const T>(&local, 1))));
     bool seeded = false;
     T acc{};
     for (const auto& part : *snapshot) {
@@ -310,7 +342,7 @@ class Comm {
   [[nodiscard]] std::vector<T> all_reduce_vec(std::span<const T> local,
                                               Op op) {
     const auto snapshot = state_->exchange(
-        rank_,
+        rank_, "all_reduce_vec",
         guard_payload("all_reduce_vec", detail::to_bytes<T>(local)));
     std::vector<T> acc;
     bool seeded = false;
@@ -361,7 +393,7 @@ class Comm {
     }
 
     const auto snapshot = state_->exchange(
-        rank_, guard_payload("all_to_allv", std::move(blob)));
+        rank_, "all_to_allv", guard_payload("all_to_allv", std::move(blob)));
     std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
     for (int src = 0; src < size(); ++src) {
       const auto& src_blob = (*snapshot)[static_cast<std::size_t>(src)];
@@ -445,6 +477,11 @@ struct SpmdOptions {
   /// Not owned; may be null (no injected faults). Each rank gets its own
   /// util::FaultInjector over this plan.
   const util::FaultPlan* fault_plan = nullptr;
+  /// Optional observability sinks (not owned; docs/observability.md). With
+  /// a tracer attached each rank thread labels its track "rank N" and every
+  /// collective records a span; with a metrics registry attached the run's
+  /// CommStats and fault counters are published at join time.
+  obs::ObsHooks obs;
 };
 
 struct SpmdReport {

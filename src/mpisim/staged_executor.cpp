@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace jem::mpisim {
@@ -62,7 +64,10 @@ void StagedExecutor::compute_step(std::string_view name,
     }
     double modeled = elapsed;
     if (decision.action == util::FaultAction::kDelay) {
-      modeled += static_cast<double>(decision.delay.count()) / 1000.0;
+      const double delay_s =
+          static_cast<double>(decision.delay.count()) / 1000.0;
+      modeled += delay_s;
+      injected_delay_s_ += delay_s;
     }
     record.per_rank_s.push_back(modeled);
   }
@@ -92,7 +97,10 @@ void StagedExecutor::comm_delay_s(std::string_view name, double& cost) {
   const util::FaultDecision decision =
       decide_fault(util::FaultPlan::kAnyRank, name, invocation);
   if (decision.action == util::FaultAction::kDelay) {
-    cost += static_cast<double>(decision.delay.count()) / 1000.0;
+    const double delay_s =
+        static_cast<double>(decision.delay.count()) / 1000.0;
+    cost += delay_s;
+    injected_delay_s_ += delay_s;
   }
 }
 
@@ -143,6 +151,68 @@ double StagedExecutor::step_s(std::string_view name) const noexcept {
     if (step.name == name) sum += step.cost_s;
   }
   return sum;
+}
+
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
+}
+
+}  // namespace
+
+void StagedExecutor::export_trace(obs::Tracer& tracer,
+                                  std::uint64_t base_ns) const {
+  const int recovery_track = num_ranks_;
+  for (int rank = 0; rank < num_ranks_; ++rank) {
+    tracer.set_track_label(rank, "rank " + std::to_string(rank));
+  }
+  tracer.set_track_label(recovery_track, "recovery");
+
+  std::uint64_t now_ns = base_ns;
+  for (const StepRecord& step : steps_) {
+    const std::uint64_t cost_ns = to_ns(step.cost_s);
+    if (step.is_comm) {
+      // A collective occupies every rank for the same modeled window.
+      for (int rank = 0; rank < num_ranks_; ++rank) {
+        tracer.record(step.name, rank, now_ns, cost_ns);
+      }
+    } else if (step.name.starts_with("recover:")) {
+      // Recovered partitions replay serially on the survivor's track.
+      std::uint64_t at_ns = now_ns;
+      for (const double part_s : step.per_rank_s) {
+        const std::uint64_t part_ns = to_ns(part_s);
+        tracer.record(step.name, recovery_track, at_ns, part_ns);
+        at_ns += part_ns;
+      }
+    } else {
+      for (std::size_t r = 0; r < step.per_rank_s.size(); ++r) {
+        tracer.record(step.name, static_cast<int>(r), now_ns,
+                      to_ns(step.per_rank_s[r]));
+      }
+    }
+    now_ns += cost_ns;
+  }
+}
+
+void StagedExecutor::publish(obs::Registry& registry) const {
+  std::uint64_t comm_steps = 0;
+  std::uint64_t recover_steps = 0;
+  for (const StepRecord& step : steps_) {
+    if (step.is_comm) ++comm_steps;
+    if (step.name.starts_with("recover:")) ++recover_steps;
+  }
+  registry.counter("staged.steps").add(steps_.size());
+  registry.counter("staged.comm_steps").add(comm_steps);
+  registry.counter("staged.recover_steps").add(recover_steps);
+  registry.counter("staged.faults_injected").add(faults_injected_);
+  registry.counter("staged.total_ns", obs::Unit::kNanos).add(to_ns(total_s()));
+  registry.counter("staged.compute_ns", obs::Unit::kNanos)
+      .add(to_ns(compute_s()));
+  registry.counter("staged.comm_ns", obs::Unit::kNanos).add(to_ns(comm_s()));
+  registry.counter("staged.injected_delay_ns", obs::Unit::kNanos)
+      .add(to_ns(injected_delay_s_));
 }
 
 }  // namespace jem::mpisim

@@ -26,6 +26,11 @@
 #include "mpisim/network_model.hpp"
 #include "util/fault_plan.hpp"
 
+namespace jem::obs {
+class Registry;  // obs/metrics.hpp
+class Tracer;    // obs/trace.hpp
+}  // namespace jem::obs
+
 namespace jem::mpisim {
 
 class StagedExecutor {
@@ -85,6 +90,28 @@ class StagedExecutor {
   /// Cost of the step with the given name (0 if absent; sums duplicates).
   [[nodiscard]] double step_s(std::string_view name) const noexcept;
 
+  /// Total fault-injected delay folded into the modeled timeline so far —
+  /// the modeled-vs-actual gap: total_s() minus this is what the run would
+  /// have cost without the injected delays.
+  [[nodiscard]] double injected_delay_s() const noexcept {
+    return injected_delay_s_;
+  }
+
+  /// Synthesizes the modeled timeline into `tracer` via record(): compute
+  /// steps become one span per rank on track `tid == rank` (labeled
+  /// "rank N"), comm steps one span across every rank's track, and
+  /// "recover:<step>" re-bills one span per recovered partition on a
+  /// dedicated "recovery" track (tid == num_ranks). Timestamps start at
+  /// `base_ns` and advance by each step's modeled cost, so the exported
+  /// Chrome trace reads as the bulk-synchronous schedule the model charges
+  /// — not as wall-clock of the sequential measurement.
+  void export_trace(obs::Tracer& tracer, std::uint64_t base_ns = 0) const;
+
+  /// Adds the run's modeled totals to `registry` under `staged.*` names:
+  /// step/fault counters plus kNanos counters for total, compute, comm and
+  /// injected-delay time.
+  void publish(obs::Registry& registry) const;
+
  private:
   /// Fault decision for the current invocation of `name` at `rank`
   /// (kAnyRank for comm steps). Counts fired faults.
@@ -103,6 +130,7 @@ class StagedExecutor {
   std::map<std::string, std::uint64_t, std::less<>> site_calls_;
   std::vector<char> failed_;
   std::uint64_t faults_injected_ = 0;
+  double injected_delay_s_ = 0.0;
 };
 
 }  // namespace jem::mpisim

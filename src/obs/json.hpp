@@ -1,0 +1,67 @@
+// Minimal dependency-free JSON support for the observability layer: a
+// parser into a Value tree (used by the trace/metrics validators and the
+// golden tests) and the escaping helper the exporters share. This is not a
+// general-purpose JSON library — it accepts exactly RFC 8259 documents, has
+// no streaming mode, and keeps numbers as doubles (metric exporters emit
+// integers as digit strings, which round-trip exactly up to 2^53; the
+// validators only need well-formedness and field lookups).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jem::obs::json {
+
+/// A parse failure, carrying the byte offset where the input went wrong.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message) + " at byte " +
+                           std::to_string(offset)),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One JSON value. Object member order is preserved (exporters write sorted
+/// keys; the golden tests rely on byte-stable output, not on this parser).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+
+  /// First member named `key` (objects only); nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed;
+/// anything after the document is an error). Throws ParseError.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes a string for embedding between JSON quotes (", \, control chars).
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace jem::obs::json

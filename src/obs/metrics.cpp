@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace jem::obs {
+
+std::string_view unit_name(Unit unit) noexcept {
+  switch (unit) {
+    case Unit::kCount: return "count";
+    case Unit::kBytes: return "bytes";
+    case Unit::kNanos: return "nanos";
+  }
+  return "count";
+}
+
+std::size_t this_thread_stripe() noexcept {
+  // One process-wide stripe slot per thread, assigned round-robin on first
+  // use. Slots are never reclaimed: with more than kStripes threads over a
+  // process lifetime stripes are shared, which costs contention, not
+  // correctness.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    for (const auto& bucket : stripe.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const MetricValue& entry, std::string_view key) {
+        return entry.name < key;
+      });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+namespace {
+
+std::string_view kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json(bool include_timing) const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& entry : entries) {
+    if (!include_timing && entry.unit == Unit::kNanos) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json::escape(entry.name);
+    out += "\",\"kind\":\"";
+    out += kind_name(entry.kind);
+    out += "\",\"unit\":\"";
+    out += unit_name(entry.unit);
+    out += '"';
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(entry.value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(entry.level);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"count\":" + std::to_string(entry.count);
+        out += ",\"sum\":" + std::to_string(entry.sum);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i != 0) out += ',';
+          out += "[" + std::to_string(entry.buckets[i].first) + "," +
+                 std::to_string(entry.buckets[i].second) + "]";
+        }
+        out += ']';
+        break;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Registry::Entry& Registry::resolve(std::string_view name, MetricKind kind,
+                                   Unit unit) {
+  std::lock_guard lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.unit = unit;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as " +
+                           std::string(kind_name(it->second.kind)));
+  } else if (it->second.unit != unit) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with unit " +
+                           std::string(unit_name(it->second.unit)));
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, Unit unit) {
+  return *resolve(name, MetricKind::kCounter, unit).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Unit unit) {
+  return *resolve(name, MetricKind::kGauge, unit).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Unit unit) {
+  return *resolve(name, MetricKind::kHistogram, unit).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.entries.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricValue value;
+    value.name = name;
+    value.kind = entry.kind;
+    value.unit = entry.unit;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        value.value = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.level = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const auto buckets = entry.histogram->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+          if (buckets[i] != 0) {
+            value.buckets.emplace_back(i, buckets[i]);
+            value.count += buckets[i];
+          }
+        }
+        value.sum = entry.histogram->sum();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(value));
+  }
+  // std::map iterates in key order, so entries are already name-sorted.
+  return snap;
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace jem::obs

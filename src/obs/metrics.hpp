@@ -1,0 +1,193 @@
+// Lock-cheap metrics registry (docs/observability.md).
+//
+// Three metric kinds share one design: hot-path updates touch only a
+// thread-striped atomic cell (relaxed, no locks, no allocation), and a
+// snapshot aggregates the stripes. Each thread is assigned a process-wide
+// stripe slot on first use, so with up to kStripes concurrently-updating
+// threads every thread owns a private cache line — the "thread-local shard"
+// — and beyond that threads share stripes but stay correct (atomics).
+//
+//  * Counter    — monotonically increasing u64 (events, bytes, nanoseconds).
+//  * Gauge      — instantaneous i64 level (queue depth, active workers).
+//  * Histogram  — fixed log2 buckets: bucket i counts values v with
+//    bit_width(v) == i, i.e. v in [2^(i-1), 2^i), bucket 0 counts v == 0.
+//    No configuration, no allocation, mergeable by addition.
+//
+// Metrics are owned by a Registry and identified by name; handle resolution
+// (string lookup, mutex) happens once at setup, never on the update path.
+// Registry::snapshot() produces a name-sorted MetricsSnapshot that exports
+// as deterministic JSON — with `include_timing = false`, nanosecond-valued
+// metrics are dropped so a serial run's export is byte-stable across
+// repeat runs (the golden-test contract).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::obs {
+
+/// What a metric's value measures; `kNanos` marks wall-clock-derived values
+/// that deterministic exports must exclude.
+enum class Unit { kCount, kBytes, kNanos };
+
+[[nodiscard]] std::string_view unit_name(Unit unit) noexcept;
+
+/// Number of update stripes (power of two). Also the bound on truly
+/// contention-free concurrent writers.
+inline constexpr std::size_t kStripes = 16;
+
+/// Process-wide stripe slot of the calling thread (stable per thread).
+[[nodiscard]] std::size_t this_thread_stripe() noexcept;
+
+namespace detail {
+struct alignas(64) StripedCell {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_stripe()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  std::array<detail::StripedCell, kStripes> cells_;
+};
+
+/// A level, not a rate: set() is last-writer-wins, add() adjusts. Gauges are
+/// typically written from one site (e.g. the queue producer), so a single
+/// atomic suffices — no striping.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// log2 buckets: index = bit_width(v) clamped to kBuckets - 1; 0 for 0.
+  static constexpr std::size_t kBuckets = 64;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    const auto width = static_cast<std::size_t>(std::bit_width(v));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `i` (values with bit_width == i).
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Stripe& stripe = stripes_[this_thread_stripe()];
+    stripe.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept;
+
+  /// Aggregated bucket counts (kBuckets entries).
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's aggregated state at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Unit unit = Unit::kCount;
+  std::uint64_t value = 0;  // counter total
+  std::int64_t level = 0;   // gauge level
+  std::uint64_t count = 0;  // histogram sample count
+  std::uint64_t sum = 0;    // histogram sample sum
+  /// Histogram: non-empty (bucket index, count) pairs, index ascending.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> entries;  // sorted by name
+
+  [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
+
+  /// Deterministic JSON export: one `{"metrics": [...]}` object, entries
+  /// name-sorted, integers as digit strings. With `include_timing` false,
+  /// every Unit::kNanos metric is dropped — the export of a serial run is
+  /// then byte-stable across repeat runs.
+  [[nodiscard]] std::string to_json(bool include_timing = true) const;
+};
+
+/// Named-metric owner. Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime; creation takes a mutex, updates
+/// through the handles never do. Requesting an existing name with a
+/// different kind throws std::logic_error (unit mismatches too).
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 Unit unit = Unit::kCount);
+  [[nodiscard]] Gauge& gauge(std::string_view name, Unit unit = Unit::kCount);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     Unit unit = Unit::kCount);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    Unit unit;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& resolve(std::string_view name, MetricKind kind, Unit unit);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+/// The process-wide registry free functions (gzip inflate accounting) and
+/// jem_map default to. Library code that takes an explicit Registry* must
+/// prefer it over this.
+[[nodiscard]] Registry& default_registry();
+
+}  // namespace jem::obs

@@ -1,0 +1,75 @@
+// Umbrella header for the observability layer: the metrics Registry, the
+// span Tracer, and the two small adapters library code takes them through.
+//
+// ObsHooks is the pass-by-value handle engine/mpisim/IO entry points accept
+// (both pointers optional — a default ObsHooks{} disables everything and
+// instrumented code pays one branch). StageSpan unifies the previously
+// duplicated "WallTimer + atomic ns accumulator" plumbing with tracing:
+// one RAII object both accumulates elapsed nanoseconds into stats and, when
+// a tracer is attached, records the same interval as a span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace jem::obs {
+
+/// Optional instrumentation sinks threaded through library entry points.
+struct ObsHooks {
+  Registry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || tracer != nullptr;
+  }
+};
+
+/// Times [construction, finish/destruction) on the monotonic clock, adds
+/// the elapsed nanoseconds to `accum_ns` (when given), and records the
+/// interval as a tracer span (when a tracer is attached). Replaces paired
+/// WallTimer-plus-atomic-add call sites.
+class StageSpan {
+ public:
+  StageSpan(const ObsHooks& obs, std::string_view name,
+            std::atomic<std::uint64_t>* accum_ns = nullptr)
+      : accum_ns_(accum_ns), start_(Clock::now()) {
+    if (obs.tracer != nullptr) span_ = obs.tracer->span(name);
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  ~StageSpan() { finish(); }
+
+  /// Stops the clock now (idempotent); returns elapsed nanoseconds.
+  std::uint64_t finish() noexcept {
+    if (done_) return elapsed_ns_;
+    done_ = true;
+    elapsed_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+    if (accum_ns_ != nullptr) {
+      accum_ns_->fetch_add(elapsed_ns_, std::memory_order_relaxed);
+    }
+    span_.finish();
+    return elapsed_ns_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady);
+
+  std::atomic<std::uint64_t>* accum_ns_;
+  Clock::time_point start_;
+  Span span_;
+  std::uint64_t elapsed_ns_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace jem::obs

@@ -1,0 +1,308 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace jem::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  static_assert(std::chrono::steady_clock::is_steady);
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_tracer_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Microseconds with nanosecond precision ("12.345") — the trace_event
+/// `ts` field is in microseconds.
+std::string format_us(std::uint64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+}  // namespace
+
+struct detail::TracerThreadBuffer {
+  TracerThreadBuffer(std::uint32_t tid_in, std::size_t capacity)
+      : tid(tid_in) {
+    events.resize(capacity);
+  }
+
+  const std::uint32_t tid;
+  std::string label;          // written under the tracer mutex
+  std::uint32_t depth = 0;    // owner thread only
+  std::vector<TraceEvent> events;  // slots [0, count) are published
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+namespace {
+
+/// Cache of the calling thread's buffer, keyed by tracer id. Ids are never
+/// reused, so a stale entry from a destroyed tracer simply misses.
+struct BufferCache {
+  std::uint64_t tracer_id = 0;
+  detail::TracerThreadBuffer* buffer = nullptr;
+};
+thread_local BufferCache t_buffer_cache;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity_per_thread, std::string process_name)
+    : id_(next_tracer_id()),
+      capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      process_name_(std::move(process_name)),
+      epoch_ns_(steady_now_ns()) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return steady_now_ns() - epoch_ns_;
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  BufferCache& cache = t_buffer_cache;
+  if (cache.tracer_id == id_) return *cache.buffer;
+  std::lock_guard lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>(
+      static_cast<std::uint32_t>(threads_.size()), capacity_);
+  ThreadBuffer& ref = *buffer;
+  threads_.push_back(std::move(buffer));
+  cache.tracer_id = id_;
+  cache.buffer = &ref;
+  return ref;
+}
+
+void Tracer::append(ThreadBuffer& buffer, TraceEvent event) noexcept {
+  const std::size_t n = buffer.count.load(std::memory_order_relaxed);
+  if (n >= capacity_) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.seq = n;
+  buffer.events[n] = std::move(event);
+  // Publish the slot: snapshot() acquire-loads count and reads only below.
+  buffer.count.store(n + 1, std::memory_order_release);
+}
+
+Span::Span(Tracer* tracer, std::string name) noexcept
+    : tracer_(tracer), name_(std::move(name)) {
+  start_ns_ = tracer_->now_ns();
+  ++tracer_->buffer_for_this_thread().depth;
+}
+
+void Span::finish() noexcept {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(name_, start_ns_);
+  tracer_ = nullptr;
+  name_.clear();
+}
+
+void Tracer::end_span(std::string& name, std::uint64_t start_ns) noexcept {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  if (buffer.depth > 0) --buffer.depth;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.kind = TraceEvent::Kind::kSpan;
+  event.tid = buffer.tid;
+  event.depth = buffer.depth;
+  event.start_ns = start_ns;
+  const std::uint64_t end_ns = now_ns();
+  event.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  append(buffer, std::move(event));
+}
+
+void Tracer::set_thread_label(std::string_view label) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard lock(mutex_);
+  buffer.label = std::string(label);
+}
+
+void Tracer::set_track_label(std::uint32_t tid, std::string_view label) {
+  std::lock_guard lock(mutex_);
+  for (auto& [existing, text] : track_labels_) {
+    if (existing == tid) {
+      text = std::string(label);
+      return;
+    }
+  }
+  track_labels_.emplace_back(tid, std::string(label));
+}
+
+void Tracer::record(std::string_view name, std::uint32_t tid,
+                    std::uint64_t start_ns, std::uint64_t dur_ns,
+                    std::uint32_t depth) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  TraceEvent event;
+  event.name = std::string(name);
+  event.kind = TraceEvent::Kind::kSpan;
+  event.tid = tid;
+  event.depth = depth;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  append(buffer, std::move(event));
+}
+
+void Tracer::counter_sample(std::string_view name, double value) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  TraceEvent event;
+  event.name = std::string(name);
+  event.kind = TraceEvent::Kind::kCounter;
+  event.tid = buffer.tid;
+  event.start_ns = now_ns();
+  event.value = value;
+  append(buffer, std::move(event));
+}
+
+TraceSnapshot Tracer::snapshot() const {
+  TraceSnapshot snap;
+  snap.process_name = process_name_;
+  std::lock_guard lock(mutex_);
+  snap.threads.reserve(threads_.size());
+  for (const auto& buffer : threads_) {
+    TraceSnapshot::Thread thread;
+    thread.tid = buffer->tid;
+    thread.label = buffer->label;
+    thread.dropped = buffer->dropped.load(std::memory_order_relaxed);
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    thread.events.assign(buffer->events.begin(),
+                         buffer->events.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+    snap.threads.push_back(std::move(thread));
+  }
+  for (const auto& [tid, label] : track_labels_) {
+    auto it = std::find_if(snap.threads.begin(), snap.threads.end(),
+                           [tid = tid](const TraceSnapshot::Thread& t) {
+                             return t.tid == tid;
+                           });
+    if (it == snap.threads.end()) {
+      TraceSnapshot::Thread thread;
+      thread.tid = tid;
+      thread.label = label;
+      snap.threads.push_back(std::move(thread));
+    } else if (it->label.empty()) {
+      it->label = label;
+    }
+  }
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const TraceSnapshot::Thread& a, const TraceSnapshot::Thread& b) {
+              return a.tid < b.tid;
+            });
+  return snap;
+}
+
+std::uint64_t TraceSnapshot::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const Thread& thread : threads) total += thread.events.size();
+  return total;
+}
+
+std::uint64_t TraceSnapshot::total_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const Thread& thread : threads) total += thread.dropped;
+  return total;
+}
+
+std::string TraceSnapshot::to_chrome_json() const {
+  // Events are grouped by track (event tid, which record() may override),
+  // sorted (start asc, longer-first at equal start, seq as tiebreak), and
+  // emitted with an explicit stack so every B has a matching E and spans
+  // nest properly even if recorded durations overlap at the edges.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += event;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+       "\"" +
+       json::escape(process_name) + "\"}}");
+  for (const Thread& thread : threads) {
+    if (thread.label.empty()) continue;
+    emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(thread.tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json::escape(thread.label) + "\"}}");
+  }
+
+  std::vector<const TraceEvent*> spans;
+  std::vector<const TraceEvent*> counters;
+  for (const Thread& thread : threads) {
+    for (const TraceEvent& event : thread.events) {
+      (event.kind == TraceEvent::Kind::kSpan ? spans : counters)
+          .push_back(&event);
+    }
+  }
+
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->tid != b->tid) return a->tid < b->tid;
+              if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+              if (a->dur_ns != b->dur_ns) return a->dur_ns > b->dur_ns;
+              return a->seq < b->seq;
+            });
+
+  struct Open {
+    std::uint64_t end_ns;
+  };
+  std::vector<Open> stack;
+  std::uint32_t current_tid = 0;
+  const auto close_until = [&](std::uint64_t start_ns, std::size_t keep) {
+    while (stack.size() > keep && stack.back().end_ns <= start_ns) {
+      emit("{\"ph\":\"E\",\"pid\":0,\"tid\":" + std::to_string(current_tid) +
+           ",\"ts\":" + format_us(stack.back().end_ns) + "}");
+      stack.pop_back();
+    }
+  };
+  const auto drain = [&] {
+    while (!stack.empty()) {
+      emit("{\"ph\":\"E\",\"pid\":0,\"tid\":" + std::to_string(current_tid) +
+           ",\"ts\":" + format_us(stack.back().end_ns) + "}");
+      stack.pop_back();
+    }
+  };
+
+  for (const TraceEvent* event : spans) {
+    if (event->tid != current_tid) {
+      drain();
+      current_tid = event->tid;
+    }
+    close_until(event->start_ns, 0);
+    std::uint64_t end_ns = event->start_ns + event->dur_ns;
+    if (!stack.empty() && end_ns > stack.back().end_ns) {
+      end_ns = stack.back().end_ns;  // clamp into the enclosing span
+    }
+    emit("{\"ph\":\"B\",\"pid\":0,\"tid\":" + std::to_string(event->tid) +
+         ",\"ts\":" + format_us(event->start_ns) + ",\"name\":\"" +
+         json::escape(event->name) + "\"}");
+    stack.push_back({end_ns});
+  }
+  drain();
+
+  for (const TraceEvent* event : counters) {
+    emit("{\"ph\":\"C\",\"pid\":0,\"tid\":" + std::to_string(event->tid) +
+         ",\"ts\":" + format_us(event->start_ns) + ",\"name\":\"" +
+         json::escape(event->name) + "\",\"args\":{\"value\":" +
+         std::to_string(event->value) + "}}");
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace jem::obs

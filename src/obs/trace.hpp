@@ -1,0 +1,163 @@
+// Span-based tracer with Chrome trace_event export (docs/observability.md).
+//
+// A Tracer owns one pre-sized event buffer per participating thread. A
+// thread's first span registers it (mutex, once); after that, recording is
+// owner-only writes into the thread's slots plus one release-store of the
+// event count — no locks, and snapshot() can run concurrently because it
+// only reads slots below the acquire-loaded count. When a buffer fills,
+// new events are dropped (drop-newest) and counted, so published events
+// always form well-nested span sets and Chrome B/E pairs stay matched.
+//
+// Timestamps are monotonic nanoseconds since the Tracer's construction
+// (small, deterministic epoch). Event ids are (tid, per-thread sequence),
+// so a serial run's ids are reproducible. Spans may also be synthesized
+// with explicit times/track via record() — StagedExecutor uses that to
+// export its *modeled* per-rank timeline.
+//
+// The thread-local buffer cache is keyed by a process-unique tracer id
+// that is never reused, so a cache entry from a destroyed Tracer can
+// never be dereferenced by a later one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jem::obs {
+
+class Tracer;
+
+namespace detail {
+struct TracerThreadBuffer;
+}  // namespace detail
+
+/// One recorded event. kSpan carries [start_ns, start_ns + dur_ns) on track
+/// `tid`; kCounter is an instantaneous sample for a Chrome counter track.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kCounter };
+
+  std::string name;
+  Kind kind = Kind::kSpan;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // nesting depth at record time (0 = top level)
+  std::uint64_t seq = 0;    // per-thread sequence number
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  double value = 0.0;  // counter sample
+};
+
+/// RAII span: times [construction, destruction) on the current thread's
+/// track. Obtained from Tracer::span(); a default-constructed or moved-from
+/// Span records nothing. Safe to hold across the tracer's own lifetime
+/// end is NOT supported — finish spans before destroying the Tracer.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { swap(other); }
+  Span& operator=(Span&& other) noexcept {
+    finish();
+    swap(other);
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Ends the span now (idempotent).
+  void finish() noexcept;
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name) noexcept;
+
+  void swap(Span& other) noexcept {
+    std::swap(tracer_, other.tracer_);
+    std::swap(name_, other.name_);
+    std::swap(start_ns_, other.start_ns_);
+  }
+
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Copy of a tracer's published state.
+struct TraceSnapshot {
+  struct Thread {
+    std::uint32_t tid = 0;
+    std::string label;
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;  // in record order
+  };
+
+  std::vector<Thread> threads;  // sorted by tid
+  std::string process_name;
+
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept;
+
+  /// Chrome trace_event JSON (`{"traceEvents":[...]}`), loadable in
+  /// Perfetto / chrome://tracing. Spans become matched B/E pairs emitted
+  /// per track in stack order (a child's end is clamped to its parent's);
+  /// counters become 'C' events; thread labels become 'M' thread_name
+  /// metadata. Timestamps are microseconds with nanosecond precision.
+  [[nodiscard]] std::string to_chrome_json() const;
+};
+
+class Tracer {
+ public:
+  /// `capacity_per_thread` bounds events retained per thread; beyond it
+  /// events are dropped (and counted), never overwritten.
+  explicit Tracer(std::size_t capacity_per_thread = 1 << 16,
+                  std::string process_name = "jem");
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a nested span on the calling thread's track.
+  [[nodiscard]] Span span(std::string_view name) { return {this, std::string(name)}; }
+
+  /// Names the calling thread's track in exports (e.g. "rank 2"). Also
+  /// registers the thread, so call it early to get low tids in spawn order.
+  void set_thread_label(std::string_view label);
+
+  /// Appends a fully-specified span (explicit track and times) — for
+  /// modeled timelines where the clock is synthetic. Threads used only via
+  /// record() can label tracks with set_track_label().
+  void record(std::string_view name, std::uint32_t tid, std::uint64_t start_ns,
+              std::uint64_t dur_ns, std::uint32_t depth = 0);
+
+  /// Labels an arbitrary track id used with record().
+  void set_track_label(std::uint32_t tid, std::string_view label);
+
+  /// Records an instantaneous counter sample on the calling thread's track.
+  void counter_sample(std::string_view name, double value);
+
+  /// Monotonic nanoseconds since this tracer was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+ private:
+  friend class Span;
+  using ThreadBuffer = detail::TracerThreadBuffer;
+
+  ThreadBuffer& buffer_for_this_thread();
+  void append(ThreadBuffer& buffer, TraceEvent event) noexcept;
+  void end_span(std::string& name, std::uint64_t start_ns) noexcept;
+
+  const std::uint64_t id_;  // process-unique, never reused
+  const std::size_t capacity_;
+  const std::string process_name_;
+  const std::uint64_t epoch_ns_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> threads_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_labels_;
+};
+
+}  // namespace jem::obs

@@ -32,6 +32,11 @@ class WallTimer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Timing must survive wall-clock adjustments (NTP slew, suspend): a
+  // non-monotonic clock here would let elapsed_ns() underflow to huge
+  // values and corrupt every stage-time stat built on this class.
+  static_assert(Clock::is_steady,
+                "WallTimer requires a monotonic clock");
   Clock::time_point t0_;
 };
 

@@ -1,0 +1,80 @@
+// Tests for the minimal JSON layer the exporters and validators share:
+// exact RFC 8259 acceptance, ParseError offsets, member lookup, and the
+// escaping helper.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jem::obs::json {
+namespace {
+
+TEST(JsonParse, ScalarsAndNesting) {
+  const Value doc = parse(R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->number, 1.0);
+  const Value* b = doc.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[1].kind, Value::Kind::kNull);
+  EXPECT_EQ(b->array[2].str, "x");
+  const Value* c = doc.find("c");
+  ASSERT_TRUE(c != nullptr && c->is_object());
+  EXPECT_DOUBLE_EQ(c->find("d")->number, -2.5);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Value doc = parse(R"(["a\"b", "tab\there", "A"])");
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_EQ(doc.array[0].str, "a\"b");
+  EXPECT_EQ(doc.array[1].str, "tab\there");
+  EXPECT_EQ(doc.array[2].str, "A");
+}
+
+TEST(JsonParse, WhitespaceAroundDocumentIsAllowed) {
+  const Value doc = parse("  \n\t {\"k\": 1}  \n");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("k")->number, 1.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse(""), ParseError);
+  EXPECT_THROW((void)parse("{"), ParseError);
+  EXPECT_THROW((void)parse("{\"a\":}"), ParseError);
+  EXPECT_THROW((void)parse("[1,]"), ParseError);
+  EXPECT_THROW((void)parse("{\"a\":1} extra"), ParseError);
+  EXPECT_THROW((void)parse("'single'"), ParseError);
+  EXPECT_THROW((void)parse("nul"), ParseError);
+}
+
+TEST(JsonParse, ParseErrorCarriesByteOffset) {
+  try {
+    (void)parse("[1, x]");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.offset(), 4u);
+  }
+}
+
+TEST(JsonParse, FindReturnsFirstMatchOrNull) {
+  const Value doc = parse(R"({"k":1,"k":2})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("k")->number, 1.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape(std::string("a\nb\tc")), "a\\nb\\tc");
+  // An escaped string embedded in quotes must parse back to the original.
+  const std::string tricky = "quote\" slash\\ newline\n tab\t bell\x07";
+  const Value round = parse("\"" + escape(tricky) + "\"");
+  EXPECT_EQ(round.str, tricky);
+}
+
+}  // namespace
+}  // namespace jem::obs::json

@@ -1,0 +1,189 @@
+// Metrics registry tests (docs/observability.md): single-threaded
+// semantics, log2 histogram bucket boundaries, concurrent updates with a
+// racing snapshot (run under TSan by scripts/check.sh), and the golden
+// byte-stable JSON contract that `to_json(false)` promises.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jem::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetIsLastWriterWinsAndAddAdjusts) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.set(7);
+  gauge.set(-3);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.add(10);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(Histogram, BucketOfFollowsBitWidth) {
+  // Bucket i holds values with bit_width == i: [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 62) - 1), 62u);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperIsInclusiveBoundOfEachBucket) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+  // Every bucket's upper bound maps back into that bucket, and the next
+  // value starts the next bucket.
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_upper(i)), i) << i;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_upper(i) + 1), i + 1)
+        << i;
+  }
+}
+
+TEST(Histogram, RecordsCountSumAndBuckets) {
+  Histogram histogram;
+  histogram.record(0);
+  histogram.record(1);
+  histogram.record(2);
+  histogram.record(3);
+  histogram.record(1024);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 1030u);
+  const auto buckets = histogram.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[11], 1u);  // bit_width(1024) == 11
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry registry;
+  (void)registry.counter("events");
+  EXPECT_THROW((void)registry.gauge("events"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("events"), std::logic_error);
+}
+
+TEST(Registry, UnitMismatchThrows) {
+  Registry registry;
+  (void)registry.counter("bytes", Unit::kBytes);
+  EXPECT_THROW((void)registry.counter("bytes", Unit::kCount),
+               std::logic_error);
+}
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  Registry registry;
+  Counter& a = registry.counter("events");
+  Counter& b = registry.counter("events");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(registry.snapshot().find("events")->value, 7u);
+}
+
+TEST(Registry, SnapshotFindIsNullOnMissingName) {
+  Registry registry;
+  (void)registry.counter("present");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_NE(snapshot.find("present"), nullptr);
+  EXPECT_EQ(snapshot.find("absent"), nullptr);
+}
+
+// Concurrent writers against a racing snapshot reader. The final total must
+// be exact (no lost updates) and the run must be TSan-clean — scripts/
+// check.sh runs this suite under -fsanitize=thread.
+TEST(Registry, ConcurrentIncrementsAndSnapshotsAreExact) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  Histogram& histogram = registry.histogram("sizes");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        histogram.record(i & 1023);
+      }
+    });
+  }
+  // Snapshot while writers run: totals may be partial but never torn, and
+  // the reads must not race the relaxed writes.
+  for (int i = 0; i < 100; ++i) {
+    const MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_LE(snapshot.find("hits")->value, kThreads * kPerThread);
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.find("hits")->value, kThreads * kPerThread);
+  EXPECT_EQ(snapshot.find("sizes")->count, kThreads * kPerThread);
+}
+
+// The golden contract: with include_timing = false the export of a fixed
+// set of updates is one exact byte string — kNanos metrics are dropped,
+// entries are name-sorted, integers print as digit strings.
+TEST(MetricsSnapshot, GoldenJsonIsByteStable) {
+  const auto build = [] {
+    Registry registry;
+    registry.counter("a.events").add(3);
+    registry.counter("b.bytes", Unit::kBytes).add(4096);
+    registry.counter("c.wall_ns", Unit::kNanos).add(123456789);
+    registry.gauge("d.depth").set(-2);
+    Histogram& histogram = registry.histogram("e.sizes");
+    histogram.record(0);
+    histogram.record(5);
+    histogram.record(5);
+    return registry.snapshot().to_json(/*include_timing=*/false);
+  };
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"a.events\",\"kind\":\"counter\",\"unit\":\"count\","
+      "\"value\":3},"
+      "{\"name\":\"b.bytes\",\"kind\":\"counter\",\"unit\":\"bytes\","
+      "\"value\":4096},"
+      "{\"name\":\"d.depth\",\"kind\":\"gauge\",\"unit\":\"count\","
+      "\"value\":-2},"
+      "{\"name\":\"e.sizes\",\"kind\":\"histogram\",\"unit\":\"count\","
+      "\"count\":3,\"sum\":10,\"buckets\":[[0,1],[3,2]]}"
+      "]}";
+  EXPECT_EQ(build(), expected);
+  EXPECT_EQ(build(), build());  // byte-stable across repeat runs
+}
+
+TEST(MetricsSnapshot, IncludeTimingKeepsNanosMetrics) {
+  Registry registry;
+  registry.counter("wall_ns", Unit::kNanos).add(10);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_NE(snapshot.to_json(true).find("wall_ns"), std::string::npos);
+  EXPECT_EQ(snapshot.to_json(false).find("wall_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jem::obs

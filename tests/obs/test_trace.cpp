@@ -1,0 +1,197 @@
+// Tracer tests: span nesting and ordering, drop-newest overflow, modeled
+// timelines via record(), and the Chrome trace_event export contract —
+// the output must parse with obs::json and keep B/E pairs matched per
+// track (the invariant Perfetto needs to build flame charts).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace jem::obs {
+namespace {
+
+// Per-tid B/E balance of a parsed Chrome trace; every prefix must be
+// non-negative (an E never precedes its B) and the final balance zero.
+void expect_matched_pairs(const json::Value& doc) {
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  std::map<double, int> depth_by_tid;
+  for (const json::Value& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const json::Value* ph = event.find("ph");
+    ASSERT_TRUE(ph != nullptr && ph->is_string());
+    const double tid =
+        event.find("tid") != nullptr ? event.find("tid")->number : -1;
+    if (ph->str == "B") {
+      ++depth_by_tid[tid];
+    } else if (ph->str == "E") {
+      --depth_by_tid[tid];
+      EXPECT_GE(depth_by_tid[tid], 0) << "E without matching B on tid " << tid;
+    }
+  }
+  for (const auto& [tid, depth] : depth_by_tid) {
+    EXPECT_EQ(depth, 0) << "unbalanced spans on tid " << tid;
+  }
+}
+
+TEST(Tracer, RecordsNestedSpansInOrder) {
+  Tracer tracer(64, "test");
+  {
+    Span outer = tracer.span("outer");
+    { Span inner = tracer.span("inner"); }
+  }
+  const TraceSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.threads.size(), 1u);
+  const auto& events = snapshot.threads[0].events;
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at end time: inner finishes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(Tracer, MovedFromSpanRecordsNothing) {
+  Tracer tracer(64, "test");
+  {
+    Span span = tracer.span("once");
+    Span moved = std::move(span);
+  }
+  EXPECT_EQ(tracer.snapshot().total_events(), 1u);
+}
+
+TEST(Tracer, DropsNewestBeyondCapacityAndCountsDrops) {
+  Tracer tracer(4, "test");
+  for (int i = 0; i < 10; ++i) {
+    Span span = tracer.span("s" + std::to_string(i));
+  }
+  const TraceSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.threads.size(), 1u);
+  EXPECT_EQ(snapshot.threads[0].events.size(), 4u);
+  EXPECT_EQ(snapshot.threads[0].dropped, 6u);
+  EXPECT_EQ(snapshot.total_events(), 4u);
+  EXPECT_EQ(snapshot.total_dropped(), 6u);
+  // The retained events are the oldest, never overwritten.
+  EXPECT_EQ(snapshot.threads[0].events[0].name, "s0");
+  EXPECT_EQ(snapshot.threads[0].events[3].name, "s3");
+}
+
+// record() appends to the calling thread's buffer but tags the event with
+// an explicit track id; the Chrome export groups by that id. The snapshot
+// must surface the synthetic tracks' labels and the tagged events.
+TEST(Tracer, RecordSynthesizesModeledTimeline) {
+  Tracer tracer(64, "model");
+  tracer.set_track_label(7, "rank 0");
+  tracer.set_track_label(8, "rank 1");
+  tracer.record("S2:sketch", 7, 0, 100);
+  tracer.record("S2:sketch", 8, 0, 250);
+  tracer.record("recover:S4", 8, 250, 50, /*depth=*/1);
+  const TraceSnapshot snapshot = tracer.snapshot();
+
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> labels;
+  for (const auto& thread : snapshot.threads) {
+    if (!thread.label.empty()) labels[thread.tid] = thread.label;
+    events.insert(events.end(), thread.events.begin(), thread.events.end());
+  }
+  EXPECT_EQ(labels[7], "rank 0");
+  EXPECT_EQ(labels[8], "rank 1");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].name, "recover:S4");
+  EXPECT_EQ(events[2].tid, 8u);
+  EXPECT_EQ(events[2].start_ns, 250u);
+  EXPECT_EQ(events[2].dur_ns, 50u);
+  EXPECT_EQ(events[2].depth, 1u);
+
+  // The export places each event on its tagged track.
+  const json::Value doc = json::parse(tracer.snapshot().to_chrome_json());
+  bool recover_on_track_8 = false;
+  for (const json::Value& event : doc.find("traceEvents")->array) {
+    const json::Value* name = event.find("name");
+    if (name != nullptr && name->str == "recover:S4") {
+      recover_on_track_8 = event.find("tid")->number == 8.0;
+    }
+  }
+  EXPECT_TRUE(recover_on_track_8);
+}
+
+TEST(Tracer, ThreadsGetDistinctTracksAndLabels) {
+  Tracer tracer(64, "mt");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&tracer, t] {
+      tracer.set_thread_label("worker " + std::to_string(t));
+      for (int i = 0; i < 8; ++i) {
+        Span span = tracer.span("work");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const TraceSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.threads.size(), 4u);
+  for (const auto& thread : snapshot.threads) {
+    EXPECT_EQ(thread.events.size(), 8u);
+    EXPECT_EQ(thread.label.rfind("worker ", 0), 0u) << thread.label;
+  }
+}
+
+TEST(Tracer, ChromeExportParsesAndKeepsPairsMatched) {
+  Tracer tracer(256, "export");
+  tracer.set_thread_label("main");
+  {
+    Span outer = tracer.span("outer");
+    { Span inner = tracer.span("inner"); }
+    { Span inner = tracer.span("inner2"); }
+    tracer.counter_sample("queue.depth", 3.0);
+  }
+  const std::string text = tracer.snapshot().to_chrome_json();
+  const json::Value doc = json::parse(text);  // throws if malformed
+  expect_matched_pairs(doc);
+
+  const json::Value* events = doc.find("traceEvents");
+  bool saw_counter = false;
+  bool saw_thread_name = false;
+  for (const json::Value& event : events->array) {
+    const std::string& ph = event.find("ph")->str;
+    if (ph == "C" && event.find("name")->str == "queue.depth") {
+      saw_counter = true;
+    }
+    if (ph == "M" && event.find("name")->str == "thread_name") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(Tracer, SerialEventSequenceIsDeterministic) {
+  const auto shape = [] {
+    Tracer tracer(64, "det");
+    {
+      Span a = tracer.span("a");
+      { Span b = tracer.span("b"); }
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto& thread : tracer.snapshot().threads) {
+      for (const TraceEvent& event : thread.events) {
+        out.emplace_back(event.name, event.seq);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(shape(), shape());
+}
+
+}  // namespace
+}  // namespace jem::obs
