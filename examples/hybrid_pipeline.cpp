@@ -15,6 +15,7 @@
 
 #include "align/identity.hpp"
 #include "core/jem.hpp"
+#include "core/service.hpp"
 #include "scaffold/link_graph.hpp"
 #include "scaffold/scaffolder.hpp"
 #include "sim/contigs.hpp"
@@ -70,8 +71,10 @@ int main(int argc, const char** argv) {
             << " HiFi reads (" << util::fixed(coverage, 1) << "x)\n";
 
   // --- 2. Distributed mapping --------------------------------------------
-  core::MapParams params;
-  params.seed = seed;
+  // Params assembly goes through the validated ServiceConfig builder — the
+  // same path `jem map` and `jem serve` use (core/service.hpp).
+  const core::MapParams params =
+      core::ServiceConfig::make().seed(seed).build().params;
   const core::DistributedResult mapped = core::run_distributed(
       contigs.contigs, reads.reads, params, static_cast<int>(ranks));
   std::uint64_t hits = 0;

@@ -1,0 +1,6 @@
+// jem — the subcommand front end (src/cli): `jem map`, `jem build-index`,
+// `jem serve`, `jem probe`. Run with no arguments (or `jem help`) for the
+// command listing; each command documents its own options via --help.
+#include "cli/cli.hpp"
+
+int main(int argc, const char** argv) { return jem::cli::dispatch(argc, argv); }

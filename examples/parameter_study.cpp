@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "core/jem.hpp"
+#include "core/service.hpp"
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
 #include "eval/truth.hpp"
@@ -85,16 +86,15 @@ int main(int argc, const char** argv) {
   std::cout << "inputs: " << inputs.contigs.contigs.size() << " contigs, "
             << inputs.reads.reads.size() << " reads\n\n";
 
-  core::MapParams base;
-  base.seed = seed;
+  // Every swept configuration is assembled by the validated ServiceConfig
+  // builder (core/service.hpp) — the one params path all front ends share.
+  const auto with_seed = [&] { return core::ServiceConfig::make().seed(seed); };
 
   {
     std::vector<core::MapParams> configs;
     std::vector<std::string> labels;
-    for (int trials : {5, 10, 20, 30, 50}) {
-      core::MapParams p = base;
-      p.trials = trials;
-      configs.push_back(p);
+    for (std::uint64_t trials : {5u, 10u, 20u, 30u, 50u}) {
+      configs.push_back(with_seed().trials(trials).build().params);
       labels.push_back("T=" + std::to_string(trials));
     }
     run_sweep(inputs, "Trials", configs, labels);
@@ -102,10 +102,8 @@ int main(int argc, const char** argv) {
   {
     std::vector<core::MapParams> configs;
     std::vector<std::string> labels;
-    for (int w : {20, 50, 100, 200}) {
-      core::MapParams p = base;
-      p.w = w;
-      configs.push_back(p);
+    for (std::uint64_t w : {20u, 50u, 100u, 200u}) {
+      configs.push_back(with_seed().window(w).build().params);
       labels.push_back("w=" + std::to_string(w));
     }
     run_sweep(inputs, "Window", configs, labels);
@@ -113,10 +111,8 @@ int main(int argc, const char** argv) {
   {
     std::vector<core::MapParams> configs;
     std::vector<std::string> labels;
-    for (std::uint32_t ell : {500u, 1000u, 2000u}) {
-      core::MapParams p = base;
-      p.segment_length = ell;
-      configs.push_back(p);
+    for (std::uint64_t ell : {500u, 1000u, 2000u}) {
+      configs.push_back(with_seed().segment_length(ell).build().params);
       labels.push_back("l=" + std::to_string(ell));
     }
     run_sweep(inputs, "Segment", configs, labels);

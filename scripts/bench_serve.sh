@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Measures the always-on mapping service (docs/serve.md): request latency
+# percentiles and throughput of a live MappingServer under concurrent load,
+# via bench/bench_serve. Writes a summary JSON (default: BENCH_serve.json at
+# the repo root) with p50/p99 latency and req/s.
+#
+# Usage: scripts/bench_serve.sh [output.json]
+#   JEM_BENCH_SERVE_REQUESTS total requests       (default 2000)
+#   JEM_BENCH_SERVE_CLIENTS  concurrent clients   (default 8)
+#   JEM_BENCH_SERVE_WORKERS  server workers       (default 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${JEM_BENCH_SERVE_REQUESTS:-2000}"
+CLIENTS="${JEM_BENCH_SERVE_CLIENTS:-8}"
+WORKERS="${JEM_BENCH_SERVE_WORKERS:-4}"
+OUT="${1:-BENCH_serve.json}"
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build --target bench_serve
+
+# Cold run (cache off): every request pays the map kernel.
+./build/bench/bench_serve --requests "$REQUESTS" --clients "$CLIENTS" \
+  --workers "$WORKERS" --cache 0 --out "$OUT"
+
+# Warm run (default cache): repeated segments come from the LRU. Printed for
+# comparison; the JSON keeps the cold numbers, which are the honest ones.
+./build/bench/bench_serve --requests "$REQUESTS" --clients "$CLIENTS" \
+  --workers "$WORKERS"
+
+echo "bench_serve: wrote $OUT"

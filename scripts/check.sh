@@ -16,17 +16,18 @@ if grep -rn "deprecated-declarations" src/; then
   exit 1
 fi
 
-# Engine + chaos concurrency tests under ThreadSanitizer: the bounded
-# queue, the streaming pipeline and the mpisim fault paths are the
-# lock-based concurrency in the library, and the chaos suite drives them
-# through aborts/timeouts (docs/robustness.md).
+# Engine + chaos + serve concurrency tests under ThreadSanitizer: the
+# bounded queue, the streaming pipeline and the mpisim fault paths are the
+# lock-based concurrency in the library, the chaos suite drives them
+# through aborts/timeouts (docs/robustness.md), and the serve suite runs a
+# live MappingServer with concurrent clients (docs/serve.md).
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
-cmake --build build-tsan --target test_engine test_chaos test_obs
+cmake --build build-tsan --target test_engine test_chaos test_obs test_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli'
 
 # The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # fault-injection shutdown paths (worker aborts, queue closes, partial
@@ -37,11 +38,11 @@ ctest --test-dir build-tsan --output-on-failure \
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
-  -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
+  -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=ON
 cmake --build build-asan --target test_engine test_chaos test_io test_core \
-  test_obs
+  test_obs test_serve jem obs_check
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /
@@ -78,6 +79,51 @@ done
 grep -q 'distributed.rank3.map_ns' /tmp/jem_check_m4.json
 grep -q 'mpisim.allgatherv.rank0.sent_bytes' /tmp/jem_check_m4.json
 echo "metrics smoke: ok"
+
+# Serve smoke (docs/serve.md): start an always-on demo server on an
+# ephemeral port, hammer it with concurrent clients via `jem probe`,
+# validate the /metrics body with obs_check, then require a clean SIGTERM
+# drain (exit 0). Runs against the Release build and again under
+# ASan/UBSan, where lifetime bugs in the connection/batcher shutdown
+# ordering would surface.
+serve_smoke() {
+  local bindir="$1"
+  local dir
+  dir=$(mktemp -d /tmp/jem_serve_smoke.XXXXXX)
+  "$bindir/examples/jem" serve --demo --port 0 --port-file "$dir/port" &
+  local serve_pid=$!
+  for _ in $(seq 1 200); do
+    [[ -s "$dir/port" ]] && break
+    sleep 0.05
+  done
+  if [[ ! -s "$dir/port" ]]; then
+    echo "error: jem serve never published its port" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    return 1
+  fi
+  "$bindir/examples/jem" probe --port "$(cat "$dir/port")" --demo \
+    --requests 24 --clients 6 --healthz-out "$dir/healthz.json" \
+    --metrics-out "$dir/metrics.json"
+  "$bindir/examples/obs_check" --metrics "$dir/metrics.json"
+  grep -q '"status":"ok"' "$dir/healthz.json"
+  grep -q 'serve.http.requests' "$dir/metrics.json"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  rm -rf "$dir"
+}
+echo "== serve smoke (Release) =="
+serve_smoke build
+echo "== serve smoke (ASan/UBSan) =="
+serve_smoke build-asan
+echo "serve smoke: ok"
+
+# Subcommand-shim golden (docs/serve.md): the legacy jem_map entry point is
+# a shim over `jem map`; a demo run through each must produce byte-identical
+# mappings.
+./build/examples/jem_map --demo --output /tmp/jem_check_shim.tsv
+./build/examples/jem map --demo --output /tmp/jem_check_sub.tsv
+cmp /tmp/jem_check_shim.tsv /tmp/jem_check_sub.tsv
+echo "shim golden: byte-identical"
 
 # Kill-and-resume smoke (docs/persistence.md): SIGKILL a checkpointed
 # streaming run mid-flight, resume it, and require the published output to

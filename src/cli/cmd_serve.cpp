@@ -1,0 +1,191 @@
+// `jem serve` — the always-on mapping service (docs/serve.md): load (or
+// build) the subject index once, bind a loopback HTTP socket, and serve
+// mapping requests until SIGTERM/SIGINT, then drain gracefully.
+//
+//   jem serve --subjects contigs.fa [--load-index idx] [--port 8765]
+//             [--workers 4] [--max-batch 16] [--batch-window-us 200]
+//             [--queue 64] [--work-queue 256] [--cache 1024]
+//             [--deadline-ms 0] [--port-file run.port]
+//             [--k 16] [--w 100] [--trials 30] [--segment 1000] [--seed N]
+//             [--ordering lex|hash] [--scheme jem|minhash]
+//   jem serve --demo --port 0 --port-file run.port   (simulated subjects)
+//
+// --port 0 binds an ephemeral port; --port-file publishes whichever port was
+// bound (written atomically) so scripts can wait for it and connect.
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "cli/cli.hpp"
+#include "core/service.hpp"
+#include "io/artifact.hpp"
+#include "io/sequence_set.hpp"
+#include "io/stream_reader.hpp"
+#include "serve/server.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+
+namespace jem::cli {
+
+namespace {
+
+// Signal flag: the handler only stores; the main thread polls and drains.
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true); }
+
+}  // namespace
+
+int run_serve(std::span<const char* const> args, std::string_view program) {
+  std::string subjects_path;
+  std::string load_index_path;
+  std::string port_file;
+  std::string scheme_name = "jem";
+  std::string ordering_name = "lex";
+  std::uint64_t k = 16;
+  std::uint64_t w = 100;
+  std::uint64_t trials = 30;
+  std::uint64_t segment = 1000;
+  std::uint64_t seed = 20230517;
+  std::uint64_t port = 8765;
+  std::uint64_t workers = 4;
+  std::uint64_t max_batch = 16;
+  std::uint64_t batch_window_us = 200;
+  std::uint64_t queue = 64;
+  std::uint64_t work_queue = 256;
+  std::uint64_t cache = 1024;
+  std::uint64_t deadline_ms = 0;
+  bool demo = false;
+
+  util::Options options;
+  options.add_string("subjects", subjects_path, "contigs FASTA path");
+  options.add_string("load-index", load_index_path,
+                     "frozen index artifact (rejected artifacts are "
+                     "reported and rebuilt from FASTA)");
+  options.add_string("port-file", port_file,
+                     "write the bound port here once listening");
+  options.add_string("scheme", scheme_name, "sketch scheme: jem | minhash");
+  options.add_string("ordering", ordering_name,
+                     "minimizer ordering: lex | hash");
+  options.add_uint("k", k, "k-mer size (default 16)");
+  options.add_uint("w", w, "minimizer window in k-mers (default 100)");
+  options.add_uint("trials", trials, "number of MinHash trials T (default 30)");
+  options.add_uint("segment", segment, "end-segment length l (default 1000)");
+  options.add_uint("seed", seed, "experiment seed");
+  options.add_uint("port", port, "listen port (0 = ephemeral, default 8765)");
+  options.add_uint("workers", workers, "connection worker threads (default 4)");
+  options.add_uint("max-batch", max_batch,
+                   "micro-batch size cap (default 16)");
+  options.add_uint("batch-window-us", batch_window_us,
+                   "micro-batch coalescing window in µs (default 200)");
+  options.add_uint("queue", queue,
+                   "admission queue capacity; overflow sheds 503 "
+                   "(default 64)");
+  options.add_uint("work-queue", work_queue,
+                   "/map work queue capacity (default 256)");
+  options.add_uint("cache", cache,
+                   "LRU response cache entries, 0 disables (default 1024)");
+  options.add_uint("deadline-ms", deadline_ms,
+                   "default per-request deadline in ms, 0 = none");
+  options.add_flag("demo", demo, "simulate subjects instead of reading files");
+  try {
+    (void)options.parse(args);
+  } catch (const util::OptionError& error) {
+    std::cerr << error.what() << '\n' << options.usage(program);
+    return kExitUsage;
+  }
+  if (port > 65535) {
+    std::cerr << "error: --port must be in [0, 65535]\n";
+    return kExitUsage;
+  }
+
+  core::ServiceConfig config;
+  try {
+    config = core::ServiceConfig::make()
+                 .k(k)
+                 .window(w)
+                 .trials(trials)
+                 .segment_length(segment)
+                 .seed(seed)
+                 .ordering(ordering_name)
+                 .scheme(scheme_name)
+                 .build();
+  } catch (const core::ServiceError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitUsage;
+  }
+
+  io::SequenceSet subjects;
+  try {
+    if (demo) {
+      io::SequenceSet unused_reads;
+      make_demo_dataset(seed, subjects, unused_reads);
+    } else {
+      if (subjects_path.empty()) {
+        std::cerr << "error: --subjects is required (or use --demo)\n"
+                  << options.usage(program);
+        return kExitUsage;
+      }
+      io::load_into(subjects_path, subjects);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "input error: " << error.what() << '\n';
+    return kExitRuntime;
+  }
+
+  try {
+    // Load-once: the index is built (or loaded) here, before the socket
+    // opens — every request after this point hits a warm, frozen table.
+    core::MappingService service =
+        load_index_path.empty()
+            ? core::MappingService(std::move(subjects), config)
+            : core::MappingService::from_index(load_index_path,
+                                               std::move(subjects), config);
+    if (!service.load_report().rejection.empty()) {
+      util::log_info() << "index " << load_index_path << " rejected ("
+                       << service.load_report().rejection
+                       << "); rebuilt from subjects";
+    } else if (service.load_report().loaded_from_artifact) {
+      util::log_info() << "loaded sketch index from " << load_index_path;
+    }
+
+    serve::ServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(port);
+    server_config.workers = workers;
+    server_config.queue_capacity = queue;
+    server_config.work_capacity = work_queue;
+    server_config.max_batch = max_batch;
+    server_config.batch_window = std::chrono::microseconds(batch_window_us);
+    server_config.default_deadline = std::chrono::milliseconds(deadline_ms);
+    server_config.cache_capacity = cache;
+
+    serve::MappingServer server(service, server_config);
+    server.start();
+
+    if (!port_file.empty()) {
+      io::atomic_write_file(port_file,
+                            std::to_string(server.port()) + "\n");
+    }
+    util::log_info() << "serving " << service.subjects().size()
+                     << " subjects on 127.0.0.1:" << server.port() << " ("
+                     << workers << " workers, max batch " << max_batch << ")";
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    while (!g_stop_requested.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    util::log_info() << "stop requested; draining";
+    server.stop();  // graceful: admitted requests finish before exit
+    util::log_info() << "drained; bye";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitRuntime;
+  }
+  return kExitOk;
+}
+
+}  // namespace jem::cli

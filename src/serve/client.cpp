@@ -1,0 +1,104 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace jem::serve {
+
+namespace {
+
+void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// RAII socket so every ClientError throw path closes the fd.
+struct Socket {
+  int fd = -1;
+  ~Socket() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const HttpRequest& request,
+                          std::chrono::milliseconds timeout) {
+  Socket sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) {
+    throw ClientError(std::string("socket: ") + std::strerror(errno));
+  }
+  set_socket_timeouts(sock.fd, timeout);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ClientError("bad address '" + host + "'");
+  }
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw ClientError("connect " + host + ":" + std::to_string(port) + ": " +
+                      std::strerror(errno));
+  }
+
+  const std::string wire =
+      serialize_request(request, host + ":" + std::to_string(port));
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      throw ClientError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[8192];
+  while (true) {
+    const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      throw ClientError(std::string("recv: ") + std::strerror(errno));
+    }
+    const bool eof = (n == 0);
+    if (!eof) buffer.append(chunk, static_cast<std::size_t>(n));
+    const ResponseParse parsed = parse_response(buffer, eof);
+    if (parsed.status == ParseStatus::kComplete) return parsed.response;
+    if (parsed.status == ParseStatus::kBad) {
+      throw ClientError("bad response: " + parsed.error);
+    }
+    if (eof) throw ClientError("connection closed mid-response");
+  }
+}
+
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      std::string_view target,
+                      std::chrono::milliseconds timeout) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(target);
+  return http_request(host, port, request, timeout);
+}
+
+HttpResponse http_post(const std::string& host, std::uint16_t port,
+                       std::string_view target, std::string_view body,
+                       std::chrono::milliseconds timeout) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = std::string(target);
+  request.body = std::string(body);
+  return http_request(host, port, request, timeout);
+}
+
+}  // namespace jem::serve

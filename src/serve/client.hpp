@@ -1,0 +1,41 @@
+// Minimal blocking HTTP/1.1 client for the mapping service: one request per
+// connection (matching the server's `Connection: close`), loopback-oriented.
+// This is the transport behind tests/serve/, `jem probe`, bench_serve, and
+// the check.sh smoke — not a general-purpose client.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/http.hpp"
+
+namespace jem::serve {
+
+/// Transport-level client failure (connect/send/recv/parse). HTTP error
+/// statuses are NOT exceptions — they come back as HttpResponse::status.
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sends one request to host:port and returns the parsed response. Throws
+/// ClientError on transport failure; `timeout` bounds each socket wait.
+[[nodiscard]] HttpResponse http_request(
+    const std::string& host, std::uint16_t port, const HttpRequest& request,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+/// GET `target` (path + optional query string).
+[[nodiscard]] HttpResponse http_get(
+    const std::string& host, std::uint16_t port, std::string_view target,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+/// POST `body` to `target`.
+[[nodiscard]] HttpResponse http_post(
+    const std::string& host, std::uint16_t port, std::string_view target,
+    std::string_view body,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+}  // namespace jem::serve

@@ -1,0 +1,325 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace jem::serve {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Splits "a=1&b=2" into pairs; empty segments are skipped.
+std::vector<std::pair<std::string, std::string>> parse_query_string(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view item = query.substr(0, amp);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        out.emplace_back(std::string(item), std::string());
+      } else {
+        out.emplace_back(std::string(item.substr(0, eq)),
+                         std::string(item.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return out;
+}
+
+/// Parses the header block [after the request/status line, before the blank
+/// line]. Returns false on a malformed field line.
+bool parse_headers(std::string_view block,
+                   std::vector<std::pair<std::string, std::string>>& out,
+                   std::string& error) {
+  while (!block.empty()) {
+    std::size_t eol = block.find("\r\n");
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(0, eol);
+    if (!line.empty()) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        error = "malformed header line";
+        return false;
+      }
+      out.emplace_back(to_lower(trim(line.substr(0, colon))),
+                       std::string(trim(line.substr(colon + 1))));
+    }
+    if (eol == block.size()) break;
+    block.remove_prefix(eol + 2);
+  }
+  return true;
+}
+
+/// Content-Length lookup shared by both directions: returns false on a
+/// malformed value; `length` stays 0 when the header is absent.
+bool content_length(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::size_t& length, bool& present, std::string& error) {
+  present = false;
+  length = 0;
+  for (const auto& [name, value] : headers) {
+    if (name != "content-length") continue;
+    present = true;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), length);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      error = "malformed Content-Length '" + value + "'";
+      return false;
+    }
+    return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::query_param(std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+RequestParse parse_request(std::string_view buffer, std::size_t max_body) {
+  RequestParse result;
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // An unbounded head is a malformed client, not a slow one.
+    if (buffer.size() > (64u << 10)) {
+      result.status = ParseStatus::kBad;
+      result.error = "header block exceeds 64 KiB";
+    }
+    return result;
+  }
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, std::min(line_end, head.size()));
+
+  // METHOD SP TARGET SP VERSION
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= request_line.size()) {
+    result.status = ParseStatus::kBad;
+    result.error = "malformed request line";
+    return result;
+  }
+  HttpRequest& request = result.request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    result.status = ParseStatus::kBad;
+    result.error = "unsupported version '" + request.version + "'";
+    return result;
+  }
+
+  const std::size_t qmark = request.target.find('?');
+  request.path = request.target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    request.query = parse_query_string(
+        std::string_view(request.target).substr(qmark + 1));
+  }
+
+  if (line_end != std::string_view::npos &&
+      !parse_headers(head.substr(line_end + 2), request.headers,
+                     result.error)) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+
+  std::size_t body_length = 0;
+  bool has_length = false;
+  if (!content_length(request.headers, body_length, has_length,
+                      result.error)) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+  if (body_length > max_body) {
+    result.status = ParseStatus::kBad;
+    result.error = "body of " + std::to_string(body_length) +
+                   " bytes exceeds the limit of " + std::to_string(max_body);
+    return result;
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (buffer.size() - body_start < body_length) {
+    return result;  // kIncomplete: wait for the rest of the body
+  }
+  request.body = std::string(buffer.substr(body_start, body_length));
+  result.consumed = body_start + body_length;
+  result.status = ParseStatus::kComplete;
+  return result;
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serialize_request(const HttpRequest& request,
+                              std::string_view host) {
+  std::string out;
+  out.reserve(128 + request.body.size());
+  out += request.method;
+  out += ' ';
+  out += request.target.empty() ? request.path : request.target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(request.body.size());
+  out += "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+ResponseParse parse_response(std::string_view buffer, bool eof) {
+  ResponseParse result;
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (eof) {
+      result.status = ParseStatus::kBad;
+      result.error = "connection closed before the header block completed";
+    }
+    return result;
+  }
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = std::min(head.find("\r\n"), head.size());
+  const std::string_view status_line = head.substr(0, line_end);
+  // HTTP/1.1 SP 3DIGIT SP REASON
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || status_line.size() < sp1 + 4) {
+    result.status = ParseStatus::kBad;
+    result.error = "malformed status line";
+    return result;
+  }
+  const std::string_view code = status_line.substr(sp1 + 1, 3);
+  int status_value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status_value);
+  if (ec != std::errc{} || ptr != code.data() + code.size()) {
+    result.status = ParseStatus::kBad;
+    result.error = "malformed status code";
+    return result;
+  }
+  result.response.status = status_value;
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (line_end != head.size() &&
+      !parse_headers(head.substr(line_end + 2), headers, result.error)) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+  result.response.headers = headers;
+  for (const auto& [name, value] : headers) {
+    if (name == "content-type") result.response.content_type = value;
+  }
+
+  std::size_t body_length = 0;
+  bool has_length = false;
+  if (!content_length(headers, body_length, has_length, result.error)) {
+    result.status = ParseStatus::kBad;
+    return result;
+  }
+  const std::string_view body = buffer.substr(head_end + 4);
+  if (has_length) {
+    if (body.size() < body_length) {
+      if (eof) {
+        result.status = ParseStatus::kBad;
+        result.error = "connection closed mid-body";
+      }
+      return result;
+    }
+    result.response.body = std::string(body.substr(0, body_length));
+  } else {
+    if (!eof) return result;  // body runs to connection close
+    result.response.body = std::string(body);
+  }
+  result.status = ParseStatus::kComplete;
+  return result;
+}
+
+}  // namespace jem::serve

@@ -1,0 +1,101 @@
+// LruCache — a fixed-capacity least-recently-used map, the hot-segment
+// response cache of the mapping service (the role lru_cache.h plays inside
+// vg's mapper core). Heavy traffic is skewed: the same read segments and
+// probe queries repeat, and a cache entry turns a ~30 µs map_segment into a
+// hash lookup.
+//
+// Design notes:
+//  * Keys are stored in full and compared with `KeyEqual` on every probe —
+//    the digest (`Hash`) only picks the bucket. A digest collision therefore
+//    degrades to a bucket chain walk, never to a wrong value (the
+//    digest-collision-safety contract tests/serve/test_lru.cpp pins with a
+//    deliberately colliding hasher).
+//  * No internal locking: the server wraps access in one mutex — cache
+//    probes are rare-path (admission) work, not map-kernel work.
+//  * Recency is a doubly-linked list (front = most recent); get() and put()
+//    are O(1) amortized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace jem::serve {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename KeyEqual = std::equal_to<Key>>
+class LruCache {
+ public:
+  /// Capacity is clamped to at least 1 entry.
+  explicit LruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Lifetime tallies — the serve layer publishes them as
+  /// serve.cache.{hits,misses,evictions}.
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Returns a copy of the cached value and marks the entry most recently
+  /// used; nullopt on a miss.
+  [[nodiscard]] std::optional<Value> get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; the entry becomes most recently used. The least
+  /// recently used entry is evicted once size exceeds capacity.
+  void put(Key key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(entries_.front().first, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// True when `key` is resident (no recency update, no hit/miss tally).
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  // Entry list owns the keys; the index maps a *copy* of each key to its
+  // list position. Keys are immutable while resident, so the duplication is
+  // safe; values live only in the list.
+  std::list<std::pair<Key, Value>> entries_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash, KeyEqual>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace jem::serve

@@ -1,0 +1,565 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+namespace jem::serve {
+
+namespace {
+
+using core::MapServiceRequest;
+using core::MapServiceResponse;
+using core::ServiceError;
+using core::ServiceErrorCode;
+using core::ServiceFailure;
+
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot pin a thread.
+void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// send() the whole buffer (MSG_NOSIGNAL: a vanished peer must not raise
+/// SIGPIPE). Returns false on any failure.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// JSON error body in the service's structured-error shape.
+std::string error_body(ServiceErrorCode code, std::string_view field,
+                       std::string_view message) {
+  std::string out = "{\"error\":\"";
+  out += core::service_error_name(code);
+  out += '"';
+  if (!field.empty()) {
+    out += ",\"field\":\"";
+    out += obs::json::escape(field);
+    out += '"';
+  }
+  out += ",\"message\":\"";
+  out += obs::json::escape(message);
+  out += "\"}";
+  return out;
+}
+
+std::string map_response_body(const MapServiceResponse& response) {
+  std::string out = "{\"mapped\":";
+  out += response.mapped() ? "true" : "false";
+  out += ",\"trials\":" + std::to_string(response.trials);
+  out += ",\"cache\":\"";
+  out += response.cache_hit ? "hit" : "miss";
+  out += "\",\"hits\":[";
+  for (std::size_t i = 0; i < response.hits.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"subject\":\"";
+    out += obs::json::escape(response.hits[i].subject_name);
+    out += "\",\"votes\":" + std::to_string(response.hits[i].votes) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+/// Parses a non-negative integer query parameter; false on garbage.
+bool parse_uint_param(const std::string& text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// The request body is the query bases; tolerate a trailing newline from
+/// `curl --data-binary @file` and friends.
+std::string_view trim_sequence(std::string_view body) {
+  while (!body.empty() &&
+         (body.back() == '\n' || body.back() == '\r' || body.back() == ' ')) {
+    body.remove_suffix(1);
+  }
+  return body;
+}
+
+}  // namespace
+
+MappingServer::MappingServer(const core::MappingService& service,
+                             ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+
+  requests_total_ = &registry_->counter("serve.http.requests");
+  responses_2xx_ = &registry_->counter("serve.http.responses.2xx");
+  responses_4xx_ = &registry_->counter("serve.http.responses.4xx");
+  responses_5xx_ = &registry_->counter("serve.http.responses.5xx");
+  shed_total_ = &registry_->counter("serve.http.shed");
+  deadline_expired_ = &registry_->counter("serve.deadline.expired");
+  cache_hits_ = &registry_->counter("serve.cache.hits");
+  cache_misses_ = &registry_->counter("serve.cache.misses");
+  cache_evictions_ = &registry_->counter("serve.cache.evictions");
+  batches_total_ = &registry_->counter("serve.batches");
+  queue_depth_ = &registry_->gauge("serve.queue.depth");
+  work_depth_ = &registry_->gauge("serve.work.depth");
+  cache_size_ = &registry_->gauge("serve.cache.size");
+  map_latency_ns_ =
+      &registry_->histogram("serve.endpoint.map.latency_ns", obs::Unit::kNanos);
+  healthz_latency_ns_ = &registry_->histogram("serve.endpoint.healthz.latency_ns",
+                                              obs::Unit::kNanos);
+  metrics_latency_ns_ = &registry_->histogram("serve.endpoint.metrics.latency_ns",
+                                              obs::Unit::kNanos);
+  batch_size_ = &registry_->histogram("serve.batch.size");
+
+  conn_queue_ =
+      std::make_unique<util::BoundedQueue<int>>(config_.queue_capacity);
+  work_queue_ =
+      std::make_unique<util::BoundedQueue<PendingMap>>(config_.work_capacity);
+  if (config_.cache_capacity > 0) {
+    cache_ = std::make_unique<LruCache<std::string, MapServiceResponse>>(
+        config_.cache_capacity);
+  }
+}
+
+MappingServer::~MappingServer() { stop(); }
+
+void MappingServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw ServeError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError("bad listen address '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError("bind " + config_.host + ":" +
+                     std::to_string(config_.port) + ": " + reason);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError("listen: " + reason);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  started_at_ = Clock::now();
+  accepting_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  batcher_ = std::thread([this] { batcher_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void MappingServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // 1. Stop admitting: the acceptor exits its poll loop; the listen socket
+  //    closes so new connects are refused.
+  accepting_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Drain admitted connections: close() releases blocked workers while
+  //    keeping queued items poppable, so every accepted request is served.
+  conn_queue_->close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 3. Drain the map work queue last — workers may have been waiting on
+  //    batcher results until the moment they exited.
+  work_queue_->close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void MappingServer::acceptor_loop() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_socket_timeouts(fd, config_.io_timeout);
+
+    // Admission control: try-push (zero wait). A full queue sheds the
+    // connection right here with 503 + Retry-After — the listener never
+    // blocks behind slow workers.
+    int conn = fd;
+    const util::QueueOpResult admitted =
+        conn_queue_->push_wait_for(conn, std::chrono::milliseconds(0));
+    if (admitted == util::QueueOpResult::kSuccess) {
+      queue_depth_->set(static_cast<std::int64_t>(conn_queue_->size()));
+      continue;
+    }
+    shed_total_->add();
+    responses_5xx_->add();
+    HttpResponse shed;
+    shed.status = 503;
+    shed.headers.emplace_back("Retry-After",
+                              std::to_string(config_.retry_after_s));
+    shed.body = error_body(ServiceErrorCode::kOverloaded, "",
+                           "admission queue full; retry shortly");
+    (void)send_all(fd, serialize_response(shed));
+    ::close(fd);
+  }
+}
+
+void MappingServer::worker_loop() {
+  while (true) {
+    std::optional<int> fd = conn_queue_->pop();
+    if (!fd) return;  // closed and drained
+    queue_depth_->set(static_cast<std::int64_t>(conn_queue_->size()));
+    serve_connection(*fd);
+  }
+}
+
+void MappingServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[8192];
+  RequestParse parsed;
+  while (true) {
+    parsed = parse_request(buffer);
+    if (parsed.status != ParseStatus::kIncomplete) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {  // timeout, reset, or EOF mid-request: drop quietly
+      ::close(fd);
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  if (parsed.status == ParseStatus::kBad) {
+    requests_total_->add();
+    responses_4xx_->add();
+    response.status = 400;
+    response.body = error_body(ServiceErrorCode::kInvalidArgument, "request",
+                               parsed.error);
+  } else {
+    response = handle(parsed.request);
+  }
+  (void)send_all(fd, serialize_response(response));
+  ::close(fd);
+}
+
+HttpResponse MappingServer::handle(const HttpRequest& request) {
+  requests_total_->add();
+  HttpResponse response;
+  if (request.path == "/map") {
+    if (request.method != "POST") {
+      response.status = 405;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
+                                 "/map takes POST");
+    } else {
+      response = handle_map(request);
+    }
+  } else if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
+                                 "/healthz takes GET");
+    } else {
+      response = handle_healthz();
+    }
+  } else if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
+                                 "/metrics takes GET");
+    } else {
+      response = handle_metrics();
+    }
+  } else {
+    response.status = 404;
+    response.body = error_body(ServiceErrorCode::kInvalidArgument, "path",
+                               "no such endpoint '" + request.path + "'");
+  }
+
+  if (response.status < 300) {
+    responses_2xx_->add();
+  } else if (response.status < 500) {
+    responses_4xx_->add();
+  } else {
+    responses_5xx_->add();
+  }
+  return response;
+}
+
+HttpResponse MappingServer::handle_map(const HttpRequest& request) {
+  const auto start = Clock::now();
+  HttpResponse response;
+  const auto finish = [&](HttpResponse r) {
+    map_latency_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count()));
+    return r;
+  };
+
+  // Assemble the service request: body = bases, knobs via query string.
+  MapServiceRequest service_request;
+  service_request.sequence = std::string(trim_sequence(request.body));
+  if (const std::string* raw = request.query_param("top_x")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "top_x",
+                                 "not an unsigned integer: '" + *raw + "'");
+      return finish(std::move(response));
+    }
+    service_request.top_x = static_cast<std::size_t>(value);
+  }
+  if (const std::string* raw = request.query_param("min_votes")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body =
+          error_body(ServiceErrorCode::kInvalidArgument, "min_votes",
+                     "not an unsigned integer: '" + *raw + "'");
+      return finish(std::move(response));
+    }
+    service_request.min_votes = static_cast<std::uint32_t>(value);
+  }
+  std::chrono::milliseconds budget = config_.default_deadline;
+  if (const std::string* raw = request.query_param("deadline_ms")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body =
+          error_body(ServiceErrorCode::kInvalidArgument, "deadline_ms",
+                     "not an unsigned integer: '" + *raw + "'");
+      return finish(std::move(response));
+    }
+    budget = std::chrono::milliseconds(value);
+  }
+  try {
+    service_request.validate(service_.config().params);
+  } catch (const ServiceError& error) {
+    response.status = 400;
+    response.body = error_body(error.code(), error.field(), error.what());
+    return finish(std::move(response));
+  }
+
+  // Cache probe. The key embeds every knob that shapes the response; the
+  // stored key is compared byte-for-byte on lookup (digest-collision safe).
+  std::string cache_key;
+  if (cache_) {
+    cache_key = service_request.sequence;
+    cache_key += '\x1f';
+    cache_key += std::to_string(service_request.top_x);
+    cache_key += '\x1f';
+    cache_key += service_request.min_votes
+                     ? std::to_string(*service_request.min_votes)
+                     : std::string("-");
+    std::optional<MapServiceResponse> cached;
+    {
+      std::lock_guard lock(cache_mutex_);
+      cached = cache_->get(cache_key);
+    }
+    if (cached) {
+      cache_hits_->add();
+      cached->cache_hit = true;
+      response.body = map_response_body(*cached);
+      return finish(std::move(response));
+    }
+    cache_misses_->add();
+  }
+
+  // Submit to the micro-batcher. The work queue is the second bounded
+  // stage: full means the mappers are saturated — shed rather than stall.
+  PendingMap pending;
+  pending.request = std::move(service_request);
+  if (budget.count() > 0) pending.deadline = start + budget;
+  std::future<MapServiceResponse> future = pending.promise.get_future();
+  const util::QueueOpResult pushed = work_queue_->push_wait_for(
+      pending, std::chrono::milliseconds(1));
+  if (pushed != util::QueueOpResult::kSuccess) {
+    shed_total_->add();
+    response.status = 503;
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(config_.retry_after_s));
+    response.body = error_body(ServiceErrorCode::kOverloaded, "",
+                               pushed == util::QueueOpResult::kClosed
+                                   ? "server is draining"
+                                   : "work queue full; retry shortly");
+    return finish(std::move(response));
+  }
+  work_depth_->set(static_cast<std::int64_t>(work_queue_->size()));
+
+  MapServiceResponse service_response = future.get();
+  if (!service_response.ok()) {
+    const ServiceFailure& failure = *service_response.failure;
+    if (failure.code == ServiceErrorCode::kDeadlineExceeded) {
+      deadline_expired_->add();
+      response.status = 504;
+    } else {
+      response.status = 500;
+    }
+    response.body = error_body(failure.code, "", failure.message);
+    return finish(std::move(response));
+  }
+
+  if (cache_) {
+    std::lock_guard lock(cache_mutex_);
+    cache_->put(std::move(cache_key), service_response);
+    cache_size_->set(static_cast<std::int64_t>(cache_->size()));
+    // Counters are monotonic; evictions tally lives in the cache.
+    const std::uint64_t evicted = cache_->evictions();
+    const std::uint64_t published = cache_evictions_->value();
+    if (evicted > published) cache_evictions_->add(evicted - published);
+  }
+  response.body = map_response_body(service_response);
+  return finish(std::move(response));
+}
+
+HttpResponse MappingServer::handle_healthz() {
+  const auto start = Clock::now();
+  HttpResponse response;
+  const auto uptime_s = std::chrono::duration_cast<std::chrono::seconds>(
+                            Clock::now() - started_at_)
+                            .count();
+  std::string body = "{\"status\":\"ok\",\"subjects\":";
+  body += std::to_string(service_.subjects().size());
+  body += ",\"trials\":";
+  body += std::to_string(service_.config().params.trials);
+  body += ",\"index\":\"";
+  body += service_.load_report().loaded_from_artifact ? "artifact" : "rebuilt";
+  body += "\",\"uptime_s\":";
+  body += std::to_string(uptime_s);
+  body += '}';
+  response.body = std::move(body);
+  healthz_latency_ns_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count()));
+  return response;
+}
+
+HttpResponse MappingServer::handle_metrics() {
+  const auto start = Clock::now();
+  HttpResponse response;
+  response.body = registry_->snapshot().to_json();
+  response.body += '\n';
+  metrics_latency_ns_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count()));
+  return response;
+}
+
+void MappingServer::batcher_loop() {
+  std::vector<PendingMap> batch;
+  std::vector<MapServiceRequest> requests;
+  std::vector<Clock::time_point> deadlines;
+  while (true) {
+    PendingMap first;
+    const util::QueueOpResult got =
+        work_queue_->pop_wait_for(first, std::chrono::milliseconds(50));
+    if (got == util::QueueOpResult::kClosed) return;  // closed and drained
+    if (got == util::QueueOpResult::kTimeout) continue;
+
+    batch.clear();
+    batch.push_back(std::move(first));
+
+    // Coalesce: whatever lands within batch_window, up to max_batch — the
+    // dynamic micro-batching that turns concurrent requests into one
+    // warm-scratch engine batch.
+    const auto window_end = Clock::now() + config_.batch_window;
+    while (batch.size() < config_.max_batch) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          window_end - Clock::now());
+      PendingMap next;
+      const util::QueueOpResult more = work_queue_->pop_wait_for(
+          next, std::max(remaining, std::chrono::milliseconds(0)));
+      if (more != util::QueueOpResult::kSuccess) break;
+      batch.push_back(std::move(next));
+      if (Clock::now() >= window_end) break;
+    }
+    work_depth_->set(static_cast<std::int64_t>(work_queue_->size()));
+
+    if (config_.batch_hook) config_.batch_hook();
+
+    batches_total_->add();
+    batch_size_->record(batch.size());
+
+    requests.clear();
+    deadlines.clear();
+    requests.reserve(batch.size());
+    deadlines.reserve(batch.size());
+    for (const PendingMap& pending : batch) {
+      requests.push_back(pending.request);
+      deadlines.push_back(pending.deadline);
+    }
+
+    std::vector<MapServiceResponse> responses;
+    try {
+      responses = service_.map_batch(requests, deadlines);
+    } catch (const std::exception& error) {
+      // A batch-level throw (programming error) must not strand waiters.
+      for (PendingMap& pending : batch) {
+        MapServiceResponse failed;
+        failed.failure = core::ServiceFailure{ServiceErrorCode::kInternal,
+                                              error.what()};
+        pending.promise.set_value(std::move(failed));
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(responses[i]));
+    }
+  }
+}
+
+}  // namespace jem::serve

@@ -1,0 +1,197 @@
+// MappingServer — the always-on mapping service (ROADMAP item 1): a
+// long-lived process that loads the frozen index once (via MappingService)
+// and serves mapping requests over a local HTTP/1.1 socket.
+//
+// Pipeline, in the same shape as the streaming engine (reader -> bounded
+// queue -> workers -> in-order emit), but request-oriented:
+//
+//   acceptor thread ──try-push──► admission queue ──► worker threads
+//        │ (full? shed: 503 + Retry-After)               │ parse + route
+//        ▼                                               ▼
+//   connections never stall the listener         /map: bounded work queue
+//                                                        │
+//                                                micro-batcher thread
+//                                                (coalesce ≤ max_batch or
+//                                                 batch_window, then one
+//                                                 MappingService::map_batch
+//                                                 with a warm scratch)
+//
+// Admission control: the accept queue is a util::BoundedQueue; a full queue
+// sheds the connection immediately with `503 Service Unavailable` and a
+// `Retry-After` header — overload degrades to fast rejections, never to an
+// unbounded backlog or a stalled accept loop. The /map work queue is
+// likewise bounded; a full work queue sheds with 503 at the worker.
+//
+// Deadlines: every /map request carries an absolute expiry (its
+// `deadline_ms` or the server default), measured from admission. Expiry is
+// checked before the (uninterruptible) map kernel runs, riding the same
+// timed-queue-op machinery as the engine's stage_timeout, and surfaces as a
+// structured `504` JSON body — the HTTP projection of kDeadlineExceeded.
+//
+// Caching: responses for repeated (sequence, top_x, min_votes) keys come
+// from an LruCache keyed by the full composite key (digest picks the
+// bucket, byte-compare confirms — collision-safe).
+//
+// Endpoints:
+//   POST /map       body = query bases; ?top_x=&min_votes=&deadline_ms=
+//   GET  /healthz   liveness + index provenance
+//   GET  /metrics   MetricsSnapshot::to_json() (obs_check-validated schema)
+//
+// Observability: per-endpoint latency histograms, queue-depth and
+// cache gauges, shed/deadline counters — all in the registry /metrics
+// serves (docs/serve.md lists the catalog).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service.hpp"
+#include "obs/metrics.hpp"
+#include "serve/http.hpp"
+#include "serve/lru_cache.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace jem::serve {
+
+/// Fatal server-lifecycle failure (bind/listen/thread start). Per-request
+/// conditions never throw this — they become HTTP status codes.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (read the bound port via port())
+
+  std::size_t workers = 4;           // connection-handling threads
+  std::size_t queue_capacity = 64;   // admission (accepted-connection) queue
+  std::size_t work_capacity = 256;   // /map work queue feeding the batcher
+
+  /// Micro-batching: the batcher takes the first in-flight request, then
+  /// coalesces up to `max_batch` total, waiting at most `batch_window` for
+  /// stragglers, and maps them in one warm-scratch MappingService batch.
+  std::size_t max_batch = 16;
+  std::chrono::microseconds batch_window{200};
+
+  /// Applied to /map requests that carry no deadline_ms. zero = none.
+  std::chrono::milliseconds default_deadline{0};
+
+  /// Socket receive/send timeout — a stalled client cannot pin a worker.
+  std::chrono::milliseconds io_timeout{5000};
+
+  std::size_t cache_capacity = 1024;  // LRU entries; 0 disables the cache
+  int retry_after_s = 1;              // Retry-After hint on 503 sheds
+
+  /// Metrics registry the server publishes to and /metrics serves. Null =
+  /// the server owns a private registry.
+  obs::Registry* metrics = nullptr;
+
+  /// Test-only gate invoked by the batcher before mapping each micro-batch
+  /// (lets tests hold the pipeline to force queue-full and deadline paths).
+  std::function<void()> batch_hook;
+};
+
+class MappingServer {
+ public:
+  using Clock = core::MappingService::Clock;
+
+  /// The service must outlive the server.
+  MappingServer(const core::MappingService& service, ServerConfig config);
+  ~MappingServer();
+
+  MappingServer(const MappingServer&) = delete;
+  MappingServer& operator=(const MappingServer&) = delete;
+
+  /// Binds, listens and starts the acceptor/worker/batcher threads.
+  /// Throws ServeError on bind/listen failure. Idempotent once running.
+  void start();
+
+  /// Graceful drain: stop accepting, serve every admitted connection and
+  /// queued request, join all threads. Idempotent; also run by ~MappingServer.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Bound port (after start(); the ephemeral port when config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// The registry /metrics serves (the configured one or the private one).
+  [[nodiscard]] obs::Registry& registry() noexcept { return *registry_; }
+
+  /// The routing core, socket-free: exactly what a worker runs after
+  /// parsing a request. /map routes through the live micro-batcher, so the
+  /// server must be start()ed. Exposed for in-process callers and tests.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+ private:
+  struct PendingMap {
+    core::MapServiceRequest request;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::promise<core::MapServiceResponse> promise;
+  };
+
+  void acceptor_loop();
+  void worker_loop();
+  void batcher_loop();
+  void serve_connection(int fd);
+
+  [[nodiscard]] HttpResponse handle_map(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handle_healthz();
+  [[nodiscard]] HttpResponse handle_metrics();
+
+  const core::MappingService& service_;
+  ServerConfig config_;
+
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+
+  // Metric handles (resolved once; updates are lock-free).
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* responses_2xx_ = nullptr;
+  obs::Counter* responses_4xx_ = nullptr;
+  obs::Counter* responses_5xx_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
+  obs::Counter* deadline_expired_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evictions_ = nullptr;
+  obs::Counter* batches_total_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* work_depth_ = nullptr;
+  obs::Gauge* cache_size_ = nullptr;
+  obs::Histogram* map_latency_ns_ = nullptr;
+  obs::Histogram* healthz_latency_ns_ = nullptr;
+  obs::Histogram* metrics_latency_ns_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
+
+  std::unique_ptr<util::BoundedQueue<int>> conn_queue_;
+  std::unique_ptr<util::BoundedQueue<PendingMap>> work_queue_;
+
+  std::mutex cache_mutex_;
+  std::unique_ptr<LruCache<std::string, core::MapServiceResponse>> cache_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread batcher_;
+
+  Clock::time_point started_at_{};
+};
+
+}  // namespace jem::serve

@@ -1,0 +1,115 @@
+#include "serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jem::serve {
+namespace {
+
+TEST(HttpParse, CompletePostWithQueryAndBody) {
+  const std::string wire =
+      "POST /map?top_x=3&min_votes=5 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 6\r\n"
+      "\r\n"
+      "ACGTAC";
+  const RequestParse parsed = parse_request(wire);
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  EXPECT_EQ(parsed.consumed, wire.size());
+  EXPECT_EQ(parsed.request.method, "POST");
+  EXPECT_EQ(parsed.request.path, "/map");
+  EXPECT_EQ(parsed.request.target, "/map?top_x=3&min_votes=5");
+  EXPECT_EQ(parsed.request.version, "HTTP/1.1");
+  EXPECT_EQ(parsed.request.body, "ACGTAC");
+  ASSERT_NE(parsed.request.query_param("top_x"), nullptr);
+  EXPECT_EQ(*parsed.request.query_param("top_x"), "3");
+  ASSERT_NE(parsed.request.query_param("min_votes"), nullptr);
+  EXPECT_EQ(*parsed.request.query_param("min_votes"), "5");
+  EXPECT_EQ(parsed.request.query_param("absent"), nullptr);
+}
+
+TEST(HttpParse, HeaderNamesAreCaseInsensitive) {
+  const RequestParse parsed = parse_request(
+      "GET /healthz HTTP/1.1\r\nX-Custom-Header:  spaced value \r\n\r\n");
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  ASSERT_NE(parsed.request.header("x-custom-header"), nullptr);
+  EXPECT_EQ(*parsed.request.header("X-CUSTOM-HEADER"), "spaced value");
+}
+
+TEST(HttpParse, IncrementalFeedReachesComplete) {
+  const std::string wire =
+      "POST /map HTTP/1.1\r\nContent-Length: 4\r\n\r\nACGT";
+  // Every proper prefix must report kIncomplete, never kBad.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const RequestParse partial = parse_request(wire.substr(0, cut));
+    EXPECT_EQ(partial.status, ParseStatus::kIncomplete) << "cut=" << cut;
+  }
+  EXPECT_EQ(parse_request(wire).status, ParseStatus::kComplete);
+}
+
+TEST(HttpParse, MalformedInputsAreBad) {
+  EXPECT_EQ(parse_request("GARBAGE\r\n\r\n").status, ParseStatus::kBad);
+  EXPECT_EQ(parse_request("GET /x SPDY/99\r\n\r\n").status, ParseStatus::kBad);
+  EXPECT_EQ(parse_request("GET /x HTTP/1.1\r\nno-colon-line\r\n\r\n").status,
+            ParseStatus::kBad);
+  EXPECT_EQ(
+      parse_request("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+          .status,
+      ParseStatus::kBad);
+}
+
+TEST(HttpParse, OversizedBodyIsRejectedNotBuffered) {
+  const RequestParse parsed = parse_request(
+      "POST /map HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+      /*max_body=*/1 << 20);
+  ASSERT_EQ(parsed.status, ParseStatus::kBad);
+  EXPECT_NE(parsed.error.find("exceeds"), std::string::npos);
+}
+
+TEST(HttpParse, UnboundedHeadIsRejected) {
+  std::string runaway = "GET / HTTP/1.1\r\n";
+  runaway.append(70u << 10, 'x');  // no terminating blank line, ever
+  EXPECT_EQ(parse_request(runaway).status, ParseStatus::kBad);
+}
+
+TEST(HttpSerialize, ResponseRoundTripsThroughParseResponse) {
+  HttpResponse response;
+  response.status = 503;
+  response.headers.emplace_back("Retry-After", "1");
+  response.body = "{\"error\":\"overloaded\"}";
+  const std::string wire = serialize_response(response);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+
+  const ResponseParse parsed = parse_response(wire, /*eof=*/true);
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  EXPECT_EQ(parsed.response.status, 503);
+  EXPECT_EQ(parsed.response.body, response.body);
+}
+
+TEST(HttpSerialize, RequestRoundTripsThroughParseRequest) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/map?top_x=2";
+  request.body = "ACGT";
+  const RequestParse parsed =
+      parse_request(serialize_request(request, "127.0.0.1:80"));
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  EXPECT_EQ(parsed.request.method, "POST");
+  EXPECT_EQ(parsed.request.path, "/map");
+  EXPECT_EQ(parsed.request.body, "ACGT");
+  ASSERT_NE(parsed.request.header("host"), nullptr);
+}
+
+TEST(HttpParseResponse, TruncationIsIncompleteUntilEof) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+  EXPECT_EQ(parse_response(wire, /*eof=*/false).status,
+            ParseStatus::kIncomplete);
+  EXPECT_EQ(parse_response(wire, /*eof=*/true).status, ParseStatus::kBad);
+}
+
+}  // namespace
+}  // namespace jem::serve

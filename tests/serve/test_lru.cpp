@@ -1,0 +1,89 @@
+#include "serve/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jem::serve {
+namespace {
+
+TEST(LruCache, HitMissAndTallies) {
+  LruCache<std::string, int> cache(4);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", 1);
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_TRUE(cache.get("a").has_value());  // a becomes most recent
+  cache.put("c", 3);                        // evicts b, not a
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutOverwritesAndRefreshes) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("a", 10);  // overwrite refreshes recency; no eviction
+  cache.put("c", 3);   // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  const auto value = cache.get("a");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 10);
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+/// Every key lands in the same bucket: correctness must come from full-key
+/// comparison, never from the digest (the collision-safety contract the
+/// serve layer's sequence-digest keying depends on).
+struct CollidingHash {
+  std::size_t operator()(const std::string&) const noexcept { return 42; }
+};
+
+TEST(LruCache, DigestCollisionsNeverCrossWires) {
+  LruCache<std::string, std::string, CollidingHash> cache(8);
+  cache.put("ACGT", "subject_1");
+  cache.put("TGCA", "subject_2");
+  cache.put("AAAA", "subject_3");
+
+  const auto first = cache.get("ACGT");
+  const auto second = cache.get("TGCA");
+  const auto third = cache.get("AAAA");
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(*first, "subject_1");
+  EXPECT_EQ(*second, "subject_2");
+  EXPECT_EQ(*third, "subject_3");
+  EXPECT_FALSE(cache.get("GGGG").has_value());  // same bucket, no false hit
+}
+
+TEST(LruCache, ClearDropsEverything) {
+  LruCache<std::string, int> cache(4);
+  cache.put("a", 1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+TEST(LruCache, ZeroCapacityClampsToOne) {
+  LruCache<std::string, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("b"));
+}
+
+}  // namespace
+}  // namespace jem::serve
