@@ -8,16 +8,20 @@
 #   JEM_BENCH_SERVE_REQUESTS total requests       (default 2000)
 #   JEM_BENCH_SERVE_CLIENTS  concurrent clients   (default 8)
 #   JEM_BENCH_SERVE_WORKERS  server workers       (default 4)
+#   JEM_BENCH_SERVE_SWEEP    open-loop rates rps  (default 100,300,600)
+#   JEM_BENCH_SERVE_PER_POINT requests per point  (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REQUESTS="${JEM_BENCH_SERVE_REQUESTS:-2000}"
 CLIENTS="${JEM_BENCH_SERVE_CLIENTS:-8}"
 WORKERS="${JEM_BENCH_SERVE_WORKERS:-4}"
+SWEEP="${JEM_BENCH_SERVE_SWEEP:-100,300,600}"
+PER_POINT="${JEM_BENCH_SERVE_PER_POINT:-300}"
 OUT="${1:-BENCH_serve.json}"
 
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build --target bench_serve
+cmake --build build --target bench_serve jem
 
 # Cold run (cache off): every request pays the map kernel.
 ./build/bench/bench_serve --requests "$REQUESTS" --clients "$CLIENTS" \
@@ -28,4 +32,35 @@ cmake --build build --target bench_serve
 ./build/bench/bench_serve --requests "$REQUESTS" --clients "$CLIENTS" \
   --workers "$WORKERS"
 
-echo "bench_serve: wrote $OUT"
+# Offered-load curve (ROADMAP item 4c): a live demo server driven by
+# `jem loadgen` in open-loop mode at each swept rate, Zipf-skewed queries.
+# The resulting latency/shed curve is spliced into the summary JSON as
+# "load_curve".
+DIR=$(mktemp -d /tmp/jem_bench_loadgen.XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+./build/examples/jem serve --demo --port 0 --port-file "$DIR/port" \
+  --workers "$WORKERS" &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  [[ -s "$DIR/port" ]] && break
+  sleep 0.05
+done
+[[ -s "$DIR/port" ]] || { echo "error: jem serve never published its port" >&2
+  kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+./build/examples/jem loadgen --demo --port "$(cat "$DIR/port")" \
+  --mode open --sweep "$SWEEP" --requests "$PER_POINT" \
+  --clients "$CLIENTS" --out "$DIR/curve.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+# Splice the curve into the summary (no jq in the image: drop the closing
+# brace, append the new key, close again).
+{
+  sed '$d' "$OUT"
+  printf '  ,"load_curve": '
+  cat "$DIR/curve.json"
+  printf '}\n'
+} > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "bench_serve: wrote $OUT (with load_curve)"

@@ -27,7 +27,7 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target test_engine test_chaos test_obs test_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
 
 # The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # fault-injection shutdown paths (worker aborts, queue closes, partial
@@ -42,7 +42,7 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan --target test_engine test_chaos test_io test_core \
   test_obs test_serve jem obs_check
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /
@@ -116,6 +116,55 @@ serve_smoke build
 echo "== serve smoke (ASan/UBSan) =="
 serve_smoke build-asan
 echo "serve smoke: ok"
+
+# Serve chaos smoke (docs/serve.md "Failure modes & recovery"): the same
+# demo server, now running a seeded fault plan — random connection resets
+# and injected latency plus a scripted batcher abort and worker abort — with
+# a hot-swap artifact armed. `jem probe` drives it through the resilient
+# client and fires POST /admin/reload mid-load; every request must still
+# complete, the supervisor must have respawned both aborted threads, the
+# epoch must have advanced, and the drain must stay clean. Runs against
+# Release and again under ASan/UBSan.
+serve_chaos_smoke() {
+  local bindir="$1"
+  local dir
+  dir=$(mktemp -d /tmp/jem_serve_chaos.XXXXXX)
+  "$bindir/examples/jem" build-index --demo --output "$dir/demo.jemidx"
+  "$bindir/examples/jem" serve --demo --port 0 --port-file "$dir/port" \
+    --cache 0 --chaos-seed 7 --chaos-delay 0.05 --chaos-drop 0.08 \
+    --chaos-abort-at serve.batch:4,serve.read:11 \
+    --reload-index "$dir/demo.jemidx" &
+  local serve_pid=$!
+  for _ in $(seq 1 200); do
+    [[ -s "$dir/port" ]] && break
+    sleep 0.05
+  done
+  if [[ ! -s "$dir/port" ]]; then
+    echo "error: jem serve (chaos) never published its port" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    return 1
+  fi
+  "$bindir/examples/jem" probe --port "$(cat "$dir/port")" --demo \
+    --requests 60 --clients 6 --retries 6 \
+    --admin-reload "$dir/demo.jemidx" \
+    --healthz-out "$dir/healthz.json" --metrics-out "$dir/metrics.json"
+  "$bindir/examples/obs_check" --metrics "$dir/metrics.json"
+  grep -q 'serve.chaos.injected.reset' "$dir/metrics.json"
+  grep -q 'serve.supervisor.worker_restarts' "$dir/metrics.json"
+  grep -q 'serve.reload.success' "$dir/metrics.json"
+  grep -q '"status":"ok"' "$dir/healthz.json"
+  grep -q '"epoch":1' "$dir/healthz.json"
+  grep -Eq '"worker_restarts":[1-9]' "$dir/healthz.json"
+  grep -Eq '"batcher_restarts":[1-9]' "$dir/healthz.json"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  rm -rf "$dir"
+}
+echo "== serve chaos smoke (Release) =="
+serve_chaos_smoke build
+echo "== serve chaos smoke (ASan/UBSan) =="
+serve_chaos_smoke build-asan
+echo "serve chaos smoke: ok"
 
 # Subcommand-shim golden (docs/serve.md): the legacy jem_map entry point is
 # a shim over `jem map`; a demo run through each must produce byte-identical

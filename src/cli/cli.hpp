@@ -8,6 +8,7 @@
 //   jem build-index  sketch subjects and write the frozen JEMIDX1 artifact
 //   jem serve        always-on mapping service over local HTTP
 //   jem probe        client for a running `jem serve` (smoke/ops checks)
+//   jem loadgen      Zipf-skewed load generator (offered-load/latency curves)
 //
 // Exit codes are uniform across subcommands (docs/serve.md):
 //   0  success
@@ -37,6 +38,7 @@ int run_build_index(std::span<const char* const> args,
                     std::string_view program);
 int run_serve(std::span<const char* const> args, std::string_view program);
 int run_probe(std::span<const char* const> args, std::string_view program);
+int run_loadgen(std::span<const char* const> args, std::string_view program);
 
 struct Command {
   std::string_view name;

@@ -5,12 +5,20 @@
 //
 //   jem probe --port 8765 [--host 127.0.0.1]
 //             [--queries reads.fq | --demo] [--requests 16] [--clients 4]
-//             [--top-x 1] [--deadline-ms 0]
+//             [--top-x 1] [--deadline-ms 0] [--retries 3]
+//             [--admin-reload idx.jemidx]
 //             [--healthz-out h.json] [--metrics-out m.json]
+//
+// The transport is the resilient serve::Client (exponential backoff + full
+// jitter, Retry-After, circuit breaker), so a server that sheds 503s or is
+// running a chaos fault plan still probes clean — --retries 0 restores
+// one-shot semantics. --admin-reload posts a hot-swap to /admin/reload once
+// half the /map requests are in flight, making the probe double as the
+// zero-downtime reload check.
 //
 // Exit 0 when every request succeeded (HTTP 200 and, for /map, a JSON
 // body); 1 otherwise — which makes it the assertion step of the check.sh
-// serve smoke.
+// serve smokes.
 #include <atomic>
 #include <fstream>
 #include <iostream>
@@ -31,12 +39,14 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   std::string queries_path;
   std::string healthz_out;
   std::string metrics_out;
+  std::string admin_reload;
   std::uint64_t port = 8765;
   std::uint64_t requests = 16;
   std::uint64_t clients = 4;
   std::uint64_t top_x = 1;
   std::uint64_t deadline_ms = 0;
   std::uint64_t seed = 20230517;
+  std::uint64_t retries = 3;
   bool demo = false;
 
   util::Options options;
@@ -53,6 +63,11 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   options.add_uint("deadline-ms", deadline_ms,
                    "per-request deadline_ms, 0 = none");
   options.add_uint("seed", seed, "demo dataset seed");
+  options.add_uint("retries", retries,
+                   "retry attempts per request beyond the first (default 3)");
+  options.add_string("admin-reload", admin_reload,
+                     "POST /admin/reload?path=<this> once half the /map "
+                     "requests are done (hot-swap smoke)");
   options.add_string("healthz-out", healthz_out,
                      "write the /healthz body to this file");
   options.add_string("metrics-out", metrics_out,
@@ -89,9 +104,22 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   }
 
   const std::uint16_t port16 = static_cast<std::uint16_t>(port);
+
+  // One resilient client shared by the whole pool (thread-safe): retries
+  // with backoff + jitter, honors Retry-After on sheds, trips the breaker
+  // if the server goes truly dark.
+  serve::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(retries) + 1;
+  policy.jitter_seed = seed;
+  serve::CircuitBreaker::Config breaker;
+  breaker.failure_threshold = 8;
+  breaker.cooldown = std::chrono::milliseconds(200);
+  serve::Client client(host, port16, policy, breaker);
+
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> ok{0};
   std::atomic<std::uint64_t> failed{0};
+  std::atomic<bool> reload_ok{true};
 
   if (!sequences.empty()) {
     std::string target = "/map?top_x=" + std::to_string(top_x);
@@ -99,6 +127,8 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
       target += "&deadline_ms=" + std::to_string(deadline_ms);
     }
     const std::uint64_t total = requests;
+    const std::uint64_t reload_after = std::max<std::uint64_t>(1, total / 2);
+    std::atomic<bool> reload_fired{admin_reload.empty()};
     std::vector<std::thread> pool;
     const std::uint64_t nthreads = std::max<std::uint64_t>(1, clients);
     pool.reserve(nthreads);
@@ -107,10 +137,27 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
         while (true) {
           const std::uint64_t i = next.fetch_add(1);
           if (i >= total) return;
+          // Hot-swap mid-load: exactly one thread posts the reload once
+          // half the requests have been claimed — traffic keeps flowing
+          // through the swap, which is the zero-downtime assertion.
+          if (i >= reload_after && !reload_fired.exchange(true)) {
+            try {
+              const serve::HttpResponse response = client.post(
+                  "/admin/reload?path=" + admin_reload, "");
+              if (response.status != 200) {
+                reload_ok.store(false);
+                util::log_warn() << "admin reload: HTTP " << response.status
+                                 << " " << response.body;
+              }
+            } catch (const serve::ClientError& error) {
+              reload_ok.store(false);
+              util::log_warn() << "admin reload: " << error.what();
+            }
+          }
           const std::string& sequence = sequences[i % sequences.size()];
           try {
             const serve::HttpResponse response =
-                serve::http_post(host, port16, target, sequence);
+                client.post(target, sequence);
             if (response.status == 200 && !response.body.empty() &&
                 response.body.front() == '{') {
               ok.fetch_add(1);
@@ -132,8 +179,7 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   bool endpoints_ok = true;
   const auto fetch = [&](std::string_view endpoint, const std::string& out) {
     try {
-      const serve::HttpResponse response =
-          serve::http_get(host, port16, endpoint);
+      const serve::HttpResponse response = client.get(endpoint);
       if (response.status != 200) {
         std::cerr << "error: " << endpoint << " returned HTTP "
                   << response.status << '\n';
@@ -157,9 +203,10 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   fetch("/metrics", metrics_out);
 
   std::cout << "probe: " << ok.load() << " mapped, " << failed.load()
-            << " failed, endpoints " << (endpoints_ok ? "ok" : "FAILED")
-            << '\n';
-  return (failed.load() == 0 && endpoints_ok) ? kExitOk : kExitRuntime;
+            << " failed, " << client.retries() << " retried, endpoints "
+            << (endpoints_ok ? "ok" : "FAILED") << '\n';
+  return (failed.load() == 0 && endpoints_ok && reload_ok.load()) ? kExitOk
+                                                                  : kExitRuntime;
 }
 
 }  // namespace jem::cli

@@ -12,10 +12,21 @@
 //
 // --port 0 binds an ephemeral port; --port-file publishes whichever port was
 // bound (written atomically) so scripts can wait for it and connect.
+//
+// Hot swap: SIGHUP (or POST /admin/reload) reloads the --reload-index
+// artifact and swaps the serving epoch with zero downtime; a corrupt or
+// mismatched artifact is rejected and the old index keeps serving.
+//
+// Chaos (docs/robustness.md): --chaos-seed plus --chaos-{delay,drop,abort}
+// rates arm the serve.* fault sites with a seeded, reproducible plan;
+// --chaos-abort-at site:invocation injects one deterministic thread abort
+// (e.g. serve.batch:4 kills the batcher on its 4th micro-batch).
 #include <atomic>
+#include <charconv>
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 #include <thread>
 
 #include "cli/cli.hpp"
@@ -24,6 +35,7 @@
 #include "io/sequence_set.hpp"
 #include "io/stream_reader.hpp"
 #include "serve/server.hpp"
+#include "util/fault_plan.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 
@@ -31,10 +43,39 @@ namespace jem::cli {
 
 namespace {
 
-// Signal flag: the handler only stores; the main thread polls and drains.
+// Signal flags: the handlers only store; the main thread polls and acts.
 std::atomic<bool> g_stop_requested{false};
+std::atomic<bool> g_reload_requested{false};
 
 void handle_stop_signal(int) { g_stop_requested.store(true); }
+void handle_reload_signal(int) { g_reload_requested.store(true); }
+
+/// Parses a comma-separated list of "site:invocation" abort events
+/// ("serve.batch:4,serve.read:10") into `plan`. Returns false on garbage.
+bool parse_abort_events(const std::string& text, util::FaultPlan& plan) {
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      return false;
+    }
+    std::uint64_t invocation = 0;
+    const std::string_view digits = item.substr(colon + 1);
+    const auto [ptr, ec] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), invocation);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      return false;
+    }
+    plan.abort_at(util::FaultPlan::kAnyRank, std::string(item.substr(0, colon)),
+                  invocation);
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -58,6 +99,13 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   std::uint64_t cache = 1024;
   std::uint64_t deadline_ms = 0;
   bool demo = false;
+  std::string reload_index_path;
+  std::uint64_t chaos_seed = 0;
+  double chaos_delay = 0.0;
+  double chaos_drop = 0.0;
+  double chaos_abort = 0.0;
+  std::uint64_t chaos_max_delay_ms = 5;
+  std::string chaos_abort_at;
 
   util::Options options;
   options.add_string("subjects", subjects_path, "contigs FASTA path");
@@ -90,6 +138,22 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   options.add_uint("deadline-ms", deadline_ms,
                    "default per-request deadline in ms, 0 = none");
   options.add_flag("demo", demo, "simulate subjects instead of reading files");
+  options.add_string("reload-index", reload_index_path,
+                     "artifact hot-swapped on SIGHUP / POST /admin/reload "
+                     "(default: the --load-index path)");
+  options.add_uint("chaos-seed", chaos_seed,
+                   "seed for the random serve.* fault plan (0 = off)");
+  options.add_double("chaos-delay", chaos_delay,
+                     "per-site injected-latency probability [0,1]");
+  options.add_double("chaos-drop", chaos_drop,
+                     "per-site reset/truncate/drop probability [0,1]");
+  options.add_double("chaos-abort", chaos_abort,
+                     "per-site thread-abort probability [0,1]");
+  options.add_uint("chaos-max-delay-ms", chaos_max_delay_ms,
+                   "injected delays are in [1, this] ms (default 5)");
+  options.add_string("chaos-abort-at", chaos_abort_at,
+                     "deterministic aborts, 'site:invocation[,...]' "
+                     "(e.g. serve.batch:4)");
   try {
     (void)options.parse(args);
   } catch (const util::OptionError& error) {
@@ -99,6 +163,35 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   if (port > 65535) {
     std::cerr << "error: --port must be in [0, 65535]\n";
     return kExitUsage;
+  }
+  if (chaos_delay < 0 || chaos_drop < 0 || chaos_abort < 0 ||
+      chaos_delay + chaos_drop + chaos_abort > 1.0) {
+    std::cerr << "error: --chaos-* rates must be >= 0 and sum to <= 1\n";
+    return kExitUsage;
+  }
+
+  // The fault plan outlives the server (ServerConfig holds a pointer).
+  util::FaultPlan fault_plan;
+  bool chaos_enabled = false;
+  if (chaos_seed != 0 &&
+      (chaos_delay > 0 || chaos_drop > 0 || chaos_abort > 0)) {
+    util::RandomFaultRates rates;
+    rates.delay = chaos_delay;
+    rates.drop = chaos_drop;
+    rates.abort = chaos_abort;
+    rates.max_delay = std::chrono::milliseconds(
+        std::max<std::uint64_t>(1, chaos_max_delay_ms));
+    fault_plan = util::FaultPlan::random(chaos_seed, rates);
+    chaos_enabled = true;
+  }
+  if (!chaos_abort_at.empty()) {
+    if (!parse_abort_events(chaos_abort_at, fault_plan)) {
+      std::cerr << "error: --chaos-abort-at expects 'site:invocation[,...]', "
+                   "got '"
+                << chaos_abort_at << "'\n";
+      return kExitUsage;
+    }
+    chaos_enabled = true;
   }
 
   core::ServiceConfig config;
@@ -160,9 +253,20 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
     server_config.batch_window = std::chrono::microseconds(batch_window_us);
     server_config.default_deadline = std::chrono::milliseconds(deadline_ms);
     server_config.cache_capacity = cache;
+    if (chaos_enabled) server_config.fault_plan = &fault_plan;
+    if (reload_index_path.empty()) reload_index_path = load_index_path;
+    server_config.reload_index_path = reload_index_path;
 
     serve::MappingServer server(service, server_config);
     server.start();
+    if (chaos_enabled) {
+      util::log_info() << "chaos armed: seed " << chaos_seed << " delay "
+                       << chaos_delay << " drop " << chaos_drop << " abort "
+                       << chaos_abort
+                       << (chaos_abort_at.empty()
+                               ? std::string()
+                               : " abort-at " + chaos_abort_at);
+    }
 
     if (!port_file.empty()) {
       io::atomic_write_file(port_file,
@@ -175,7 +279,19 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
 
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGHUP, handle_reload_signal);
     while (!g_stop_requested.load()) {
+      if (g_reload_requested.exchange(false)) {
+        if (reload_index_path.empty()) {
+          util::log_warn() << "SIGHUP reload requested but no --reload-index "
+                              "(or --load-index) path is configured";
+        } else {
+          const auto outcome = server.reload_index(reload_index_path);
+          if (!outcome.success) {
+            util::log_warn() << "SIGHUP reload failed: " << outcome.error;
+          }
+        }
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     util::log_info() << "stop requested; draining";

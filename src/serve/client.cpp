@@ -5,8 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
+#include <thread>
+
+#include "util/prng.hpp"
 
 namespace jem::serve {
 
@@ -46,8 +51,9 @@ HttpResponse http_request(const std::string& host, std::uint16_t port,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     throw ClientError("bad address '" + host + "'");
   }
-  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  while (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
     throw ClientError("connect " + host + ":" + std::to_string(port) + ": " +
                       std::strerror(errno));
   }
@@ -58,6 +64,7 @@ HttpResponse http_request(const std::string& host, std::uint16_t port,
   while (sent < wire.size()) {
     const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       throw ClientError(std::string("send: ") + std::strerror(errno));
     }
@@ -68,6 +75,7 @@ HttpResponse http_request(const std::string& host, std::uint16_t port,
   char chunk[8192];
   while (true) {
     const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0) {
       throw ClientError(std::string("recv: ") + std::strerror(errno));
     }
@@ -99,6 +107,286 @@ HttpResponse http_post(const std::string& host, std::uint16_t port,
   request.target = std::string(target);
   request.body = std::string(body);
   return http_request(host, port, request, timeout);
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+std::string_view CircuitBreaker::state_name(State state) noexcept {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::open(Clock::time_point now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  probe_successes_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now >= opened_at_ + config_.cooldown) {
+        state_ = State::kHalfOpen;
+        probe_successes_ = 0;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(Clock::time_point) {
+  switch (state_) {
+    case State::kClosed:
+      failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= config_.half_open_successes) {
+        state_ = State::kClosed;
+        failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A success cannot be observed while open (allow() refused); treat a
+      // straggler as the half-open transition already having happened.
+      break;
+  }
+}
+
+void CircuitBreaker::on_failure(Clock::time_point now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++failures_ >= config_.failure_threshold) open(now);
+      break;
+    case State::kHalfOpen:
+      // The probe failed: straight back to open, cooldown restarts.
+      open(now);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+// --- Client -----------------------------------------------------------------
+
+namespace {
+
+/// Retryable HTTP statuses: transient server-side conditions. Everything
+/// else (2xx/4xx) is a final answer.
+bool retryable_status(int status) {
+  return status == 500 || status == 502 || status == 503 || status == 504;
+}
+
+/// Retry-After value in seconds from a response, or -1 when absent/bad.
+long retry_after_seconds(const HttpResponse& response) {
+  for (const auto& [name, value] : response.headers) {
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower != "retry-after") continue;
+    long seconds = -1;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), seconds);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) return -1;
+    return seconds;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Client::Client(std::string host, std::uint16_t port, RetryPolicy policy,
+               CircuitBreaker::Config breaker, obs::Registry* metrics)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      metrics_(metrics),
+      breaker_(breaker),
+      rng_state_(policy.jitter_seed) {}
+
+CircuitBreaker::State Client::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_.state();
+}
+
+std::uint64_t Client::attempts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attempts_;
+}
+
+std::uint64_t Client::retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+std::chrono::milliseconds Client::backoff_delay(
+    int attempt, std::chrono::milliseconds retry_after_hint) {
+  // Full jitter (AWS architecture-blog shape): uniform in [0, cap] where
+  // cap doubles each attempt. Deterministic: SplitMix64 over jitter_seed.
+  std::uint64_t cap_ms = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, policy_.initial_backoff.count()));
+  for (int i = 0; i < attempt && cap_ms < static_cast<std::uint64_t>(
+                                              policy_.max_backoff.count());
+       ++i) {
+    cap_ms *= 2;
+  }
+  cap_ms = std::min(cap_ms,
+                    static_cast<std::uint64_t>(policy_.max_backoff.count()));
+  const std::uint64_t draw = util::SplitMix64{rng_state_}();
+  rng_state_ = util::mix64(rng_state_ + 0x9e3779b97f4a7c15ull);
+  std::chrono::milliseconds delay{
+      static_cast<std::int64_t>(draw % (cap_ms + 1))};
+  if (retry_after_hint.count() > 0 && policy_.honor_retry_after) {
+    delay = std::max(delay, std::min(retry_after_hint, policy_.max_backoff));
+  }
+  return delay;
+}
+
+HttpResponse Client::request(const HttpRequest& request, bool idempotent) {
+  using Clock = CircuitBreaker::Clock;
+  const Clock::time_point start = Clock::now();
+  const bool bounded = policy_.overall_deadline.count() > 0;
+  const Clock::time_point deadline = start + policy_.overall_deadline;
+
+  obs::Counter* attempts_counter =
+      metrics_ ? &metrics_->counter("serve.client.attempts") : nullptr;
+  obs::Counter* retries_counter =
+      metrics_ ? &metrics_->counter("serve.client.retries") : nullptr;
+  obs::Counter* opens_counter =
+      metrics_ ? &metrics_->counter("serve.client.breaker.opens") : nullptr;
+  obs::Gauge* state_gauge =
+      metrics_ ? &metrics_->gauge("serve.client.breaker.state") : nullptr;
+
+  std::string last_error;
+  HttpResponse last_response;
+  bool have_response = false;
+
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    Clock::time_point now = Clock::now();
+    if (bounded && now >= deadline) break;
+
+    // Admission through the breaker. When open, wait out the cooldown if
+    // the overall deadline allows a later probe; otherwise fail fast.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!breaker_.allow(now)) {
+        const Clock::time_point retry_at = breaker_.retry_at();
+        if (bounded && retry_at >= deadline) {
+          throw ClientError(
+              "circuit open: breaker cooldown outlasts the overall deadline");
+        }
+        lock.unlock();
+        std::this_thread::sleep_until(retry_at);
+        now = Clock::now();
+        lock.lock();
+      }
+      ++attempts_;
+      if (attempt > 0) ++retries_;
+    }
+    if (attempts_counter) attempts_counter->add(1);
+    if (retries_counter && attempt > 0) retries_counter->add(1);
+
+    // Per-attempt socket timeout, clipped to what remains of the overall
+    // deadline so the last attempt cannot overshoot it.
+    std::chrono::milliseconds timeout = policy_.attempt_timeout;
+    if (bounded) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - Clock::now());
+      timeout = std::max(std::chrono::milliseconds(1),
+                         std::min(timeout, remaining));
+    }
+
+    bool failed = false;
+    std::chrono::milliseconds retry_after_hint{0};
+    try {
+      const HttpResponse response =
+          http_request(host_, port_, request, timeout);
+      last_response = response;
+      have_response = true;
+      failed = retryable_status(response.status);
+      if (failed && response.status == 503) {
+        const long seconds = retry_after_seconds(response);
+        if (seconds >= 0) retry_after_hint = std::chrono::seconds(seconds);
+      }
+    } catch (const ClientError& error) {
+      last_error = error.what();
+      have_response = false;
+      failed = true;
+      if (!idempotent) {
+        // A dead connection may have executed the request server-side;
+        // only an idempotent request may be replayed.
+        std::lock_guard<std::mutex> lock(mutex_);
+        breaker_.on_failure(Clock::now());
+        if (state_gauge) {
+          state_gauge->set(static_cast<std::int64_t>(breaker_.state()));
+        }
+        throw;
+      }
+    }
+
+    std::chrono::milliseconds delay{0};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::uint64_t opens_before = breaker_.opens();
+      if (failed) {
+        breaker_.on_failure(Clock::now());
+      } else {
+        breaker_.on_success(Clock::now());
+      }
+      if (opens_counter && breaker_.opens() > opens_before) {
+        opens_counter->add(breaker_.opens() - opens_before);
+      }
+      if (state_gauge) {
+        state_gauge->set(static_cast<std::int64_t>(breaker_.state()));
+      }
+      if (failed) delay = backoff_delay(attempt, retry_after_hint);
+    }
+    if (!failed) return last_response;
+
+    if (attempt + 1 < policy_.max_attempts && delay.count() > 0) {
+      if (bounded) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        delay = std::min(delay, std::max(std::chrono::milliseconds(0),
+                                         remaining));
+      }
+      std::this_thread::sleep_for(delay);
+    }
+  }
+
+  // Out of attempts (or deadline). An HTTP-level failure is still a
+  // response — hand the caller the last status; pure transport failure is
+  // an exception, same contract as http_request.
+  if (have_response) return last_response;
+  throw ClientError("request failed after " +
+                    std::to_string(policy_.max_attempts) + " attempts: " +
+                    (last_error.empty() ? "deadline exceeded" : last_error));
+}
+
+HttpResponse Client::get(std::string_view target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(target);
+  return this->request(request, /*idempotent=*/true);
+}
+
+HttpResponse Client::post(std::string_view target, std::string_view body,
+                          bool idempotent) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = std::string(target);
+  request.body = std::string(body);
+  return this->request(request, idempotent);
 }
 
 }  // namespace jem::serve

@@ -128,6 +128,7 @@ RequestParse parse_request(std::string_view buffer, std::size_t max_body) {
     if (buffer.size() > (64u << 10)) {
       result.status = ParseStatus::kBad;
       result.error = "header block exceeds 64 KiB";
+      result.reject_status = 431;
     }
     return result;
   }
@@ -182,6 +183,7 @@ RequestParse parse_request(std::string_view buffer, std::size_t max_body) {
     result.status = ParseStatus::kBad;
     result.error = "body of " + std::to_string(body_length) +
                    " bytes exceeds the limit of " + std::to_string(max_body);
+    result.reject_status = 413;
     return result;
   }
 
@@ -202,7 +204,9 @@ std::string_view status_reason(int status) noexcept {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";

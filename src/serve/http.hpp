@@ -55,6 +55,10 @@ struct RequestParse {
   HttpRequest request;     // valid when kComplete
   std::size_t consumed = 0;  // bytes of `buffer` the message occupied
   std::string error;       // diagnostic when kBad
+  /// Status the server should answer with before closing when kBad:
+  /// 431 for an oversized header block, 413 for a body beyond `max_body`,
+  /// 400 for everything else malformed.
+  int reject_status = 400;
 };
 
 /// Parses one request from the front of `buffer`. Returns kIncomplete while

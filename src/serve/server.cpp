@@ -11,8 +11,11 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "core/index_serde.hpp"
+#include "io/artifact.hpp"
 #include "obs/json.hpp"
 #include "util/log.hpp"
 
@@ -25,6 +28,8 @@ using core::MapServiceResponse;
 using core::ServiceError;
 using core::ServiceErrorCode;
 using core::ServiceFailure;
+using util::FaultAction;
+using util::FaultDecision;
 
 /// Applies SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot pin a thread.
 void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
@@ -36,16 +41,27 @@ void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
 }
 
 /// send() the whole buffer (MSG_NOSIGNAL: a vanished peer must not raise
-/// SIGPIPE). Returns false on any failure.
+/// SIGPIPE). Retries EINTR and short writes; returns false on real failure.
 bool send_all(int fd, std::string_view bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Hard-closes a connection with an RST (SO_LINGER zero) — the injected
+/// "connection reset" fault the resilient client must survive.
+void reset_connection(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  (void)setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
 }
 
 /// JSON error body in the service's structured-error shape.
@@ -103,7 +119,15 @@ std::string_view trim_sequence(std::string_view body) {
 
 MappingServer::MappingServer(const core::MappingService& service,
                              ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+    : MappingServer(std::shared_ptr<const core::MappingService>(
+                        &service, [](const core::MappingService*) {}),
+                    std::move(config)) {}
+
+MappingServer::MappingServer(
+    std::shared_ptr<const core::MappingService> service, ServerConfig config)
+    : config_(std::move(config)),
+      service_(std::move(service)),
+      injector_(config_.fault_plan, /*rank=*/0) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.metrics != nullptr) {
@@ -123,9 +147,24 @@ MappingServer::MappingServer(const core::MappingService& service,
   cache_misses_ = &registry_->counter("serve.cache.misses");
   cache_evictions_ = &registry_->counter("serve.cache.evictions");
   batches_total_ = &registry_->counter("serve.batches");
+  rejected_head_ = &registry_->counter("serve.http.rejected.head");
+  rejected_body_ = &registry_->counter("serve.http.rejected.body");
+  rejected_malformed_ = &registry_->counter("serve.http.rejected.malformed");
+  chaos_delay_ = &registry_->counter("serve.chaos.injected.delay");
+  chaos_reset_ = &registry_->counter("serve.chaos.injected.reset");
+  chaos_partial_ = &registry_->counter("serve.chaos.injected.partial");
+  chaos_abort_ = &registry_->counter("serve.chaos.injected.abort");
+  chaos_cache_bypass_ =
+      &registry_->counter("serve.chaos.injected.cache_bypass");
+  chaos_batch_drop_ = &registry_->counter("serve.chaos.injected.batch_drop");
+  reload_success_ = &registry_->counter("serve.reload.success");
+  reload_rejected_ = &registry_->counter("serve.reload.rejected");
+  restarts_worker_ = &registry_->counter("serve.supervisor.worker_restarts");
+  restarts_batcher_ = &registry_->counter("serve.supervisor.batcher_restarts");
   queue_depth_ = &registry_->gauge("serve.queue.depth");
   work_depth_ = &registry_->gauge("serve.work.depth");
   cache_size_ = &registry_->gauge("serve.cache.size");
+  epoch_gauge_ = &registry_->gauge("serve.index.epoch");
   map_latency_ns_ =
       &registry_->histogram("serve.endpoint.map.latency_ns", obs::Unit::kNanos);
   healthz_latency_ns_ = &registry_->histogram("serve.endpoint.healthz.latency_ns",
@@ -145,6 +184,12 @@ MappingServer::MappingServer(const core::MappingService& service,
 }
 
 MappingServer::~MappingServer() { stop(); }
+
+std::shared_ptr<const core::MappingService> MappingServer::current_service()
+    const {
+  std::lock_guard lock(service_mutex_);
+  return service_;
+}
 
 void MappingServer::start() {
   if (running_.load(std::memory_order_acquire)) return;
@@ -188,11 +233,20 @@ void MappingServer::start() {
   accepting_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
 
-  batcher_ = std::thread([this] { batcher_loop(); });
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    supervising_ = true;
+    respawn_enabled_ = true;
+    workers_active_ = config_.workers;
+    dead_.clear();
+  }
+  batcher_ = std::thread([this] { batcher_main(); });
+  workers_.clear();
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
   acceptor_ = std::thread([this] { acceptor_loop(); });
 }
 
@@ -210,16 +264,59 @@ void MappingServer::stop() {
 
   // 2. Drain admitted connections: close() releases blocked workers while
   //    keeping queued items poppable, so every accepted request is served.
+  //    The supervisor stays armed through the drain — a worker or batcher
+  //    that aborts mid-drain is still respawned, so no worker ever waits on
+  //    a future nobody will fulfil.
   conn_queue_->close();
-  for (std::thread& worker : workers_) {
+  {
+    std::unique_lock lock(lifecycle_mutex_);
+    drained_cv_.wait(lock, [this] {
+      if (workers_active_ != 0 || respawn_in_flight_ != 0) return false;
+      for (const std::size_t slot : dead_) {
+        if (slot != kBatcherSlot) return false;
+      }
+      return true;
+    });
+    respawn_enabled_ = false;
+  }
+
+  // 3. Every worker has exited; join the thread objects. Moved out under
+  //    the lock so the supervisor (still alive, maybe joining a dead
+  //    batcher) never races the vector.
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    finished.swap(workers_);
+  }
+  for (std::thread& worker : finished) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
 
-  // 3. Drain the map work queue last — workers may have been waiting on
+  // 4. Retire the supervisor; it drains any leftover dead_ joins first.
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    supervising_ = false;
+  }
+  death_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+
+  // 5. Drain the map work queue last — workers may have been waiting on
   //    batcher results until the moment they exited.
   work_queue_->close();
-  if (batcher_.joinable()) batcher_.join();
+  std::thread batcher;
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    batcher = std::move(batcher_);
+  }
+  if (batcher.joinable()) batcher.join();
+
+  // 6. Anything still queued belonged to a batcher that died un-respawned
+  //    after its waiters left. Nobody holds the futures; drop the items so
+  //    the queue destructs empty.
+  PendingMap leftover;
+  while (work_queue_->pop_wait_for(leftover, std::chrono::milliseconds(0)) ==
+         util::QueueOpResult::kSuccess) {
+  }
 }
 
 void MappingServer::acceptor_loop() {
@@ -232,6 +329,21 @@ void MappingServer::acceptor_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     set_socket_timeouts(fd, config_.io_timeout);
+
+    // serve.accept: delay stalls the admission, drop/abort resets the new
+    // connection. The acceptor itself never dies — a dead listener is a
+    // dead server, not a survivable fault.
+    if (injector_.active()) {
+      const FaultDecision fault = injector_.next("serve.accept");
+      if (fault.action == FaultAction::kDelay) {
+        chaos_delay_->add();
+        std::this_thread::sleep_for(fault.delay);
+      } else if (fault.action != FaultAction::kNone) {
+        chaos_reset_->add();
+        reset_connection(fd);
+        continue;
+      }
+    }
 
     // Admission control: try-push (zero wait). A full queue sheds the
     // connection right here with 503 + Retry-After — the listener never
@@ -256,6 +368,33 @@ void MappingServer::acceptor_loop() {
   }
 }
 
+void MappingServer::note_death(std::size_t slot) {
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    dead_.push_back(slot);
+    if (slot != kBatcherSlot && workers_active_ > 0) --workers_active_;
+  }
+  death_cv_.notify_all();
+  drained_cv_.notify_all();
+}
+
+void MappingServer::worker_main(std::size_t slot) {
+  try {
+    worker_loop();
+  } catch (const std::exception& error) {
+    // Injected abort (util::FaultAbort) or a genuine bug: either way the
+    // thread is gone — hand the slot to the supervisor for respawn.
+    util::log_warn() << "serve: worker died: " << error.what();
+    note_death(slot);
+    return;
+  }
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    if (workers_active_ > 0) --workers_active_;
+  }
+  drained_cv_.notify_all();
+}
+
 void MappingServer::worker_loop() {
   while (true) {
     std::optional<int> fd = conn_queue_->pop();
@@ -266,6 +405,27 @@ void MappingServer::worker_loop() {
 }
 
 void MappingServer::serve_connection(int fd) {
+  // serve.read: one decision per connection (not per recv) so a seeded
+  // plan's invocation numbering is independent of TCP segmentation. Delay
+  // stalls the read, drop resets the peer, abort kills this worker after
+  // resetting the peer (its request never entered the pipeline, so nothing
+  // is left in flight).
+  if (injector_.active()) {
+    const FaultDecision fault = injector_.next("serve.read");
+    if (fault.action == FaultAction::kDelay) {
+      chaos_delay_->add();
+      std::this_thread::sleep_for(fault.delay);
+    } else if (fault.action == FaultAction::kDrop) {
+      chaos_reset_->add();
+      reset_connection(fd);
+      return;
+    } else if (fault.action == FaultAction::kAbort) {
+      chaos_abort_->add();
+      reset_connection(fd);
+      throw util::FaultAbort(injector_.rank(), "serve.read");
+    }
+  }
+
   std::string buffer;
   char chunk[8192];
   RequestParse parsed;
@@ -273,6 +433,7 @@ void MappingServer::serve_connection(int fd) {
     parsed = parse_request(buffer);
     if (parsed.status != ParseStatus::kIncomplete) break;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {  // timeout, reset, or EOF mid-request: drop quietly
       ::close(fd);
       return;
@@ -284,12 +445,58 @@ void MappingServer::serve_connection(int fd) {
   if (parsed.status == ParseStatus::kBad) {
     requests_total_->add();
     responses_4xx_->add();
-    response.status = 400;
+    switch (parsed.reject_status) {
+      case 431: rejected_head_->add(); break;
+      case 413: rejected_body_->add(); break;
+      default: rejected_malformed_->add(); break;
+    }
+    response.status = parsed.reject_status;
     response.body = error_body(ServiceErrorCode::kInvalidArgument, "request",
                                parsed.error);
   } else {
-    response = handle(parsed.request);
+    try {
+      response = handle(parsed.request);
+    } catch (const util::FaultAbort&) {
+      // Crash containment: the in-flight request is answered with a
+      // structured 500 before this worker dies — never a hung client.
+      responses_5xx_->add();
+      HttpResponse crashed;
+      crashed.status = 500;
+      crashed.body = error_body(ServiceErrorCode::kInternal, "",
+                                "worker aborted by fault injection");
+      (void)send_all(fd, serialize_response(crashed));
+      ::close(fd);
+      throw;
+    }
   }
+
+  // serve.write: one decision per response. Delay stalls the write, drop
+  // truncates it mid-body (the client sees a torn response), abort answers
+  // with a structured 500 and then kills this worker.
+  if (injector_.active()) {
+    const FaultDecision fault = injector_.next("serve.write");
+    if (fault.action == FaultAction::kDelay) {
+      chaos_delay_->add();
+      std::this_thread::sleep_for(fault.delay);
+    } else if (fault.action == FaultAction::kDrop) {
+      chaos_partial_->add();
+      const std::string wire = serialize_response(response);
+      (void)send_all(fd, std::string_view(wire).substr(0, wire.size() / 2));
+      reset_connection(fd);
+      return;
+    } else if (fault.action == FaultAction::kAbort) {
+      chaos_abort_->add();
+      responses_5xx_->add();
+      HttpResponse crashed;
+      crashed.status = 500;
+      crashed.body = error_body(ServiceErrorCode::kInternal, "",
+                                "worker aborted by fault injection");
+      (void)send_all(fd, serialize_response(crashed));
+      ::close(fd);
+      throw util::FaultAbort(injector_.rank(), "serve.write");
+    }
+  }
+
   (void)send_all(fd, serialize_response(response));
   ::close(fd);
 }
@@ -321,6 +528,14 @@ HttpResponse MappingServer::handle(const HttpRequest& request) {
     } else {
       response = handle_metrics();
     }
+  } else if (request.path == "/admin/reload") {
+    if (request.method != "POST") {
+      response.status = 405;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
+                                 "/admin/reload takes POST");
+    } else {
+      response = handle_reload(request);
+    }
   } else {
     response.status = 404;
     response.body = error_body(ServiceErrorCode::kInvalidArgument, "path",
@@ -347,6 +562,11 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
             .count()));
     return r;
   };
+
+  // Snapshot the serving epoch once: this request runs start-to-finish on
+  // the index it admitted against, even if a reload lands mid-flight.
+  const std::shared_ptr<const core::MappingService> service =
+      current_service();
 
   // Assemble the service request: body = bases, knobs via query string.
   MapServiceRequest service_request;
@@ -385,17 +605,35 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
     budget = std::chrono::milliseconds(value);
   }
   try {
-    service_request.validate(service_.config().params);
+    service_request.validate(service->config().params);
   } catch (const ServiceError& error) {
     response.status = 400;
     response.body = error_body(error.code(), error.field(), error.what());
     return finish(std::move(response));
   }
 
+  // serve.cache: delay stalls the probe, drop bypasses the cache for this
+  // request (a forced miss — results stay identical, only latency and hit
+  // tallies move), abort kills this worker (contained in serve_connection).
+  bool cache_bypassed = false;
+  if (cache_ && injector_.active()) {
+    const FaultDecision fault = injector_.next("serve.cache");
+    if (fault.action == FaultAction::kDelay) {
+      chaos_delay_->add();
+      std::this_thread::sleep_for(fault.delay);
+    } else if (fault.action == FaultAction::kDrop) {
+      chaos_cache_bypass_->add();
+      cache_bypassed = true;
+    } else if (fault.action == FaultAction::kAbort) {
+      chaos_abort_->add();
+      throw util::FaultAbort(injector_.rank(), "serve.cache");
+    }
+  }
+
   // Cache probe. The key embeds every knob that shapes the response; the
   // stored key is compared byte-for-byte on lookup (digest-collision safe).
   std::string cache_key;
-  if (cache_) {
+  if (cache_ && !cache_bypassed) {
     cache_key = service_request.sequence;
     cache_key += '\x1f';
     cache_key += std::to_string(service_request.top_x);
@@ -451,7 +689,7 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
     return finish(std::move(response));
   }
 
-  if (cache_) {
+  if (cache_ && !cache_bypassed) {
     std::lock_guard lock(cache_mutex_);
     cache_->put(std::move(cache_key), service_response);
     cache_size_->set(static_cast<std::int64_t>(cache_->size()));
@@ -467,16 +705,30 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
 HttpResponse MappingServer::handle_healthz() {
   const auto start = Clock::now();
   HttpResponse response;
+  const std::shared_ptr<const core::MappingService> service =
+      current_service();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
   const auto uptime_s = std::chrono::duration_cast<std::chrono::seconds>(
                             Clock::now() - started_at_)
                             .count();
   std::string body = "{\"status\":\"ok\",\"subjects\":";
-  body += std::to_string(service_.subjects().size());
+  body += std::to_string(service->subjects().size());
   body += ",\"trials\":";
-  body += std::to_string(service_.config().params.trials);
+  body += std::to_string(service->config().params.trials);
   body += ",\"index\":\"";
-  body += service_.load_report().loaded_from_artifact ? "artifact" : "rebuilt";
-  body += "\",\"uptime_s\":";
+  // Epoch > 0 means the serving index came from a hot-swapped artifact.
+  body += (service->load_report().loaded_from_artifact || epoch > 0)
+              ? "artifact"
+              : "rebuilt";
+  body += "\",\"epoch\":";
+  body += std::to_string(epoch);
+  body += ",\"reloads\":";
+  body += std::to_string(reloads_.load(std::memory_order_relaxed));
+  body += ",\"worker_restarts\":";
+  body += std::to_string(worker_restarts_.load(std::memory_order_relaxed));
+  body += ",\"batcher_restarts\":";
+  body += std::to_string(batcher_restarts_.load(std::memory_order_relaxed));
+  body += ",\"uptime_s\":";
   body += std::to_string(uptime_s);
   body += '}';
   response.body = std::move(body);
@@ -497,6 +749,103 @@ HttpResponse MappingServer::handle_metrics() {
                                                            start)
           .count()));
   return response;
+}
+
+HttpResponse MappingServer::handle_reload(const HttpRequest& request) {
+  std::string path = config_.reload_index_path;
+  if (const std::string* raw = request.query_param("path")) path = *raw;
+  HttpResponse response;
+  if (path.empty()) {
+    response.status = 400;
+    response.body = error_body(
+        ServiceErrorCode::kInvalidArgument, "path",
+        "no ?path= given and the server has no configured reload path");
+    return response;
+  }
+  const ReloadOutcome outcome = reload_index(path);
+  if (!outcome.success) {
+    // 409: the request was well-formed but the artifact conflicts with the
+    // running configuration (or is unreadable); the old index keeps serving.
+    response.status = 409;
+    response.body =
+        error_body(ServiceErrorCode::kIndexUnavailable, "index", outcome.error);
+    return response;
+  }
+  response.body = "{\"status\":\"reloaded\",\"epoch\":" +
+                  std::to_string(outcome.epoch) + "}";
+  return response;
+}
+
+MappingServer::ReloadOutcome MappingServer::reload_index(
+    const std::string& path) {
+  std::lock_guard reload_lock(reload_mutex_);
+  ReloadOutcome outcome;
+  const std::shared_ptr<const core::MappingService> current =
+      current_service();
+
+  // Load and validate against the RUNNING fingerprint: same params, same
+  // scheme, same subject set. index_serde rejects any disagreement with a
+  // structured ArtifactError naming the offending field.
+  io::SequenceSet subjects = current->subjects();  // value copy
+  std::shared_ptr<const core::MappingService> fresh;
+  try {
+    core::SketchTable table = core::load_index(
+        path, current->config().params, current->config().scheme, subjects);
+    fresh = std::make_shared<const core::MappingService>(
+        std::move(subjects), current->config(), std::move(table));
+  } catch (const io::ArtifactError& error) {
+    reload_rejected_->add();
+    outcome.epoch = epoch_.load(std::memory_order_acquire);
+    outcome.error = error.what();
+    util::log_warn() << "serve: reload rejected: " << outcome.error;
+    return outcome;
+  }
+
+  // Atomic publish: new requests snapshot the fresh epoch, in-flight ones
+  // finish on the shared_ptr they already hold.
+  {
+    std::lock_guard lock(service_mutex_);
+    service_ = fresh;
+  }
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  epoch_gauge_->set(static_cast<std::int64_t>(epoch));
+  reload_success_->add();
+
+  // The cache may hold responses computed on the old index; clear it only
+  // now that the swap is committed.
+  if (cache_) {
+    std::lock_guard lock(cache_mutex_);
+    cache_->clear();
+    cache_size_->set(0);
+  }
+
+  outcome.success = true;
+  outcome.epoch = epoch;
+  util::log_info() << "serve: index hot-swapped from '" << path << "' (epoch "
+                   << epoch << ")";
+  return outcome;
+}
+
+void MappingServer::fail_batch(std::vector<PendingMap>& batch,
+                               std::string_view message) {
+  for (PendingMap& pending : batch) {
+    MapServiceResponse failed;
+    failed.failure =
+        ServiceFailure{ServiceErrorCode::kInternal, std::string(message)};
+    pending.promise.set_value(std::move(failed));
+  }
+  batch.clear();
+}
+
+void MappingServer::batcher_main() {
+  try {
+    batcher_loop();
+  } catch (const std::exception& error) {
+    util::log_warn() << "serve: batcher died: " << error.what();
+    note_death(kBatcherSlot);
+  }
 }
 
 void MappingServer::batcher_loop() {
@@ -531,6 +880,27 @@ void MappingServer::batcher_loop() {
 
     if (config_.batch_hook) config_.batch_hook();
 
+    // serve.batch: one decision per micro-batch, after coalescing and
+    // before the map kernel. Delay stalls the batch, drop fails every
+    // member with a structured 500 (clients retry), abort additionally
+    // kills the batcher — the supervisor respawns it. Promises are always
+    // fulfilled before the throw: a dead batcher never strands a waiter.
+    if (injector_.active()) {
+      const FaultDecision fault = injector_.next("serve.batch");
+      if (fault.action == FaultAction::kDelay) {
+        chaos_delay_->add();
+        std::this_thread::sleep_for(fault.delay);
+      } else if (fault.action == FaultAction::kDrop) {
+        chaos_batch_drop_->add();
+        fail_batch(batch, "batch dropped by fault injection");
+        continue;
+      } else if (fault.action == FaultAction::kAbort) {
+        chaos_abort_->add();
+        fail_batch(batch, "batcher aborted by fault injection");
+        throw util::FaultAbort(injector_.rank(), "serve.batch");
+      }
+    }
+
     batches_total_->add();
     batch_size_->record(batch.size());
 
@@ -543,22 +913,53 @@ void MappingServer::batcher_loop() {
       deadlines.push_back(pending.deadline);
     }
 
+    // One service snapshot per batch: a reload that lands mid-batch takes
+    // effect from the next batch on.
+    const std::shared_ptr<const core::MappingService> service =
+        current_service();
     std::vector<MapServiceResponse> responses;
     try {
-      responses = service_.map_batch(requests, deadlines);
+      responses = service->map_batch(requests, deadlines);
     } catch (const std::exception& error) {
       // A batch-level throw (programming error) must not strand waiters.
-      for (PendingMap& pending : batch) {
-        MapServiceResponse failed;
-        failed.failure = core::ServiceFailure{ServiceErrorCode::kInternal,
-                                              error.what()};
-        pending.promise.set_value(std::move(failed));
-      }
+      fail_batch(batch, error.what());
       continue;
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(responses[i]));
     }
+  }
+}
+
+void MappingServer::supervisor_loop() {
+  std::unique_lock lock(lifecycle_mutex_);
+  while (true) {
+    death_cv_.wait(lock, [this] { return !dead_.empty() || !supervising_; });
+    if (dead_.empty() && !supervising_) return;
+
+    const std::size_t slot = dead_.back();
+    dead_.pop_back();
+    ++respawn_in_flight_;
+    std::thread corpse = slot == kBatcherSlot ? std::move(batcher_)
+                                              : std::move(workers_[slot]);
+    lock.unlock();
+    if (corpse.joinable()) corpse.join();
+    lock.lock();
+
+    if (respawn_enabled_) {
+      if (slot == kBatcherSlot) {
+        batcher_ = std::thread([this] { batcher_main(); });
+        batcher_restarts_.fetch_add(1, std::memory_order_relaxed);
+        restarts_batcher_->add();
+      } else {
+        workers_[slot] = std::thread([this, slot] { worker_main(slot); });
+        ++workers_active_;
+        worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+        restarts_worker_->add();
+      }
+    }
+    --respawn_in_flight_;
+    drained_cv_.notify_all();
   }
 }
 

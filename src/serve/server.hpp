@@ -32,18 +32,44 @@
 // from an LruCache keyed by the full composite key (digest picks the
 // bucket, byte-compare confirms — collision-safe).
 //
+// Fault injection (docs/robustness.md): when ServerConfig::fault_plan is
+// set, the pipeline queries a util::FaultInjector at five named sites —
+// serve.accept, serve.read, serve.write, serve.batch, serve.cache — mapping
+// the plan's delay/drop/abort taxonomy onto network failure modes:
+// injected latency, connection resets, truncated responses, dropped
+// batches, and worker/batcher thread aborts. Every decision is keyed by
+// (site, invocation) so the same seed replays the same schedule.
+//
+// Supervision: worker and batcher threads run under a supervisor. A thread
+// that dies (injected abort or a genuine bug) has its in-flight requests
+// failed with structured 500s — never hung futures — is joined, and is
+// respawned while the server keeps serving; /healthz reports the restart
+// counts.
+//
+// Hot swap: reload_index() (HTTP: POST /admin/reload; CLI: SIGHUP) loads a
+// new JEMIDX1 artifact in the background, validates it against the running
+// params fingerprint and subject set (core::index_serde's structured
+// errors), then atomically publishes a new MappingService epoch behind a
+// shared_ptr. In-flight requests finish on the index they started with;
+// the response cache is invalidated only after a successful swap. A
+// corrupt or mismatched artifact leaves the old index serving and surfaces
+// the ArtifactError text — zero downtime either way.
+//
 // Endpoints:
-//   POST /map       body = query bases; ?top_x=&min_votes=&deadline_ms=
-//   GET  /healthz   liveness + index provenance
-//   GET  /metrics   MetricsSnapshot::to_json() (obs_check-validated schema)
+//   POST /map           body = query bases; ?top_x=&min_votes=&deadline_ms=
+//   GET  /healthz       liveness + index provenance + restart/epoch counts
+//   GET  /metrics       MetricsSnapshot::to_json() (obs_check-validated)
+//   POST /admin/reload  hot-swap the index (?path= overrides the default)
 //
 // Observability: per-endpoint latency histograms, queue-depth and
-// cache gauges, shed/deadline counters — all in the registry /metrics
-// serves (docs/serve.md lists the catalog).
+// cache gauges, shed/deadline/reject counters, chaos-injection tallies,
+// supervisor restart counts and the index epoch — all in the registry
+// /metrics serves (docs/serve.md lists the catalog).
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -59,6 +85,7 @@
 #include "serve/http.hpp"
 #include "serve/lru_cache.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/fault_plan.hpp"
 
 namespace jem::serve {
 
@@ -96,6 +123,14 @@ struct ServerConfig {
   /// the server owns a private registry.
   obs::Registry* metrics = nullptr;
 
+  /// Deterministic network chaos: when set (and non-empty), the serve.*
+  /// fault sites consult this plan. Not owned; must outlive the server.
+  const util::FaultPlan* fault_plan = nullptr;
+
+  /// Default artifact path for /admin/reload without ?path= and for the
+  /// CLI's SIGHUP handler. Empty = reload requires an explicit path.
+  std::string reload_index_path;
+
   /// Test-only gate invoked by the batcher before mapping each micro-batch
   /// (lets tests hold the pipeline to force queue-full and deadline paths).
   std::function<void()> batch_hook;
@@ -105,15 +140,23 @@ class MappingServer {
  public:
   using Clock = core::MappingService::Clock;
 
-  /// The service must outlive the server.
+  /// Non-owning: the service must outlive the server. Hot-swap is still
+  /// available — the original service simply remains owned by the caller
+  /// while new epochs are owned by the server.
   MappingServer(const core::MappingService& service, ServerConfig config);
+
+  /// Owning (shared): the server participates in the service's lifetime,
+  /// the natural shape when reload_index() will retire epochs.
+  MappingServer(std::shared_ptr<const core::MappingService> service,
+                ServerConfig config);
   ~MappingServer();
 
   MappingServer(const MappingServer&) = delete;
   MappingServer& operator=(const MappingServer&) = delete;
 
-  /// Binds, listens and starts the acceptor/worker/batcher threads.
-  /// Throws ServeError on bind/listen failure. Idempotent once running.
+  /// Binds, listens and starts the acceptor/worker/batcher/supervisor
+  /// threads. Throws ServeError on bind/listen failure. Idempotent once
+  /// running.
   void start();
 
   /// Graceful drain: stop accepting, serve every admitted connection and
@@ -135,6 +178,35 @@ class MappingServer {
   /// server must be start()ed. Exposed for in-process callers and tests.
   [[nodiscard]] HttpResponse handle(const HttpRequest& request);
 
+  /// Result of one hot-swap attempt.
+  struct ReloadOutcome {
+    bool success = false;
+    std::uint64_t epoch = 0;   // the serving epoch after the attempt
+    std::string error;         // ArtifactError text when !success
+  };
+
+  /// Loads the JEMIDX1 artifact at `path` (empty = the configured
+  /// reload_index_path), validates it against the running parameters and
+  /// subject set, and atomically swaps the serving epoch. In-flight
+  /// requests finish on their original index; the LRU cache is cleared
+  /// only on success. On any validation/IO failure the old index keeps
+  /// serving and the structured error text is returned. Thread-safe;
+  /// concurrent reloads serialize.
+  [[nodiscard]] ReloadOutcome reload_index(const std::string& path);
+
+  /// Serving epoch: 0 at start, +1 per successful reload.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Supervisor tallies (threads respawned after an abort).
+  [[nodiscard]] std::uint64_t worker_restarts() const noexcept {
+    return worker_restarts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batcher_restarts() const noexcept {
+    return batcher_restarts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct PendingMap {
     core::MapServiceRequest request;
@@ -142,17 +214,39 @@ class MappingServer {
     std::promise<core::MapServiceResponse> promise;
   };
 
+  /// Supervisor slot id of the batcher (workers use their vector index).
+  static constexpr std::size_t kBatcherSlot = ~static_cast<std::size_t>(0);
+
   void acceptor_loop();
+  void worker_main(std::size_t slot);
   void worker_loop();
+  void batcher_main();
   void batcher_loop();
+  void supervisor_loop();
+  void note_death(std::size_t slot);
   void serve_connection(int fd);
+
+  /// Current serving epoch (never null once constructed).
+  [[nodiscard]] std::shared_ptr<const core::MappingService> current_service()
+      const;
 
   [[nodiscard]] HttpResponse handle_map(const HttpRequest& request);
   [[nodiscard]] HttpResponse handle_healthz();
   [[nodiscard]] HttpResponse handle_metrics();
+  [[nodiscard]] HttpResponse handle_reload(const HttpRequest& request);
 
-  const core::MappingService& service_;
+  /// Fails every promise of `batch` with a structured internal failure.
+  static void fail_batch(std::vector<PendingMap>& batch,
+                         std::string_view message);
+
   ServerConfig config_;
+
+  mutable std::mutex service_mutex_;  // guards the service_ pointer only
+  std::shared_ptr<const core::MappingService> service_;
+
+  std::mutex reload_mutex_;  // serializes reload_index()
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> reloads_{0};
 
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;
@@ -168,13 +262,29 @@ class MappingServer {
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_evictions_ = nullptr;
   obs::Counter* batches_total_ = nullptr;
+  obs::Counter* rejected_head_ = nullptr;
+  obs::Counter* rejected_body_ = nullptr;
+  obs::Counter* rejected_malformed_ = nullptr;
+  obs::Counter* chaos_delay_ = nullptr;
+  obs::Counter* chaos_reset_ = nullptr;
+  obs::Counter* chaos_partial_ = nullptr;
+  obs::Counter* chaos_abort_ = nullptr;
+  obs::Counter* chaos_cache_bypass_ = nullptr;
+  obs::Counter* chaos_batch_drop_ = nullptr;
+  obs::Counter* reload_success_ = nullptr;
+  obs::Counter* reload_rejected_ = nullptr;
+  obs::Counter* restarts_worker_ = nullptr;
+  obs::Counter* restarts_batcher_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* work_depth_ = nullptr;
   obs::Gauge* cache_size_ = nullptr;
+  obs::Gauge* epoch_gauge_ = nullptr;
   obs::Histogram* map_latency_ns_ = nullptr;
   obs::Histogram* healthz_latency_ns_ = nullptr;
   obs::Histogram* metrics_latency_ns_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
+
+  util::FaultInjector injector_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -190,6 +300,20 @@ class MappingServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   std::thread batcher_;
+
+  // Supervisor state: dead slots awaiting join/respawn, plus the drain
+  // bookkeeping stop() waits on. All guarded by lifecycle_mutex_.
+  std::mutex lifecycle_mutex_;
+  std::condition_variable death_cv_;    // supervisor wakes on deaths
+  std::condition_variable drained_cv_;  // stop() waits for worker drain
+  std::vector<std::size_t> dead_;
+  bool supervising_ = false;
+  bool respawn_enabled_ = false;
+  std::size_t workers_active_ = 0;
+  std::size_t respawn_in_flight_ = 0;
+  std::thread supervisor_;
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> batcher_restarts_{0};
 
   Clock::time_point started_at_{};
 };

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "mpisim/communicator.hpp"
@@ -228,23 +229,29 @@ TEST(ChaosMpisim, CollectiveTimeoutIsReportedNotRethrown) {
   options.comm.max_retries = 1;
 
   util::FaultPlan plan;
-  // Rank 1 stalls forever before the collective by receiving from nobody —
-  // simplest stall: it just never calls the collective and waits on recv.
   options.fault_plan = &plan;
 
   const SpmdReport report = run_spmd_ft(
       2,
       [&](Comm& comm) {
         if (comm.rank() == 1) {
-          (void)comm.recv<int>(/*source=*/0);  // rank 0 never sends: stall
+          // Stall well past rank 0's whole timeout+retry budget (2 x 20 ms)
+          // without ever joining the collective, then finish cleanly. Rank 0
+          // must hit its own timeout — deterministically, with no race
+          // against a peer-death release of the collective (a stalled peer
+          // that itself times out at the same instant would make the
+          // failure count 1 or 2 depending on scheduling).
+          std::this_thread::sleep_for(milliseconds(200));
           return;
         }
         (void)comm.allgatherv<int>(rank_payload(0));
       },
       options);
-  // Both ranks fail by timeout; neither hangs the process.
-  ASSERT_EQ(report.failures.size(), 2u);
-  EXPECT_EQ(report.failed_ranks(), (std::vector<int>{0, 1}));
+  // Rank 0's collective timeout is contained as a reported failure — never
+  // rethrown out of run_spmd_ft, never a hang; rank 1 finished cleanly.
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failed_ranks(), (std::vector<int>{0}));
+  EXPECT_GE(report.stats.wait_timeouts, 1u);
 }
 
 TEST(ChaosMpisim, SameSeedSameSchedule) {

@@ -65,12 +65,30 @@ TEST(HttpParse, OversizedBodyIsRejectedNotBuffered) {
       /*max_body=*/1 << 20);
   ASSERT_EQ(parsed.status, ParseStatus::kBad);
   EXPECT_NE(parsed.error.find("exceeds"), std::string::npos);
+  EXPECT_EQ(parsed.reject_status, 413);
 }
 
 TEST(HttpParse, UnboundedHeadIsRejected) {
   std::string runaway = "GET / HTTP/1.1\r\n";
   runaway.append(70u << 10, 'x');  // no terminating blank line, ever
-  EXPECT_EQ(parse_request(runaway).status, ParseStatus::kBad);
+  const RequestParse parsed = parse_request(runaway);
+  EXPECT_EQ(parsed.status, ParseStatus::kBad);
+  EXPECT_EQ(parsed.reject_status, 431);
+}
+
+TEST(HttpParse, RejectStatusDefaultsTo400ForGenericMalformation) {
+  EXPECT_EQ(parse_request("GARBAGE\r\n\r\n").reject_status, 400);
+  EXPECT_EQ(parse_request("GET /x SPDY/99\r\n\r\n").reject_status, 400);
+  EXPECT_EQ(
+      parse_request("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+          .reject_status,
+      400);
+}
+
+TEST(HttpParse, RejectionReasonPhrasesAreRegistered) {
+  EXPECT_EQ(status_reason(409), "Conflict");
+  EXPECT_EQ(status_reason(413), "Payload Too Large");
+  EXPECT_EQ(status_reason(431), "Request Header Fields Too Large");
 }
 
 TEST(HttpSerialize, ResponseRoundTripsThroughParseResponse) {

@@ -1,0 +1,397 @@
+// Resilience of the serve path's socket edge and the resilient client
+// (docs/serve.md "Failure modes & recovery"):
+//  * byte-dribbled requests and mid-request disconnects at every byte
+//    boundary — the server's read loop must tolerate arbitrary TCP
+//    segmentation and abandoned connections without leaking a worker;
+//  * parser rejections are answered over the wire (431/413/400) before the
+//    connection closes, and tallied in serve.http.rejected.*;
+//  * CircuitBreaker state machine, scripted with injected time (no sleeps);
+//  * serve::Client retry semantics against a server running an explicit
+//    fault plan: resets retried only when idempotent, 500s retried, a dead
+//    server trips the breaker open.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dna.hpp"
+#include "core/service.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "util/fault_plan.hpp"
+#include "util/prng.hpp"
+
+namespace jem::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker: pure state machine, scripted time.
+
+CircuitBreaker::Clock::time_point at_ms(std::int64_t ms) {
+  return CircuitBreaker::Clock::time_point(milliseconds(ms));
+}
+
+TEST(CircuitBreakerTest, ClosedTripsToOpenAtThreshold) {
+  CircuitBreaker breaker({.failure_threshold = 3,
+                          .cooldown = milliseconds(100),
+                          .half_open_successes = 1});
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(at_ms(0)));
+  breaker.on_failure(at_ms(1));
+  breaker.on_failure(at_ms(2));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  breaker.on_failure(at_ms(3));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // Open: nothing is admitted before the cooldown lapses.
+  EXPECT_FALSE(breaker.allow(at_ms(50)));
+  EXPECT_FALSE(breaker.allow(at_ms(102)));
+  EXPECT_EQ(breaker.retry_at(), at_ms(103));
+}
+
+TEST(CircuitBreakerTest, OpenAdmitsHalfOpenProbeAfterCooldown) {
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .cooldown = milliseconds(100),
+                          .half_open_successes = 1});
+  breaker.on_failure(at_ms(0));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.allow(at_ms(100)));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_success(at_ms(101));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensWithFreshCooldown) {
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .cooldown = milliseconds(100),
+                          .half_open_successes = 1});
+  breaker.on_failure(at_ms(0));
+  ASSERT_TRUE(breaker.allow(at_ms(100)));
+  breaker.on_failure(at_ms(105));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The cooldown restarts from the re-open instant, not the original trip.
+  EXPECT_FALSE(breaker.allow(at_ms(150)));
+  EXPECT_EQ(breaker.retry_at(), at_ms(205));
+  EXPECT_TRUE(breaker.allow(at_ms(205)));
+}
+
+TEST(CircuitBreakerTest, HalfOpenNeedsConfiguredSuccessesToClose) {
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .cooldown = milliseconds(10),
+                          .half_open_successes = 2});
+  breaker.on_failure(at_ms(0));
+  ASSERT_TRUE(breaker.allow(at_ms(10)));
+  breaker.on_success(at_ms(11));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_success(at_ms(12));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsClosedFailureCount) {
+  CircuitBreaker breaker({.failure_threshold = 3,
+                          .cooldown = milliseconds(10),
+                          .half_open_successes = 1});
+  breaker.on_failure(at_ms(0));
+  breaker.on_failure(at_ms(1));
+  breaker.on_success(at_ms(2));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.on_failure(at_ms(3));
+  breaker.on_failure(at_ms(4));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(CircuitBreaker::state_name(CircuitBreaker::State::kClosed),
+            "closed");
+  EXPECT_EQ(CircuitBreaker::state_name(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(CircuitBreaker::state_name(CircuitBreaker::State::kHalfOpen),
+            "half-open");
+}
+
+// ---------------------------------------------------------------------------
+// Live-server tests: raw socket helpers for byte-level control.
+
+std::string random_dna(util::Xoshiro256ss& rng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) {
+    c = core::code_base(static_cast<std::uint8_t>(rng.bounded(4)));
+  }
+  return seq;
+}
+
+/// Blocking loopback connect; returns -1 on failure.
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_bytes(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string recv_to_eof(int fd) {
+  std::string out;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+class ServeResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Xoshiro256ss rng(321);
+    genome_ = random_dna(rng, 30'000);
+    io::SequenceSet subjects;
+    for (int i = 0; i < 6; ++i) {
+      subjects.add("contig_" + std::to_string(i),
+                   genome_.substr(static_cast<std::size_t>(i) * 5000, 5000));
+    }
+    const core::ServiceConfig config = core::ServiceConfig::make()
+                                           .k(16)
+                                           .window(20)
+                                           .trials(16)
+                                           .segment_length(800)
+                                           .seed(11)
+                                           .build();
+    service_.emplace(std::move(subjects), config);
+    query_ = genome_.substr(2000, 800);
+  }
+
+  void start_server(ServerConfig config = {}) {
+    config.port = 0;
+    server_.emplace(*service_, config);
+    server_->start();
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  [[nodiscard]] std::string map_wire(std::string_view body) const {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/map";
+    request.body = std::string(body);
+    return serialize_request(request, "127.0.0.1");
+  }
+
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) {
+    const auto snapshot = server_->registry().snapshot();
+    const auto* metric = snapshot.find(std::string(name));
+    return metric == nullptr ? 0 : metric->value;
+  }
+
+  std::string genome_;
+  std::string query_;
+  std::optional<core::MappingService> service_;
+  std::optional<MappingServer> server_;
+};
+
+TEST_F(ServeResilienceTest, ByteDribbledRequestStillParses) {
+  start_server();
+  const std::string wire = map_wire(query_);
+  const int fd = connect_to(server_->port());
+  ASSERT_GE(fd, 0);
+  // One byte per send: the worst TCP segmentation a client can produce.
+  for (char byte : wire) {
+    ASSERT_TRUE(send_bytes(fd, std::string_view(&byte, 1)));
+  }
+  const std::string raw = recv_to_eof(fd);
+  ::close(fd);
+  const ResponseParse parsed = parse_response(raw, /*eof=*/true);
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete) << parsed.error;
+  EXPECT_EQ(parsed.response.status, 200);
+  EXPECT_NE(parsed.response.body.find("\"mapped\""), std::string::npos);
+}
+
+TEST_F(ServeResilienceTest, DisconnectAtEveryByteBoundaryLeaksNothing) {
+  start_server();
+  // Short query keeps the wire small enough to cut at every boundary.
+  const std::string wire = map_wire(query_.substr(0, 48));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const int fd = connect_to(server_->port());
+    ASSERT_GE(fd, 0) << "cut=" << cut;
+    ASSERT_TRUE(send_bytes(fd, std::string_view(wire).substr(0, cut)))
+        << "cut=" << cut;
+    ::close(fd);  // abandon mid-request
+  }
+  // Every worker survived: a complete request still round-trips, and the
+  // server still drains cleanly.
+  const HttpResponse response =
+      http_post("127.0.0.1", server_->port(), "/map", query_);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(server_->worker_restarts(), 0u);
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeResilienceTest, OversizedHeaderBlockIsAnswered431) {
+  start_server();
+  const int fd = connect_to(server_->port());
+  ASSERT_GE(fd, 0);
+  const std::string head =
+      "GET /healthz HTTP/1.1\r\nx-pad: " + std::string(70'000, 'a');
+  ASSERT_TRUE(send_bytes(fd, head));
+  const std::string raw = recv_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 431", 0), 0u) << raw.substr(0, 64);
+  EXPECT_NE(raw.find("\"error\":\"invalid-argument\""), std::string::npos);
+  EXPECT_EQ(counter_value("serve.http.rejected.head"), 1u);
+}
+
+TEST_F(ServeResilienceTest, OversizedDeclaredBodyIsAnswered413) {
+  start_server();
+  const int fd = connect_to(server_->port());
+  ASSERT_GE(fd, 0);
+  // Declared length over the 1 MiB limit: rejected from the head alone,
+  // before any body bytes are transferred.
+  ASSERT_TRUE(send_bytes(fd,
+                         "POST /map HTTP/1.1\r\nhost: x\r\n"
+                         "content-length: 2097152\r\n\r\n"));
+  const std::string raw = recv_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 413", 0), 0u) << raw.substr(0, 64);
+  EXPECT_EQ(counter_value("serve.http.rejected.body"), 1u);
+}
+
+TEST_F(ServeResilienceTest, MalformedRequestLineIsAnswered400) {
+  start_server();
+  const int fd = connect_to(server_->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_bytes(fd, "BOGUS\r\n\r\n"));
+  const std::string raw = recv_to_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 400", 0), 0u) << raw.substr(0, 64);
+  EXPECT_EQ(counter_value("serve.http.rejected.malformed"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient client against scripted server faults.
+
+TEST_F(ServeResilienceTest, ClientRetriesConnectionResetWhenIdempotent) {
+  util::FaultPlan plan;
+  plan.drop_at(util::FaultPlan::kAnyRank, "serve.read", 0);  // first conn RST
+  ServerConfig config;
+  config.fault_plan = &plan;
+  start_server(config);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(10);
+  Client client("127.0.0.1", server_->port(), policy);
+  const HttpResponse response = client.post("/map", query_);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_EQ(counter_value("serve.chaos.injected.reset"), 1u);
+}
+
+TEST_F(ServeResilienceTest, ClientDoesNotRetryResetWhenNonIdempotent) {
+  util::FaultPlan plan;
+  plan.drop_at(util::FaultPlan::kAnyRank, "serve.read", 0);
+  ServerConfig config;
+  config.fault_plan = &plan;
+  start_server(config);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(1);
+  Client client("127.0.0.1", server_->port(), policy);
+  EXPECT_THROW((void)client.post("/map", query_, /*idempotent=*/false),
+               ClientError);
+  EXPECT_EQ(client.retries(), 0u);
+  // The same client still works once the scripted fault is spent.
+  EXPECT_EQ(client.post("/map", query_).status, 200);
+}
+
+TEST_F(ServeResilienceTest, ClientRetriesInjected500FromWorkerAbort) {
+  util::FaultPlan plan;
+  plan.abort_at(util::FaultPlan::kAnyRank, "serve.write", 0);
+  ServerConfig config;
+  config.fault_plan = &plan;
+  start_server(config);
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = milliseconds(1);
+  obs::Registry client_metrics;
+  Client client("127.0.0.1", server_->port(), policy, {}, &client_metrics);
+  // First response is replaced by a structured 500 and the worker dies;
+  // the retry lands on a healthy (or respawned) worker.
+  const HttpResponse response = client.post("/map", query_);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(client.attempts(), 2u);
+  // The supervisor respawns the aborted worker.
+  for (int i = 0; i < 2000 && server_->worker_restarts() == 0; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_GE(server_->worker_restarts(), 1u);
+  const auto snapshot = client_metrics.snapshot();
+  const auto* attempts = snapshot.find("serve.client.attempts");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_GE(attempts->value, 2u);
+}
+
+TEST_F(ServeResilienceTest, BreakerOpensWhenEveryConnectionDies) {
+  util::FaultPlan plan;
+  plan.drop_at(util::FaultPlan::kAnyRank, "serve.read",
+               util::FaultPlan::kAnyInvocation);  // every connection RST
+  ServerConfig config;
+  config.fault_plan = &plan;
+  start_server(config);
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(5);
+  policy.overall_deadline = milliseconds(500);
+  CircuitBreaker::Config breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = milliseconds(60'000);  // will not lapse in-test
+  Client client("127.0.0.1", server_->port(), policy, breaker);
+
+  EXPECT_THROW((void)client.get("/healthz"), ClientError);
+  EXPECT_EQ(client.breaker_state(), CircuitBreaker::State::kOpen);
+  // An open breaker whose cooldown outlasts the deadline fails fast
+  // instead of hammering the dead dependency.
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.get("/healthz"), ClientError);
+  EXPECT_LT(std::chrono::steady_clock::now() - before, milliseconds(5'000));
+}
+
+}  // namespace
+}  // namespace jem::serve
