@@ -1,7 +1,9 @@
 // Validates observability artifacts (docs/observability.md):
 //
-//   obs_check --metrics out.json      # metrics snapshot export
-//   obs_check --trace out.trace.json  # Chrome trace_event export
+//   obs_check --metrics out.json       # metrics snapshot export
+//   obs_check --trace out.trace.json   # Chrome trace_event export
+//   obs_check --openmetrics out.prom   # OpenMetrics text exposition
+//   obs_check --flight flight.json     # /debug/requests dump
 //
 // Checks that the file parses as JSON and satisfies the export schema:
 // metrics files are one {"metrics":[...]} object whose entries carry a
@@ -14,8 +16,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -123,6 +128,197 @@ int check_trace(const std::string& path) {
   return 0;
 }
 
+/// OpenMetrics text exposition: `# TYPE` coverage for every sample family,
+/// non-decreasing cumulative `_bucket` series ending in le="+Inf", numeric
+/// values, and the mandatory `# EOF` terminator.
+int check_openmetrics(const std::string& path) {
+  const std::string text = read_file(path);
+  std::vector<std::string_view> lines;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    lines.push_back(rest.substr(0, eol));
+    if (eol == std::string_view::npos) break;
+    rest.remove_prefix(eol + 1);
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty() || lines.back() != "# EOF") {
+    return fail(path, "missing '# EOF' terminator");
+  }
+  lines.pop_back();
+
+  std::map<std::string, std::string, std::less<>> families;  // name -> type
+  std::set<std::string, std::less<>> sampled;
+  struct BucketState {
+    double last = -1.0;
+    double inf_value = -1.0;
+  };
+  std::map<std::string, BucketState, std::less<>> buckets;
+  std::size_t samples = 0;
+
+  for (const std::string_view line : lines) {
+    if (line.empty()) return fail(path, "blank line inside the exposition");
+    if (line.front() == '#') {
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# UNIT ", 0) == 0) {
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) != 0) {
+        return fail(path, "unknown comment line: " + std::string(line));
+      }
+      const std::string_view decl = line.substr(7);
+      const std::size_t space = decl.find(' ');
+      if (space == std::string_view::npos) {
+        return fail(path, "malformed # TYPE line: " + std::string(line));
+      }
+      const std::string family(decl.substr(0, space));
+      const std::string type(decl.substr(space + 1));
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail(path, "family '" + family + "' has unsupported type '" +
+                              type + "'");
+      }
+      families[family] = type;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    ++samples;
+    const std::size_t brace = line.find('{');
+    const std::size_t name_end = std::min(brace, line.find(' '));
+    if (name_end == std::string_view::npos) {
+      return fail(path, "malformed sample line: " + std::string(line));
+    }
+    const std::string name(line.substr(0, name_end));
+    std::string_view labels;
+    std::string_view tail = line.substr(name_end);
+    if (brace != std::string_view::npos && name_end == brace) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string_view::npos) {
+        return fail(path, "unterminated label set: " + std::string(line));
+      }
+      labels = line.substr(brace + 1, close - brace - 1);
+      tail = line.substr(close + 1);
+    }
+    if (tail.empty() || tail.front() != ' ') {
+      return fail(path, "sample without a value: " + std::string(line));
+    }
+    const std::string value_text(tail.substr(1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      return fail(path, "non-numeric value: " + std::string(line));
+    }
+
+    // Resolve the sample back to its declared family.
+    std::string family;
+    std::string suffix;
+    for (const std::string_view candidate_suffix :
+         {"_total", "_bucket", "_sum", "_count", ""}) {
+      if (name.size() <= candidate_suffix.size()) continue;
+      if (std::string_view(name).substr(name.size() -
+                                        candidate_suffix.size()) !=
+          candidate_suffix) {
+        continue;
+      }
+      const std::string base =
+          name.substr(0, name.size() - candidate_suffix.size());
+      const auto it = families.find(base);
+      if (it != families.end()) {
+        family = base;
+        suffix = std::string(candidate_suffix);
+        break;
+      }
+    }
+    if (family.empty()) {
+      const auto it = families.find(name);
+      if (it == families.end()) {
+        return fail(path, "sample '" + name + "' has no # TYPE declaration");
+      }
+      family = name;
+    }
+    const std::string& type = families[family];
+    if ((type == "counter" && suffix != "_total") ||
+        (type == "gauge" && !suffix.empty()) ||
+        (type == "histogram" &&
+         (suffix != "_bucket" && suffix != "_sum" && suffix != "_count"))) {
+      return fail(path, "sample '" + name + "' does not match type '" + type +
+                            "' of family '" + family + "'");
+    }
+    sampled.insert(family);
+
+    if (suffix == "_bucket") {
+      BucketState& state = buckets[family];
+      if (value + 1e-9 < state.last) {
+        return fail(path, "non-monotonic _bucket series for '" + family +
+                              "' at le bucket with count " + value_text);
+      }
+      state.last = value;
+      if (labels.find("le=\"+Inf\"") != std::string_view::npos) {
+        state.inf_value = value;
+      }
+    } else if (suffix == "_count") {
+      const auto it = buckets.find(family);
+      if (it == buckets.end() || it->second.inf_value < 0) {
+        return fail(path, "histogram '" + family +
+                              "' lacks an le=\"+Inf\" bucket");
+      }
+      if (it->second.inf_value != value) {
+        return fail(path, "histogram '" + family +
+                              "': +Inf bucket disagrees with _count");
+      }
+    }
+  }
+
+  for (const auto& [family, type] : families) {
+    if (sampled.count(family) == 0) {
+      return fail(path, "family '" + family + "' declared but never sampled");
+    }
+  }
+  std::cout << "obs_check: " << path << ": ok (" << families.size()
+            << " families, " << samples << " samples)\n";
+  return 0;
+}
+
+/// /debug/requests dump: capacity/recorded header plus a newest-first
+/// `requests` array whose records carry the ids and per-stage timings.
+int check_flight(const std::string& path) {
+  const Value doc = jem::obs::json::parse(read_file(path));
+  if (!doc.is_object()) return fail(path, "top level is not an object");
+  if (doc.find("capacity") == nullptr || doc.find("recorded") == nullptr) {
+    return fail(path, "missing capacity/recorded");
+  }
+  const Value* requests = doc.find("requests");
+  if (requests == nullptr || !requests->is_array()) {
+    return fail(path, "missing \"requests\" array");
+  }
+  double previous_seq = -1.0;
+  for (const Value& entry : requests->array) {
+    if (!entry.is_object()) return fail(path, "record is not an object");
+    const Value* seq = entry.find("seq");
+    if (seq == nullptr) return fail(path, "record without a seq");
+    if (previous_seq >= 0 && seq->number >= previous_seq) {
+      return fail(path, "records not newest-first at seq " +
+                            std::to_string(
+                                static_cast<std::uint64_t>(seq->number)));
+    }
+    previous_seq = seq->number;
+    for (const char* key : {"trace_id", "request_id", "endpoint"}) {
+      const Value* field = entry.find(key);
+      if (field == nullptr || !field->is_string()) {
+        return fail(path, std::string("record without a ") + key);
+      }
+    }
+    for (const char* key :
+         {"status", "queue_wait_ns", "map_ns", "serialize_ns", "total_ns"}) {
+      if (entry.find(key) == nullptr) {
+        return fail(path, std::string("record without ") + key);
+      }
+    }
+  }
+  std::cout << "obs_check: " << path << ": ok (" << requests->array.size()
+            << " flight records)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +334,12 @@ int main(int argc, char** argv) {
       } else if (flag == "--trace") {
         rc |= check_trace(path);
         checked = true;
+      } else if (flag == "--openmetrics") {
+        rc |= check_openmetrics(path);
+        checked = true;
+      } else if (flag == "--flight") {
+        rc |= check_flight(path);
+        checked = true;
       } else {
         std::cerr << "obs_check: unknown flag '" << flag << "'\n";
         return 2;
@@ -149,7 +351,8 @@ int main(int argc, char** argv) {
   }
   if (!checked) {
     std::cerr << "usage: obs_check [--metrics out.json] "
-                 "[--trace out.trace.json]\n";
+                 "[--trace out.trace.json] [--openmetrics out.prom] "
+                 "[--flight flight.json]\n";
     return 2;
   }
   return rc;

@@ -50,8 +50,17 @@ done
 ./build/examples/jem loadgen --demo --port "$(cat "$DIR/port")" \
   --mode open --sweep "$SWEEP" --requests "$PER_POINT" \
   --clients "$CLIENTS" --out "$DIR/curve.json"
+
+# Snapshot the server's own windowed SLO view (docs/observability.md) while
+# the loadgen traffic is still inside the 10s/1m windows; it lands in the
+# summary JSON as "slo_window" next to the client-side percentiles.
+./build/examples/jem probe --demo --port "$(cat "$DIR/port")" \
+  --requests 1 --clients 1 --healthz-out "$DIR/healthz.json"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
+# /healthz is a single JSON line whose last member is "slo":{...}; strip the
+# prefix and the outer brace to keep just the windowed object.
+SLO=$(sed -e 's/.*"slo"://' -e 's/}$//' "$DIR/healthz.json")
 
 # Splice the curve into the summary (no jq in the image: drop the closing
 # brace, append the new key, close again).
@@ -59,8 +68,9 @@ wait "$SERVE_PID"
   sed '$d' "$OUT"
   printf '  ,"load_curve": '
   cat "$DIR/curve.json"
+  printf '  ,"slo_window": %s\n' "$SLO"
   printf '}\n'
 } > "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 
-echo "bench_serve: wrote $OUT (with load_curve)"
+echo "bench_serve: wrote $OUT (with load_curve and slo_window)"

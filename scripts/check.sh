@@ -27,7 +27,7 @@ cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DJEM_BUILD_BENCH=OFF -DJEM_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target test_engine test_chaos test_obs test_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Window|OpenMetrics|TraceContext|Http|Lru|MappingServ|ServeObservability|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
 
 # The same suites under AddressSanitizer + UndefinedBehaviorSanitizer: the
 # fault-injection shutdown paths (worker aborts, queue closes, partial
@@ -42,7 +42,7 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan --target test_engine test_chaos test_io test_core \
   test_obs test_serve jem obs_check
 ctest --test-dir build-asan --output-on-failure \
-  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Http|Lru|MappingServ|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
+  -R 'Engine|BoundedQueue|Chaos|FaultPlan|Property|Xxh64|Artifact|AtomicWriteFile|Checkpoint|MappingOutput|MappingWriter|IndexSerde|Gzip|Json|Counter|Gauge|Histogram|Registry|MetricsSnapshot|Tracer|StagedChaosTrace|Window|OpenMetrics|TraceContext|Http|Lru|MappingServ|ServeObservability|ServiceConfig|MapServiceRequest|Cli|Resilience|CircuitBreaker'
 
 # Hot-path bench smoke (the default build type is Release): a short run of
 # the BM_Hotpath* family catches wiring regressions in the flat-index /
@@ -103,10 +103,19 @@ serve_smoke() {
   fi
   "$bindir/examples/jem" probe --port "$(cat "$dir/port")" --demo \
     --requests 24 --clients 6 --healthz-out "$dir/healthz.json" \
-    --metrics-out "$dir/metrics.json"
+    --metrics-out "$dir/metrics.json" \
+    --openmetrics-out "$dir/metrics.om" --requests-out "$dir/requests.json"
   "$bindir/examples/obs_check" --metrics "$dir/metrics.json"
+  # Content negotiation (docs/observability.md): the same /metrics endpoint
+  # must serve JSON by default and valid OpenMetrics text on request, and
+  # /debug/requests must return a well-formed flight-recorder dump.
+  "$bindir/examples/obs_check" --openmetrics "$dir/metrics.om"
+  "$bindir/examples/obs_check" --flight "$dir/requests.json"
   grep -q '"status":"ok"' "$dir/healthz.json"
+  grep -q '"slo"' "$dir/healthz.json"
   grep -q 'serve.http.requests' "$dir/metrics.json"
+  grep -q 'jem_serve_http_requests_total' "$dir/metrics.om"
+  grep -q 'jem_serve_slo_latency_ns' "$dir/metrics.om"
   kill -TERM "$serve_pid"
   wait "$serve_pid"
   rm -rf "$dir"

@@ -8,6 +8,12 @@
 //             [--top-x 1] [--deadline-ms 0] [--retries 3]
 //             [--admin-reload idx.jemidx]
 //             [--healthz-out h.json] [--metrics-out m.json]
+//             [--openmetrics-out m.prom] [--requests-out flight.json]
+//             [--watch N]
+//
+// --watch N polls /healthz every second for N ticks after the load phase
+// and prints one line per tick with the windowed SLO section — a live view
+// of the 10s/1m/5m percentiles decaying after the load.
 //
 // The transport is the resilient serve::Client (exponential backoff + full
 // jitter, Retry-After, circuit breaker), so a server that sheds 503s or is
@@ -39,7 +45,10 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   std::string queries_path;
   std::string healthz_out;
   std::string metrics_out;
+  std::string openmetrics_out;
+  std::string requests_out;
   std::string admin_reload;
+  std::uint64_t watch = 0;
   std::uint64_t port = 8765;
   std::uint64_t requests = 16;
   std::uint64_t clients = 4;
@@ -72,6 +81,14 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
                      "write the /healthz body to this file");
   options.add_string("metrics-out", metrics_out,
                      "write the /metrics body to this file");
+  options.add_string("openmetrics-out", openmetrics_out,
+                     "write the /metrics OpenMetrics text exposition "
+                     "(?format=openmetrics) to this file");
+  options.add_string("requests-out", requests_out,
+                     "write the /debug/requests body to this file");
+  options.add_uint("watch", watch,
+                   "after the load, poll /healthz once a second for N ticks "
+                   "and print the windowed SLO line (0 = off)");
   try {
     (void)options.parse(args);
   } catch (const util::OptionError& error) {
@@ -201,6 +218,30 @@ int run_probe(std::span<const char* const> args, std::string_view program) {
   };
   fetch("/healthz", healthz_out);
   fetch("/metrics", metrics_out);
+  if (!openmetrics_out.empty()) {
+    fetch("/metrics?format=openmetrics", openmetrics_out);
+  }
+  if (!requests_out.empty()) fetch("/debug/requests", requests_out);
+
+  // Live SLO view: one /healthz poll per second, printing the windowed
+  // section so a human can watch a spike decay out of the 10s window.
+  for (std::uint64_t tick = 0; tick < watch; ++tick) {
+    if (tick > 0) std::this_thread::sleep_for(std::chrono::seconds(1));
+    try {
+      const serve::HttpResponse response = client.get("/healthz");
+      std::string slo = response.body;
+      const std::size_t at = slo.find("\"slo\":");
+      if (at != std::string::npos) slo = slo.substr(at + 6);
+      if (!slo.empty() && slo.back() == '}') slo.pop_back();
+      std::cout << "watch " << tick + 1 << "/" << watch << ": " << slo
+                << std::endl;
+    } catch (const serve::ClientError& error) {
+      std::cout << "watch " << tick + 1 << "/" << watch << ": " << error.what()
+                << std::endl;
+      endpoints_ok = false;
+      break;
+    }
+  }
 
   std::cout << "probe: " << ok.load() << " mapped, " << failed.load()
             << " failed, " << client.retries() << " retried, endpoints "

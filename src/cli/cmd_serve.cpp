@@ -6,6 +6,8 @@
 //             [--workers 4] [--max-batch 16] [--batch-window-us 200]
 //             [--queue 64] [--work-queue 256] [--cache 1024]
 //             [--deadline-ms 0] [--port-file run.port]
+//             [--slow-ms 0] [--flight-recorder-size 256]
+//             [--slo-frame-ms 1000] [--log-format human|json]
 //             [--k 16] [--w 100] [--trials 30] [--segment 1000] [--seed N]
 //             [--ordering lex|hash] [--scheme jem|minhash]
 //   jem serve --demo --port 0 --port-file run.port   (simulated subjects)
@@ -16,6 +18,9 @@
 // Hot swap: SIGHUP (or POST /admin/reload) reloads the --reload-index
 // artifact and swaps the serving epoch with zero downtime; a corrupt or
 // mismatched artifact is rejected and the old index keeps serving.
+//
+// SIGUSR1 dumps the flight recorder (recent per-request records, newest
+// first) to stderr — the same data GET /debug/requests serves over HTTP.
 //
 // Chaos (docs/robustness.md): --chaos-seed plus --chaos-{delay,drop,abort}
 // rates arm the serve.* fault sites with a seeded, reproducible plan;
@@ -46,9 +51,11 @@ namespace {
 // Signal flags: the handlers only store; the main thread polls and acts.
 std::atomic<bool> g_stop_requested{false};
 std::atomic<bool> g_reload_requested{false};
+std::atomic<bool> g_dump_requested{false};
 
 void handle_stop_signal(int) { g_stop_requested.store(true); }
 void handle_reload_signal(int) { g_reload_requested.store(true); }
+void handle_dump_signal(int) { g_dump_requested.store(true); }
 
 /// Parses a comma-separated list of "site:invocation" abort events
 /// ("serve.batch:4,serve.read:10") into `plan`. Returns false on garbage.
@@ -106,6 +113,10 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   double chaos_abort = 0.0;
   std::uint64_t chaos_max_delay_ms = 5;
   std::string chaos_abort_at;
+  std::uint64_t slow_ms = 0;
+  std::uint64_t flight_recorder_size = 256;
+  std::uint64_t slo_frame_ms = 1000;
+  std::string log_format = "human";
 
   util::Options options;
   options.add_string("subjects", subjects_path, "contigs FASTA path");
@@ -154,6 +165,16 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   options.add_string("chaos-abort-at", chaos_abort_at,
                      "deterministic aborts, 'site:invocation[,...]' "
                      "(e.g. serve.batch:4)");
+  options.add_uint("slow-ms", slow_ms,
+                   "warn-log a span breakdown for requests slower than this "
+                   "(0 = off)");
+  options.add_uint("flight-recorder-size", flight_recorder_size,
+                   "per-request flight recorder capacity, 0 disables "
+                   "(default 256); dump via GET /debug/requests or SIGUSR1");
+  options.add_uint("slo-frame-ms", slo_frame_ms,
+                   "windowed-SLO frame width in ms (default 1000)");
+  options.add_string("log-format", log_format,
+                     "log output format: human | json");
   try {
     (void)options.parse(args);
   } catch (const util::OptionError& error) {
@@ -167,6 +188,17 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
   if (chaos_delay < 0 || chaos_drop < 0 || chaos_abort < 0 ||
       chaos_delay + chaos_drop + chaos_abort > 1.0) {
     std::cerr << "error: --chaos-* rates must be >= 0 and sum to <= 1\n";
+    return kExitUsage;
+  }
+  if (log_format == "json") {
+    util::Log::set_format(util::LogFormat::kJson);
+  } else if (log_format != "human") {
+    std::cerr << "error: --log-format must be 'human' or 'json', got '"
+              << log_format << "'\n";
+    return kExitUsage;
+  }
+  if (slo_frame_ms == 0) {
+    std::cerr << "error: --slo-frame-ms must be positive\n";
     return kExitUsage;
   }
 
@@ -253,6 +285,9 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
     server_config.batch_window = std::chrono::microseconds(batch_window_us);
     server_config.default_deadline = std::chrono::milliseconds(deadline_ms);
     server_config.cache_capacity = cache;
+    server_config.slow_threshold = std::chrono::milliseconds(slow_ms);
+    server_config.flight_recorder_size = flight_recorder_size;
+    server_config.slo_frame = std::chrono::milliseconds(slo_frame_ms);
     if (chaos_enabled) server_config.fault_plan = &fault_plan;
     if (reload_index_path.empty()) reload_index_path = load_index_path;
     server_config.reload_index_path = reload_index_path;
@@ -280,7 +315,17 @@ int run_serve(std::span<const char* const> args, std::string_view program) {
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
     std::signal(SIGHUP, handle_reload_signal);
+    std::signal(SIGUSR1, handle_dump_signal);
     while (!g_stop_requested.load()) {
+      if (g_dump_requested.exchange(false)) {
+        // SIGUSR1: dump the flight recorder to stderr (ops escape hatch
+        // when the HTTP plane is wedged or unreachable).
+        const std::string dump = server.flight_recorder_text();
+        std::cerr << "--- flight recorder ("
+                  << (dump.empty() ? "empty or disabled" : "newest first")
+                  << ") ---\n"
+                  << dump << "--- end flight recorder ---\n";
+      }
       if (g_reload_requested.exchange(false)) {
         if (reload_index_path.empty()) {
           util::log_warn() << "SIGHUP reload requested but no --reload-index "

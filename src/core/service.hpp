@@ -57,7 +57,10 @@ enum class ServiceErrorCode {
 };
 
 /// Stable name of a code ("invalid-argument", "deadline-exceeded", ...) —
-/// the `error` field of the serve layer's JSON error bodies.
+/// the `error` field of the serve layer's JSON error bodies and the
+/// failure annotation of its flight-recorder records (/debug/requests,
+/// docs/observability.md), so dumps and error responses cross-reference
+/// by the same vocabulary.
 [[nodiscard]] std::string_view service_error_name(
     ServiceErrorCode code) noexcept;
 

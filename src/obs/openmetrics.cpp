@@ -1,0 +1,126 @@
+#include "obs/openmetrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace jem::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_type(std::string& out, const std::string& family,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_family(std::string_view name) {
+  std::string out = "jem_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string openmetrics_sample(std::string_view family,
+                               std::string_view labels, double value) {
+  std::string out(family);
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  char buf[40];
+  if (std::isfinite(value) &&
+      value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    std::snprintf(buf, sizeof buf, "%" PRId64,
+                  static_cast<std::int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out += buf;
+  out += '\n';
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot,
+                           std::string_view extra) {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricValue& metric : snapshot.entries) {
+    const std::string family = openmetrics_family(metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter: {
+        append_type(out, family, "counter");
+        out += family;
+        out += "_total ";
+        append_u64(out, metric.value);
+        out += '\n';
+        break;
+      }
+      case MetricKind::kGauge: {
+        append_type(out, family, "gauge");
+        out += family;
+        out += ' ';
+        append_i64(out, metric.level);
+        out += '\n';
+        break;
+      }
+      case MetricKind::kHistogram: {
+        append_type(out, family, "histogram");
+        // Cumulative buckets over the registry's sparse log2 bucket list.
+        // Every populated bucket i becomes le="2^i - 1" except the top
+        // bucket, which is open-ended and folds into +Inf.
+        std::uint64_t cumulative = 0;
+        for (const auto& [index, bucket_count] : metric.buckets) {
+          cumulative += bucket_count;
+          if (index >= Histogram::kBuckets - 1) continue;
+          out += family;
+          out += "_bucket{le=\"";
+          append_u64(out, Histogram::bucket_upper(index));
+          out += "\"} ";
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        out += family;
+        out += "_bucket{le=\"+Inf\"} ";
+        append_u64(out, metric.count);
+        out += '\n';
+        out += family;
+        out += "_sum ";
+        append_u64(out, metric.sum);
+        out += '\n';
+        out += family;
+        out += "_count ";
+        append_u64(out, metric.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  out += extra;
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace jem::obs

@@ -1,0 +1,49 @@
+// OpenMetrics / Prometheus text exposition (docs/observability.md
+// "Prometheus quickstart").
+//
+// Renders a MetricsSnapshot in the OpenMetrics text format so a stock
+// Prometheus can scrape `jem serve` directly. The JSON export stays the
+// default and byte-stable; this exposition is negotiated by the server via
+// `Accept: application/openmetrics-text`.
+//
+// Mapping from the registry's model:
+//   * names: dots become underscores and every family gets a `jem_` prefix
+//     (`serve.http.requests` -> `jem_serve_http_requests`);
+//   * counters: `# TYPE <family> counter` + `<family>_total <value>`;
+//   * gauges: `# TYPE <family> gauge` + `<family> <value>`;
+//   * histograms: cumulative `<family>_bucket{le="..."}` series over the
+//     registry's log2 buckets (upper bounds are 2^i - 1), a final
+//     `le="+Inf"` bucket equal to `_count`, plus `_sum` and `_count`;
+//   * the exposition ends with the mandatory `# EOF` line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace jem::obs {
+
+/// Content-Type value for the text exposition.
+inline constexpr std::string_view kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Sanitizes a registry metric name into an OpenMetrics family name:
+/// `jem_` prefix, [a-zA-Z0-9_] body (anything else becomes '_').
+[[nodiscard]] std::string openmetrics_family(std::string_view name);
+
+/// One sample line: `name{labels} value`. `labels` is the raw inner label
+/// text (e.g. `window="10s",quantile="0.99"`), empty for none. `value` is
+/// rendered with enough precision to round-trip doubles.
+[[nodiscard]] std::string openmetrics_sample(std::string_view family,
+                                             std::string_view labels,
+                                             double value);
+
+/// Full exposition of `snapshot`. `extra` (may be empty) is appended
+/// verbatim after the registry families and before the `# EOF` terminator —
+/// the server uses it for windowed SLO series.
+[[nodiscard]] std::string to_openmetrics(const MetricsSnapshot& snapshot,
+                                         std::string_view extra = {});
+
+}  // namespace jem::obs

@@ -1,0 +1,110 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace jem::obs {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// SplitMix64 step (same constants as util::SplitMix64; duplicated here so
+/// jem_obs stays dependency-free).
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t next_id_word() noexcept {
+  static std::atomic<std::uint64_t> counter{[] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    auto seed = static_cast<std::uint64_t>(now.count());
+    // Fold in address-space entropy so two processes started in the same
+    // clock tick still diverge.
+    static int anchor = 0;
+    seed ^= reinterpret_cast<std::uintptr_t>(&anchor);
+    return mix(seed);
+  }()};
+  return mix(counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                               std::memory_order_relaxed));
+}
+
+bool is_lower_hex(std::string_view s) noexcept {
+  for (char c : s) {
+    const bool digit = c >= '0' && c <= '9';
+    const bool lower = c >= 'a' && c <= 'f';
+    if (!digit && !lower) return false;
+  }
+  return true;
+}
+
+bool is_all_zero(std::string_view s) noexcept {
+  for (char c : s) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_hex(std::uint64_t n, int digits) {
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0 && n != 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[n & 0xf];
+    n >>= 4;
+  }
+  return out;
+}
+
+TraceContext generate_trace_context() {
+  TraceContext ctx;
+  ctx.trace_id = to_hex(next_id_word(), 16) + to_hex(next_id_word(), 16);
+  ctx.span_id = to_hex(next_id_word(), 16);
+  // All-zero ids are invalid per spec; the mixer makes them astronomically
+  // unlikely, but a guaranteed-valid id is cheap.
+  if (is_all_zero(ctx.trace_id)) ctx.trace_id[31] = '1';
+  if (is_all_zero(ctx.span_id)) ctx.span_id[15] = '1';
+  return ctx;
+}
+
+TraceContext child_of(const TraceContext& parent) {
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = to_hex(next_id_word(), 16);
+  if (is_all_zero(ctx.span_id)) ctx.span_id[15] = '1';
+  return ctx;
+}
+
+std::optional<TraceContext> parse_traceparent(std::string_view header) {
+  // 00-<32>-<16>-<2> = 55 characters.
+  if (header.size() != 55) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return std::nullopt;
+  }
+  const std::string_view version = header.substr(0, 2);
+  const std::string_view trace_id = header.substr(3, 32);
+  const std::string_view span_id = header.substr(36, 16);
+  const std::string_view flags = header.substr(53, 2);
+  if (!is_lower_hex(version) || !is_lower_hex(trace_id) ||
+      !is_lower_hex(span_id) || !is_lower_hex(flags)) {
+    return std::nullopt;
+  }
+  if (version == "ff") return std::nullopt;
+  if (is_all_zero(trace_id) || is_all_zero(span_id)) return std::nullopt;
+  return TraceContext{std::string(trace_id), std::string(span_id)};
+}
+
+std::string to_traceparent(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  out += ctx.trace_id;
+  out += '-';
+  out += ctx.span_id;
+  out += "-01";
+  return out;
+}
+
+}  // namespace jem::obs

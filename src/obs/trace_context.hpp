@@ -1,0 +1,54 @@
+// W3C trace-context helpers (docs/observability.md "Trace propagation").
+//
+// A request crossing the serve stack carries a `traceparent` header in the
+// W3C Trace Context format:
+//
+//     00-<32 lowercase hex trace-id>-<16 lowercase hex parent-id>-<2 hex flags>
+//
+// `serve::Client` generates one per request (or forwards a caller-supplied
+// header); the server parses it, mints a fresh request id (its own span id),
+// and stamps both onto every log line, flight-recorder record, tracer span
+// and the `x-jem-request-id` response header. These helpers are plain string
+// munging — no globals, no clocks on the parse path — so they are usable from
+// any layer without pulling in the tracer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jem::obs {
+
+/// A parsed (or freshly minted) trace context: `trace_id` names the whole
+/// request tree end-to-end, `span_id` names one hop's span within it.
+struct TraceContext {
+  std::string trace_id;  ///< 32 lowercase hex chars, not all-zero.
+  std::string span_id;   ///< 16 lowercase hex chars, not all-zero.
+};
+
+/// Formats `n` as `digits` lowercase hex characters (zero padded).
+[[nodiscard]] std::string to_hex(std::uint64_t n, int digits);
+
+/// Mints a fresh context: a new random trace id and span id. Ids come from a
+/// process-global SplitMix64 stream seeded once from the monotonic clock and
+/// address-space entropy; the draw is a single relaxed fetch_add, safe from
+/// any thread.
+[[nodiscard]] TraceContext generate_trace_context();
+
+/// A fresh span id within an existing trace (one more hop of the same
+/// request).
+[[nodiscard]] TraceContext child_of(const TraceContext& parent);
+
+/// Parses a W3C `traceparent` header value. Returns nullopt on anything
+/// malformed: wrong length, bad separators, non-hex digits, unsupported
+/// version `ff`, or all-zero trace/span ids (which the spec declares
+/// invalid).
+[[nodiscard]] std::optional<TraceContext> parse_traceparent(
+    std::string_view header);
+
+/// Renders `ctx` as a version-00 `traceparent` value with the sampled flag
+/// set: `00-<trace_id>-<span_id>-01`.
+[[nodiscard]] std::string to_traceparent(const TraceContext& ctx);
+
+}  // namespace jem::obs

@@ -1,0 +1,258 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+namespace jem::obs {
+
+void WindowSnapshot::merge(const WindowSnapshot& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+double WindowSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil).
+  const double exact = q * static_cast<double>(count);
+  std::uint64_t target = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(target) < exact || target == 0) ++target;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (cumulative < target) continue;
+    // Interpolate linearly within bucket i: values span
+    // [lower, upper] = [2^(i-1), 2^i - 1] (bucket 0 holds exactly 0).
+    if (i == 0) return 0.0;
+    const double lower = static_cast<double>(std::uint64_t{1} << (i - 1));
+    const double upper =
+        static_cast<double>(Histogram::bucket_upper(i)) + 1.0;
+    const std::uint64_t before = cumulative - buckets[i];
+    const double frac = (static_cast<double>(target - before) - 0.5) /
+                        static_cast<double>(buckets[i]);
+    return lower + frac * (upper - lower);
+  }
+  return 0.0;  // Unreachable: cumulative == count >= target.
+}
+
+WindowedHistogram::WindowedHistogram(std::chrono::nanoseconds frame_width,
+                                     std::size_t frames)
+    : frame_width_(frame_width.count() > 0 ? frame_width
+                                           : std::chrono::seconds(1)),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(std::max<std::size_t>(frames, 2)) {}
+
+std::uint64_t WindowedHistogram::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void WindowedHistogram::record(std::uint64_t value) {
+  record(value, now_ns());
+}
+
+void WindowedHistogram::record(std::uint64_t value, std::uint64_t now_ns) {
+  maybe_advance(now_ns);
+  Stripe& stripe = active_[this_thread_stripe()];
+  stripe.buckets[Histogram::bucket_of(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WindowedHistogram::maybe_advance(std::uint64_t now_ns) {
+  const std::uint64_t idx =
+      now_ns / static_cast<std::uint64_t>(frame_width_.count());
+  if (idx == active_index_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(idx);
+}
+
+void WindowedHistogram::advance_locked(std::uint64_t frame_index) {
+  std::uint64_t current = active_index_.load(std::memory_order_relaxed);
+  if (frame_index <= current) return;  // Raced with another rotator.
+  // Freeze the active accumulator into the slot for the frame it covered.
+  // exchange(0) guarantees no recorded value is lost: a concurrent record
+  // lands either before the drain (attributed to the old frame) or after
+  // (attributed to the new one) — at most one frame of skew.
+  Frame& frozen = ring_[current % ring_.size()];
+  frozen = Frame{};
+  frozen.index = current;
+  for (Stripe& stripe : active_) {
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n =
+          stripe.buckets[b].exchange(0, std::memory_order_relaxed);
+      frozen.buckets[b] += n;
+      frozen.count += n;
+    }
+    frozen.sum += stripe.sum.exchange(0, std::memory_order_relaxed);
+    stripe.count.exchange(0, std::memory_order_relaxed);
+  }
+  // Keep lifetime totals before the ring slot gets overwritten a lap later.
+  lifetime_.count += frozen.count;
+  lifetime_.sum += frozen.sum;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    lifetime_.buckets[b] += frozen.buckets[b];
+  }
+  // Frames the clock skipped entirely (idle seconds) are empty.
+  const std::uint64_t first_gap = current + 1;
+  const std::uint64_t last_gap = frame_index - 1;
+  for (std::uint64_t i = first_gap;
+       i <= last_gap && i < first_gap + ring_.size(); ++i) {
+    Frame& gap = ring_[i % ring_.size()];
+    gap = Frame{};
+    gap.index = i;
+  }
+  active_index_.store(frame_index, std::memory_order_release);
+}
+
+WindowSnapshot WindowedHistogram::snapshot(std::chrono::nanoseconds window) {
+  return snapshot(window, now_ns());
+}
+
+WindowSnapshot WindowedHistogram::snapshot(std::chrono::nanoseconds window,
+                                           std::uint64_t now_ns) {
+  const auto width = static_cast<std::uint64_t>(frame_width_.count());
+  const std::uint64_t idx = now_ns / width;
+  std::uint64_t frames_wanted =
+      (static_cast<std::uint64_t>(std::max<std::int64_t>(window.count(), 0)) +
+       width - 1) /
+      width;
+  frames_wanted = std::clamp<std::uint64_t>(frames_wanted, 1, ring_.size());
+
+  WindowSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(idx);
+  // The still-open active frame (index == idx) counts as the newest frame.
+  for (const Stripe& stripe : active_) {
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = stripe.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  // Plus the most recent frames_wanted - 1 frozen frames.
+  for (std::uint64_t back = 1; back < frames_wanted && back <= idx; ++back) {
+    const std::uint64_t want = idx - back;
+    const Frame& frame = ring_[want % ring_.size()];
+    if (frame.index != want) continue;  // Stale (older lap) or never written.
+    out.count += frame.count;
+    out.sum += frame.sum;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      out.buckets[b] += frame.buckets[b];
+    }
+  }
+  return out;
+}
+
+WindowSnapshot WindowedHistogram::cumulative() const noexcept {
+  WindowSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.count = lifetime_.count;
+  out.sum = lifetime_.sum;
+  out.buckets = lifetime_.buckets;
+  for (const Stripe& stripe : active_) {
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = stripe.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+WindowedCounter::WindowedCounter(std::chrono::nanoseconds frame_width,
+                                 std::size_t frames)
+    : frame_width_(frame_width.count() > 0 ? frame_width
+                                           : std::chrono::seconds(1)),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(std::max<std::size_t>(frames, 2)) {}
+
+std::uint64_t WindowedCounter::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void WindowedCounter::add(std::uint64_t n) { add(n, now_ns()); }
+
+void WindowedCounter::add(std::uint64_t n, std::uint64_t now_ns) {
+  maybe_advance(now_ns);
+  active_[this_thread_stripe()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+void WindowedCounter::maybe_advance(std::uint64_t now_ns) {
+  const std::uint64_t idx =
+      now_ns / static_cast<std::uint64_t>(frame_width_.count());
+  if (idx == active_index_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(idx);
+}
+
+void WindowedCounter::advance_locked(std::uint64_t frame_index) {
+  std::uint64_t current = active_index_.load(std::memory_order_relaxed);
+  if (frame_index <= current) return;
+  Frame& frozen = ring_[current % ring_.size()];
+  frozen = Frame{};
+  frozen.index = current;
+  for (detail::StripedCell& cell : active_) {
+    frozen.count += cell.value.exchange(0, std::memory_order_relaxed);
+  }
+  lifetime_count_ += frozen.count;
+  const std::uint64_t first_gap = current + 1;
+  const std::uint64_t last_gap = frame_index - 1;
+  for (std::uint64_t i = first_gap;
+       i <= last_gap && i < first_gap + ring_.size(); ++i) {
+    Frame& gap = ring_[i % ring_.size()];
+    gap = Frame{};
+    gap.index = i;
+  }
+  active_index_.store(frame_index, std::memory_order_release);
+}
+
+std::uint64_t WindowedCounter::total(std::chrono::nanoseconds window) {
+  return total(window, now_ns());
+}
+
+std::uint64_t WindowedCounter::total(std::chrono::nanoseconds window,
+                                     std::uint64_t now_ns) {
+  const auto width = static_cast<std::uint64_t>(frame_width_.count());
+  const std::uint64_t idx = now_ns / width;
+  std::uint64_t frames_wanted =
+      (static_cast<std::uint64_t>(std::max<std::int64_t>(window.count(), 0)) +
+       width - 1) /
+      width;
+  frames_wanted = std::clamp<std::uint64_t>(frames_wanted, 1, ring_.size());
+
+  std::uint64_t out = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(idx);
+  for (const detail::StripedCell& cell : active_) {
+    out += cell.value.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t back = 1; back < frames_wanted && back <= idx; ++back) {
+    const std::uint64_t want = idx - back;
+    const Frame& frame = ring_[want % ring_.size()];
+    if (frame.index != want) continue;
+    out += frame.count;
+  }
+  return out;
+}
+
+std::uint64_t WindowedCounter::cumulative() const noexcept {
+  std::uint64_t out = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out += lifetime_count_;
+  for (const detail::StripedCell& cell : active_) {
+    out += cell.value.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace jem::obs

@@ -1,0 +1,145 @@
+// Sliding-window metrics (docs/observability.md "Windowed SLO metrics").
+//
+// The PR-5 Histogram is cumulative: a long-lived server's p99 regression
+// from the last minute hides behind hours of history. WindowedHistogram
+// keeps the same hot-path discipline (thread-striped relaxed atomics, fixed
+// log2 buckets, no allocation after construction) but ages data out: time is
+// divided into fixed-width frames (default 1 s); records land in a striped
+// "active" accumulator; when the clock crosses a frame boundary the active
+// cells are drained (atomic exchange, so no count is ever lost — a racing
+// record is attributed at most one frame off) into a ring of frozen plain
+// frames. A snapshot over a window of W frames sums the active accumulator
+// plus the most recent W-1 frozen frames.
+//
+// Time is injectable: every mutating call takes an optional `now_ns`
+// (nanoseconds on the caller's monotonic epoch — callers must be consistent)
+// so tests script decay without sleeping. The no-argument overloads use
+// steady_clock relative to construction.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace jem::obs {
+
+/// Aggregated contents of one time window: mergeable by addition, with
+/// log2-bucket quantile estimation. Matches Histogram's bucket layout.
+struct WindowSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  void merge(const WindowSnapshot& other) noexcept;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// log2 bucket holding the target rank. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+class WindowedHistogram {
+ public:
+  /// `frame_width` is the aging granularity; `frames` the ring depth. The
+  /// longest answerable window is frames * frame_width (older frames are
+  /// overwritten in place).
+  explicit WindowedHistogram(
+      std::chrono::nanoseconds frame_width = std::chrono::seconds(1),
+      std::size_t frames = 300);
+
+  void record(std::uint64_t value);
+  void record(std::uint64_t value, std::uint64_t now_ns);
+
+  /// Contents of the last `window` ending at `now_ns` (newest frames,
+  /// including the still-open active frame). A window wider than the ring
+  /// is clamped to the ring's span.
+  [[nodiscard]] WindowSnapshot snapshot(std::chrono::nanoseconds window);
+  [[nodiscard]] WindowSnapshot snapshot(std::chrono::nanoseconds window,
+                                        std::uint64_t now_ns);
+
+  /// Everything ever recorded (cumulative, like a plain Histogram).
+  [[nodiscard]] WindowSnapshot cumulative() const noexcept;
+
+  [[nodiscard]] std::chrono::nanoseconds frame_width() const noexcept {
+    return frame_width_;
+  }
+
+  /// Nanoseconds since construction on the default (steady) clock — the
+  /// epoch the no-argument overloads use.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  /// A frozen frame: plain integers, only touched under `mutex_`.
+  struct Frame {
+    std::uint64_t index = ~std::uint64_t{0};  ///< now_ns / frame_width.
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  };
+
+  /// Drains the active stripes into the ring for every frame boundary
+  /// crossed up to `frame_index`. Caller holds `mutex_`.
+  void advance_locked(std::uint64_t frame_index);
+
+  /// Cheap check-and-rotate used by every mutating call.
+  void maybe_advance(std::uint64_t now_ns);
+
+  std::chrono::nanoseconds frame_width_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::array<Stripe, kStripes> active_;
+  std::atomic<std::uint64_t> active_index_{0};
+  mutable std::mutex mutex_;  ///< Guards ring_, lifetime_ and rotation.
+  std::vector<Frame> ring_;
+  Frame lifetime_;  ///< Totals of everything ever drained out of `active_`.
+};
+
+/// Sliding-window event counter (errors, sheds): same frame machinery as
+/// WindowedHistogram, scalar cells.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(
+      std::chrono::nanoseconds frame_width = std::chrono::seconds(1),
+      std::size_t frames = 300);
+
+  void add(std::uint64_t n = 1);
+  void add(std::uint64_t n, std::uint64_t now_ns);
+
+  /// Events in the last `window` ending at `now_ns`.
+  [[nodiscard]] std::uint64_t total(std::chrono::nanoseconds window);
+  [[nodiscard]] std::uint64_t total(std::chrono::nanoseconds window,
+                                    std::uint64_t now_ns);
+
+  /// Events ever recorded.
+  [[nodiscard]] std::uint64_t cumulative() const noexcept;
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+ private:
+  struct Frame {
+    std::uint64_t index = ~std::uint64_t{0};
+    std::uint64_t count = 0;
+  };
+
+  void advance_locked(std::uint64_t frame_index);
+  void maybe_advance(std::uint64_t now_ns);
+
+  std::chrono::nanoseconds frame_width_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::array<detail::StripedCell, kStripes> active_;
+  std::atomic<std::uint64_t> active_index_{0};
+  mutable std::mutex mutex_;
+  std::vector<Frame> ring_;
+  std::uint64_t lifetime_count_ = 0;
+};
+
+}  // namespace jem::obs

@@ -9,8 +9,10 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <optional>
 #include <thread>
 
+#include "util/log.hpp"
 #include "util/prng.hpp"
 
 namespace jem::serve {
@@ -229,6 +231,11 @@ std::uint64_t Client::retries() const {
   return retries_;
 }
 
+obs::TraceContext Client::last_trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_trace_;
+}
+
 std::chrono::milliseconds Client::backoff_delay(
     int attempt, std::chrono::milliseconds retry_after_hint) {
   // Full jitter (AWS architecture-blog shape): uniform in [0, cap] where
@@ -257,6 +264,29 @@ HttpResponse Client::request(const HttpRequest& request, bool idempotent) {
   const Clock::time_point start = Clock::now();
   const bool bounded = policy_.overall_deadline.count() > 0;
   const Clock::time_point deadline = start + policy_.overall_deadline;
+
+  // Trace stamping: honor a caller-supplied traceparent (the caller's trace
+  // continues through us), otherwise mint a fresh context and forward it.
+  // Retries reuse the same context — they are the same logical request.
+  HttpRequest traced = request;
+  obs::TraceContext trace;
+  if (const std::string* existing = traced.header("traceparent")) {
+    if (const auto parsed = obs::parse_traceparent(*existing)) trace = *parsed;
+  }
+  if (trace.trace_id.empty()) {
+    trace = obs::generate_trace_context();
+    traced.headers.emplace_back("traceparent", obs::to_traceparent(trace));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_trace_ = trace;
+  }
+  // One span over ALL attempts: the caller-visible latency, backoff
+  // included. The id in the name ties it to the server-side span tree.
+  std::optional<obs::Span> span;
+  if (tracer_ != nullptr) {
+    span.emplace(tracer_->span("client.request[" + trace.trace_id + "]"));
+  }
 
   obs::Counter* attempts_counter =
       metrics_ ? &metrics_->counter("serve.client.attempts") : nullptr;
@@ -310,7 +340,7 @@ HttpResponse Client::request(const HttpRequest& request, bool idempotent) {
     std::chrono::milliseconds retry_after_hint{0};
     try {
       const HttpResponse response =
-          http_request(host_, port_, request, timeout);
+          http_request(host_, port_, traced, timeout);
       last_response = response;
       have_response = true;
       failed = retryable_status(response.status);
@@ -351,7 +381,15 @@ HttpResponse Client::request(const HttpRequest& request, bool idempotent) {
       }
       if (failed) delay = backoff_delay(attempt, retry_after_hint);
     }
-    if (!failed) return last_response;
+    if (!failed) {
+      util::log_debug() << "serve client: " << traced.method << " "
+                        << (traced.target.empty() ? traced.path
+                                                  : traced.target)
+                        << " " << last_response.status
+                        << " trace=" << trace.trace_id
+                        << " attempts=" << attempt + 1;
+      return last_response;
+    }
 
     if (attempt + 1 < policy_.max_attempts && delay.count() > 0) {
       if (bounded) {
@@ -367,6 +405,12 @@ HttpResponse Client::request(const HttpRequest& request, bool idempotent) {
   // Out of attempts (or deadline). An HTTP-level failure is still a
   // response — hand the caller the last status; pure transport failure is
   // an exception, same contract as http_request.
+  util::log_debug() << "serve client: " << traced.method << " "
+                    << (traced.target.empty() ? traced.path : traced.target)
+                    << " gave up trace=" << trace.trace_id << " "
+                    << (have_response
+                            ? "status=" + std::to_string(last_response.status)
+                            : "error=" + last_error);
   if (have_response) return last_response;
   throw ClientError("request failed after " +
                     std::to_string(policy_.max_attempts) + " attempts: " +

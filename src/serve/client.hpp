@@ -24,6 +24,8 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/http.hpp"
 
 namespace jem::serve {
@@ -148,6 +150,15 @@ class Client {
   [[nodiscard]] std::uint64_t attempts() const;
   [[nodiscard]] std::uint64_t retries() const;
 
+  /// Wires a tracer: each request() gets a `client.request[<trace_id>]`
+  /// span covering all attempts and backoff sleeps. Optional — nullptr
+  /// (the default) keeps the client span-free.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Trace context of the most recent request() call (the ids the server
+  /// saw in `traceparent`). Empty until the first request.
+  [[nodiscard]] obs::TraceContext last_trace() const;
+
  private:
   [[nodiscard]] std::chrono::milliseconds backoff_delay(
       int attempt, std::chrono::milliseconds retry_after_hint);
@@ -156,12 +167,14 @@ class Client {
   std::uint16_t port_;
   RetryPolicy policy_;
   obs::Registry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
 
   mutable std::mutex mutex_;  // guards breaker_, rng_state_, tallies
   CircuitBreaker breaker_;
   std::uint64_t rng_state_;
   std::uint64_t attempts_ = 0;
   std::uint64_t retries_ = 0;
+  obs::TraceContext last_trace_;  // guarded by mutex_
 };
 
 }  // namespace jem::serve

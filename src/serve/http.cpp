@@ -120,6 +120,13 @@ const std::string* HttpRequest::query_param(std::string_view name) const {
   return nullptr;
 }
 
+const std::string* HttpResponse::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
 RequestParse parse_request(std::string_view buffer, std::size_t max_body) {
   RequestParse result;
   const std::size_t head_end = buffer.find("\r\n\r\n");

@@ -42,6 +42,10 @@ struct HttpResponse {
   std::string content_type = "application/json";
   std::vector<std::pair<std::string, std::string>> headers;  // extras
   std::string body;
+
+  /// First header with this (case-insensitive) name, or nullptr — the
+  /// client-side mirror of HttpRequest::header (e.g. `x-jem-request-id`).
+  [[nodiscard]] const std::string* header(std::string_view name) const;
 };
 
 enum class ParseStatus {

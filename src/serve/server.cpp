@@ -10,13 +10,16 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "core/index_serde.hpp"
 #include "io/artifact.hpp"
 #include "obs/json.hpp"
+#include "obs/openmetrics.hpp"
 #include "util/log.hpp"
 
 namespace jem::serve {
@@ -115,6 +118,30 @@ std::string_view trim_sequence(std::string_view body) {
   return body;
 }
 
+/// The SLO ring must hold the deepest /healthz tier: 300 frames (the "5m"
+/// window at the production 1 s frame width).
+constexpr std::size_t kSloFrames = 300;
+
+/// /healthz + OpenMetrics window tiers, in frames of ServerConfig::slo_frame.
+struct SloTier {
+  std::string_view label;
+  std::size_t frames;
+};
+constexpr SloTier kSloTiers[] = {{"10s", 10}, {"1m", 60}, {"5m", 300}};
+
+std::uint64_t elapsed_ns(core::MappingService::Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          core::MappingService::Clock::now() - since)
+          .count());
+}
+
+void append_ms(std::string& out, double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ns / 1e6);
+  out += buf;
+}
+
 }  // namespace
 
 MappingServer::MappingServer(const core::MappingService& service,
@@ -127,9 +154,19 @@ MappingServer::MappingServer(
     std::shared_ptr<const core::MappingService> service, ServerConfig config)
     : config_(std::move(config)),
       service_(std::move(service)),
-      injector_(config_.fault_plan, /*rank=*/0) {
+      injector_(config_.fault_plan, /*rank=*/0),
+      win_latency_(config_.slo_frame, kSloFrames),
+      win_requests_(config_.slo_frame, kSloFrames),
+      win_errors_(config_.slo_frame, kSloFrames),
+      win_shed_(config_.slo_frame, kSloFrames) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.flight_recorder_size > 0) {
+    flight_ = std::make_unique<FlightRecorder>(config_.flight_recorder_size);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->set_track_label(kRequestTrack, "serve requests");
+  }
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -357,6 +394,7 @@ void MappingServer::acceptor_loop() {
     }
     shed_total_->add();
     responses_5xx_->add();
+    win_shed_.add(1);
     HttpResponse shed;
     shed.status = 503;
     shed.headers.emplace_back("Retry-After",
@@ -383,8 +421,16 @@ void MappingServer::worker_main(std::size_t slot) {
     worker_loop();
   } catch (const std::exception& error) {
     // Injected abort (util::FaultAbort) or a genuine bug: either way the
-    // thread is gone — hand the slot to the supervisor for respawn.
-    util::log_warn() << "serve: worker died: " << error.what();
+    // thread is gone — hand the slot to the supervisor for respawn. A chaos
+    // plan can kill workers hundreds of times a second; the limiter keeps
+    // the warn stream at one line per second with a suppressed count.
+    std::uint64_t suppressed = 0;
+    if (worker_died_limit_.allow(suppressed)) {
+      util::log_warn() << "serve: worker died (restart gen "
+                       << worker_restarts_.load(std::memory_order_relaxed)
+                       << "): " << error.what()
+                       << util::LogRateLimiter::suffix(suppressed);
+    }
     note_death(slot);
     return;
   }
@@ -503,6 +549,29 @@ void MappingServer::serve_connection(int fd) {
 
 HttpResponse MappingServer::handle(const HttpRequest& request) {
   requests_total_->add();
+
+  // Trace stamping: honor a forwarded W3C traceparent (the client's span
+  // becomes our parent; we mint a fresh request/span id inside its trace),
+  // otherwise start a new trace. The pair flows through every log line,
+  // span, flight record, error body and the x-jem-request-id echo.
+  RequestContext ctx;
+  ctx.start = Clock::now();
+  if (const std::string* parent = request.header("traceparent")) {
+    if (const auto parsed = obs::parse_traceparent(*parent)) {
+      ctx.trace = obs::child_of(*parsed);
+    }
+  }
+  if (ctx.trace.trace_id.empty()) ctx.trace = obs::generate_trace_context();
+  ctx.record.trace_id = ctx.trace.trace_id;
+  ctx.record.request_id = ctx.trace.span_id;
+  ctx.record.endpoint = request.path;
+
+  std::optional<obs::Span> span;
+  if (config_.tracer != nullptr) {
+    span.emplace(
+        config_.tracer->span("serve.request[" + ctx.trace.trace_id + "]"));
+  }
+
   HttpResponse response;
   if (request.path == "/map") {
     if (request.method != "POST") {
@@ -510,7 +579,7 @@ HttpResponse MappingServer::handle(const HttpRequest& request) {
       response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
                                  "/map takes POST");
     } else {
-      response = handle_map(request);
+      response = handle_map(request, ctx);
     }
   } else if (request.path == "/healthz") {
     if (request.method != "GET") {
@@ -526,7 +595,15 @@ HttpResponse MappingServer::handle(const HttpRequest& request) {
       response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
                                  "/metrics takes GET");
     } else {
-      response = handle_metrics();
+      response = handle_metrics(request);
+    }
+  } else if (request.path == "/debug/requests") {
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "method",
+                                 "/debug/requests takes GET");
+    } else {
+      response = handle_debug_requests(request);
     }
   } else if (request.path == "/admin/reload") {
     if (request.method != "POST") {
@@ -541,6 +618,7 @@ HttpResponse MappingServer::handle(const HttpRequest& request) {
     response.body = error_body(ServiceErrorCode::kInvalidArgument, "path",
                                "no such endpoint '" + request.path + "'");
   }
+  span.reset();
 
   if (response.status < 300) {
     responses_2xx_->add();
@@ -549,18 +627,84 @@ HttpResponse MappingServer::handle(const HttpRequest& request) {
   } else {
     responses_5xx_->add();
   }
+
+  // Echo the ids; stamp them into structured error bodies (every error body
+  // this server builds is a JSON object).
+  response.headers.emplace_back(
+      "x-jem-request-id", ctx.trace.trace_id + "-" + ctx.trace.span_id);
+  if (response.status >= 400 && !response.body.empty() &&
+      response.body.front() == '{') {
+    response.body.insert(1, "\"trace_id\":\"" + ctx.trace.trace_id +
+                                "\",\"request_id\":\"" + ctx.trace.span_id +
+                                "\",");
+  }
+
+  const std::uint64_t total_ns = elapsed_ns(ctx.start);
+  ctx.record.status = response.status;
+  ctx.record.total_ns = total_ns;
+
+  // Windowed SLO tallies cover the mapping workload: /map latency, errors
+  // (5xx other than sheds) and sheds. Acceptor-level sheds are added in
+  // acceptor_loop — they never reach handle().
+  if (request.path == "/map") {
+    win_latency_.record(total_ns);
+    win_requests_.add(1);
+    if (response.status == 503) {
+      win_shed_.add(1);
+    } else if (response.status >= 500) {
+      win_errors_.add(1);
+    }
+  }
+
+  if (flight_) flight_->push(ctx.record);
+
+  // Access log at debug so the hot path stays quiet at the default level.
+  util::log_debug() << "serve: " << request.method << " " << request.path
+                    << " " << response.status
+                    << " trace=" << ctx.trace.trace_id
+                    << " req=" << ctx.trace.span_id
+                    << " total_us=" << total_ns / 1000;
+
+  // Slow-request exemplar: the full span breakdown, at warn, rate-unlimited
+  // (exemplars are rare by construction of the threshold).
+  if (config_.slow_threshold.count() > 0 &&
+      total_ns >= static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          config_.slow_threshold)
+                          .count())) {
+    util::log_warn() << "serve: slow request trace=" << ctx.trace.trace_id
+                     << " req=" << ctx.trace.span_id << " " << request.method
+                     << " " << request.path << " " << response.status
+                     << " total_us=" << total_ns / 1000
+                     << " queue_wait_us=" << ctx.record.queue_wait_ns / 1000
+                     << " map_us=" << ctx.record.map_ns / 1000
+                     << " serialize_us=" << ctx.record.serialize_ns / 1000
+                     << " batch=" << ctx.record.batch << (ctx.record.annotation.empty() ? "" : " note=")
+                     << ctx.record.annotation;
+  }
   return response;
 }
 
-HttpResponse MappingServer::handle_map(const HttpRequest& request) {
-  const auto start = Clock::now();
+HttpResponse MappingServer::handle_map(const HttpRequest& request,
+                                       RequestContext& ctx) {
+  const auto start = ctx.start;
   HttpResponse response;
   const auto finish = [&](HttpResponse r) {
-    map_latency_ns_->record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start)
-            .count()));
+    map_latency_ns_->record(elapsed_ns(start));
     return r;
+  };
+  // Response-body construction, timed (and spanned) per request.
+  const auto serialize = [&](const MapServiceResponse& service_response) {
+    const auto serialize_start = Clock::now();
+    std::optional<obs::Span> span;
+    if (config_.tracer != nullptr) {
+      span.emplace(config_.tracer->span("serve.serialize[" +
+                                        ctx.trace.trace_id + "]"));
+    }
+    std::string body = map_response_body(service_response);
+    span.reset();
+    ctx.record.serialize_ns = elapsed_ns(serialize_start);
+    return body;
   };
 
   // Snapshot the serving epoch once: this request runs start-to-finish on
@@ -649,7 +793,8 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
     if (cached) {
       cache_hits_->add();
       cached->cache_hit = true;
-      response.body = map_response_body(*cached);
+      ctx.record.cache_hit = true;
+      response.body = serialize(*cached);
       return finish(std::move(response));
     }
     cache_misses_->add();
@@ -660,11 +805,19 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
   PendingMap pending;
   pending.request = std::move(service_request);
   if (budget.count() > 0) pending.deadline = start + budget;
-  std::future<MapServiceResponse> future = pending.promise.get_future();
+  pending.enqueued = Clock::now();
+  pending.trace_id = ctx.trace.trace_id;
+  if (config_.tracer != nullptr) {
+    pending.enqueue_trace_ns = config_.tracer->now_ns();
+  }
+  std::future<BatchedResult> future = pending.promise.get_future();
   const util::QueueOpResult pushed = work_queue_->push_wait_for(
       pending, std::chrono::milliseconds(1));
   if (pushed != util::QueueOpResult::kSuccess) {
     shed_total_->add();
+    ctx.record.annotation = pushed == util::QueueOpResult::kClosed
+                                ? "shed:draining"
+                                : "shed:work-queue";
     response.status = 503;
     response.headers.emplace_back("Retry-After",
                                   std::to_string(config_.retry_after_s));
@@ -676,7 +829,11 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
   }
   work_depth_->set(static_cast<std::int64_t>(work_queue_->size()));
 
-  MapServiceResponse service_response = future.get();
+  BatchedResult result = future.get();
+  ctx.record.queue_wait_ns = result.queue_wait_ns;
+  ctx.record.map_ns = result.map_ns;
+  ctx.record.batch = result.batch_id;
+  MapServiceResponse service_response = std::move(result.response);
   if (!service_response.ok()) {
     const ServiceFailure& failure = *service_response.failure;
     if (failure.code == ServiceErrorCode::kDeadlineExceeded) {
@@ -685,6 +842,7 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
     } else {
       response.status = 500;
     }
+    ctx.record.annotation = core::service_error_name(failure.code);
     response.body = error_body(failure.code, "", failure.message);
     return finish(std::move(response));
   }
@@ -698,7 +856,7 @@ HttpResponse MappingServer::handle_map(const HttpRequest& request) {
     const std::uint64_t published = cache_evictions_->value();
     if (evicted > published) cache_evictions_->add(evicted - published);
   }
-  response.body = map_response_body(service_response);
+  response.body = serialize(service_response);
   return finish(std::move(response));
 }
 
@@ -730,6 +888,8 @@ HttpResponse MappingServer::handle_healthz() {
   body += std::to_string(batcher_restarts_.load(std::memory_order_relaxed));
   body += ",\"uptime_s\":";
   body += std::to_string(uptime_s);
+  body += ",\"slo\":";
+  body += slo_json();
   body += '}';
   response.body = std::move(body);
   healthz_latency_ns_->record(static_cast<std::uint64_t>(
@@ -739,16 +899,161 @@ HttpResponse MappingServer::handle_healthz() {
   return response;
 }
 
-HttpResponse MappingServer::handle_metrics() {
+std::string MappingServer::slo_json() {
+  std::string out = "{";
+  bool first_tier = true;
+  for (const auto& tier : kSloTiers) {
+    const auto window = config_.slo_frame * static_cast<int>(tier.frames);
+    obs::WindowSnapshot snap = win_latency_.snapshot(window);
+    if (!first_tier) out += ',';
+    first_tier = false;
+    out += '"';
+    out += tier.label;
+    out += "\":{\"p50_ms\":";
+    append_ms(out, snap.quantile(0.50));
+    out += ",\"p99_ms\":";
+    append_ms(out, snap.quantile(0.99));
+    out += ",\"p999_ms\":";
+    append_ms(out, snap.quantile(0.999));
+    out += ",\"requests\":";
+    out += std::to_string(win_requests_.total(window));
+    out += ",\"errors\":";
+    out += std::to_string(win_errors_.total(window));
+    out += ",\"shed\":";
+    out += std::to_string(win_shed_.total(window));
+    out += '}';
+  }
+  // Cumulative tail for contrast: the process-lifetime numbers the windows
+  // are designed to escape.
+  const obs::WindowSnapshot all = win_latency_.cumulative();
+  out += ",\"cumulative\":{\"p50_ms\":";
+  append_ms(out, all.quantile(0.50));
+  out += ",\"p99_ms\":";
+  append_ms(out, all.quantile(0.99));
+  out += ",\"p999_ms\":";
+  append_ms(out, all.quantile(0.999));
+  out += ",\"requests\":";
+  out += std::to_string(all.count);
+  out += "}}";
+  return out;
+}
+
+std::string MappingServer::slo_openmetrics() {
+  std::string out;
+  out += "# TYPE jem_serve_slo_latency_ns gauge\n";
+  for (const auto& tier : kSloTiers) {
+    const auto window = config_.slo_frame * static_cast<int>(tier.frames);
+    obs::WindowSnapshot snap = win_latency_.snapshot(window);
+    for (const auto& [q_label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.99", 0.99},
+          {"0.999", 0.999}}) {
+      std::string labels = "window=\"";
+      labels += tier.label;
+      labels += "\",quantile=\"";
+      labels += q_label;
+      labels += '"';
+      out += obs::openmetrics_sample("jem_serve_slo_latency_ns", labels,
+                                     snap.quantile(q));
+    }
+  }
+  const auto add_window_counts = [&](const char* family,
+                                     obs::WindowedCounter& counter) {
+    out += "# TYPE ";
+    out += family;
+    out += " gauge\n";
+    for (const auto& tier : kSloTiers) {
+      const auto window = config_.slo_frame * static_cast<int>(tier.frames);
+      std::string labels = "window=\"";
+      labels += tier.label;
+      labels += '"';
+      out += obs::openmetrics_sample(
+          family, labels, static_cast<double>(counter.total(window)));
+    }
+  };
+  add_window_counts("jem_serve_slo_requests", win_requests_);
+  add_window_counts("jem_serve_slo_errors", win_errors_);
+  add_window_counts("jem_serve_slo_shed", win_shed_);
+  return out;
+}
+
+HttpResponse MappingServer::handle_metrics(const HttpRequest& request) {
   const auto start = Clock::now();
   HttpResponse response;
-  response.body = registry_->snapshot().to_json();
-  response.body += '\n';
+  // Accept negotiation: the JSON snapshot stays the default (and byte-
+  // stable); OpenMetrics text is opt-in via the Accept header or
+  // ?format=openmetrics (curl convenience).
+  bool openmetrics = false;
+  if (const std::string* accept = request.header("accept")) {
+    openmetrics =
+        accept->find("application/openmetrics-text") != std::string::npos;
+  }
+  if (const std::string* format = request.query_param("format")) {
+    if (*format == "openmetrics") openmetrics = true;
+  }
+  if (openmetrics) {
+    response.content_type = std::string(obs::kOpenMetricsContentType);
+    response.body = obs::to_openmetrics(registry_->snapshot(),
+                                        slo_openmetrics());
+  } else {
+    response.body = registry_->snapshot().to_json();
+    response.body += '\n';
+  }
   metrics_latency_ns_->record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count()));
   return response;
+}
+
+HttpResponse MappingServer::handle_debug_requests(const HttpRequest& request) {
+  HttpResponse response;
+  if (!flight_) {
+    response.status = 404;
+    response.body = error_body(ServiceErrorCode::kInvalidArgument, "path",
+                               "flight recorder disabled "
+                               "(--flight-recorder-size 0)");
+    return response;
+  }
+  FlightFilter filter;
+  if (const std::string* raw = request.query_param("status")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "status",
+                                 "not an unsigned integer: '" + *raw + "'");
+      return response;
+    }
+    filter.status = static_cast<int>(value);
+  }
+  if (const std::string* raw = request.query_param("min_latency_ms")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body =
+          error_body(ServiceErrorCode::kInvalidArgument, "min_latency_ms",
+                     "not an unsigned integer: '" + *raw + "'");
+      return response;
+    }
+    filter.min_total_ns = value * 1000000ull;
+  }
+  if (const std::string* raw = request.query_param("limit")) {
+    std::uint64_t value = 0;
+    if (!parse_uint_param(*raw, value)) {
+      response.status = 400;
+      response.body = error_body(ServiceErrorCode::kInvalidArgument, "limit",
+                                 "not an unsigned integer: '" + *raw + "'");
+      return response;
+    }
+    filter.limit = static_cast<std::size_t>(value);
+  }
+  response.body = flight_->to_json(filter);
+  return response;
+}
+
+std::string MappingServer::flight_recorder_text(std::size_t limit) const {
+  if (!flight_) return {};
+  return flight_->to_text(limit);
 }
 
 HttpResponse MappingServer::handle_reload(const HttpRequest& request) {
@@ -831,10 +1136,14 @@ MappingServer::ReloadOutcome MappingServer::reload_index(
 void MappingServer::fail_batch(std::vector<PendingMap>& batch,
                                std::string_view message) {
   for (PendingMap& pending : batch) {
-    MapServiceResponse failed;
-    failed.failure =
+    BatchedResult result;
+    result.response.failure =
         ServiceFailure{ServiceErrorCode::kInternal, std::string(message)};
-    pending.promise.set_value(std::move(failed));
+    result.queue_wait_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             pending.enqueued)
+            .count());
+    pending.promise.set_value(std::move(result));
   }
   batch.clear();
 }
@@ -843,7 +1152,13 @@ void MappingServer::batcher_main() {
   try {
     batcher_loop();
   } catch (const std::exception& error) {
-    util::log_warn() << "serve: batcher died: " << error.what();
+    std::uint64_t suppressed = 0;
+    if (batcher_died_limit_.allow(suppressed)) {
+      util::log_warn() << "serve: batcher died (restart gen "
+                       << batcher_restarts_.load(std::memory_order_relaxed)
+                       << "): " << error.what()
+                       << util::LogRateLimiter::suffix(suppressed);
+    }
     note_death(kBatcherSlot);
   }
 }
@@ -903,6 +1218,20 @@ void MappingServer::batcher_loop() {
 
     batches_total_->add();
     batch_size_->record(batch.size());
+    const std::uint64_t batch_id =
+        next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    // Queue-wait ends when the batch is formed: everything after this point
+    // is batch time, not queueing.
+    const auto formed = Clock::now();
+    std::vector<std::uint64_t> queue_waits;
+    queue_waits.reserve(batch.size());
+    for (const PendingMap& pending : batch) {
+      queue_waits.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              formed - pending.enqueued)
+              .count()));
+    }
 
     requests.clear();
     deadlines.clear();
@@ -917,16 +1246,57 @@ void MappingServer::batcher_loop() {
     // effect from the next batch on.
     const std::shared_ptr<const core::MappingService> service =
         current_service();
+    std::optional<obs::Span> batch_span;
+    if (config_.tracer != nullptr) {
+      batch_span.emplace(config_.tracer->span(
+          "serve.map_batch#" + std::to_string(batch_id)));
+    }
+    const std::uint64_t formed_trace_ns =
+        config_.tracer != nullptr ? config_.tracer->now_ns() : 0;
+    const auto map_start = Clock::now();
     std::vector<MapServiceResponse> responses;
     try {
       responses = service->map_batch(requests, deadlines);
     } catch (const std::exception& error) {
       // A batch-level throw (programming error) must not strand waiters.
+      batch_span.reset();
       fail_batch(batch, error.what());
       continue;
     }
+    const std::uint64_t map_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             map_start)
+            .count());
+    const std::uint64_t map_end_trace_ns =
+        config_.tracer != nullptr ? config_.tracer->now_ns() : 0;
+    batch_span.reset();
+
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(responses[i]));
+      // Per-request spans on the shared synthetic track: queue wait (from
+      // the worker's enqueue stamp to batch formation), the batch phase,
+      // and the map kernel nested inside it — one causally-connected tree
+      // per trace id, reconstructable from the Chrome export.
+      if (config_.tracer != nullptr && batch[i].enqueue_trace_ns > 0) {
+        const std::string& id = batch[i].trace_id;
+        config_.tracer->record(
+            "serve.queue.wait[" + id + "]", kRequestTrack,
+            batch[i].enqueue_trace_ns,
+            formed_trace_ns - std::min(formed_trace_ns,
+                                       batch[i].enqueue_trace_ns));
+        config_.tracer->record("serve.batch[" + id + "]", kRequestTrack,
+                               formed_trace_ns,
+                               map_end_trace_ns - formed_trace_ns,
+                               /*depth=*/1);
+        config_.tracer->record("serve.map[" + id + "]", kRequestTrack,
+                               map_end_trace_ns - map_ns, map_ns,
+                               /*depth=*/2);
+      }
+      BatchedResult result;
+      result.response = std::move(responses[i]);
+      result.queue_wait_ns = queue_waits[i];
+      result.map_ns = map_ns;
+      result.batch_id = batch_id;
+      batch[i].promise.set_value(std::move(result));
     }
   }
 }

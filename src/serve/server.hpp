@@ -56,15 +56,21 @@
 // the ArtifactError text — zero downtime either way.
 //
 // Endpoints:
-//   POST /map           body = query bases; ?top_x=&min_votes=&deadline_ms=
-//   GET  /healthz       liveness + index provenance + restart/epoch counts
-//   GET  /metrics       MetricsSnapshot::to_json() (obs_check-validated)
-//   POST /admin/reload  hot-swap the index (?path= overrides the default)
+//   POST /map            body = query bases; ?top_x=&min_votes=&deadline_ms=
+//   GET  /healthz        liveness + provenance + windowed SLO percentiles
+//   GET  /metrics        JSON by default; OpenMetrics text under
+//                        `Accept: application/openmetrics-text`
+//   GET  /debug/requests flight-recorder ring (newest-first JSON;
+//                        ?status=&min_latency_ms=&limit=)
+//   POST /admin/reload   hot-swap the index (?path= overrides the default)
 //
-// Observability: per-endpoint latency histograms, queue-depth and
-// cache gauges, shed/deadline/reject counters, chaos-injection tallies,
-// supervisor restart counts and the index epoch — all in the registry
-// /metrics serves (docs/serve.md lists the catalog).
+// Observability (docs/observability.md): per-endpoint latency histograms,
+// queue-depth and cache gauges, shed/deadline/reject counters, chaos
+// tallies, supervisor restart counts and the index epoch in the registry;
+// per-request trace propagation (W3C `traceparent` in, `x-jem-request-id`
+// out, ids stamped on every log line, error body and tracer span); a
+// flight-recorder ring of per-request timing records; and sliding-window
+// latency/error/shed SLOs behind /healthz and the OpenMetrics exposition.
 #pragma once
 
 #include <atomic>
@@ -82,10 +88,15 @@
 
 #include "core/service.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "obs/window.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/http.hpp"
 #include "serve/lru_cache.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/fault_plan.hpp"
+#include "util/log.hpp"
 
 namespace jem::serve {
 
@@ -122,6 +133,26 @@ struct ServerConfig {
   /// Metrics registry the server publishes to and /metrics serves. Null =
   /// the server owns a private registry.
   obs::Registry* metrics = nullptr;
+
+  /// Span tracer for per-request span trees (client/request/queue-wait/
+  /// batch/map/serialize, all tagged with the request's trace id). Null =
+  /// no tracing; the request path then skips every span allocation.
+  obs::Tracer* tracer = nullptr;
+
+  /// Flight-recorder ring capacity (per-request records behind
+  /// GET /debug/requests). 0 disables the recorder and the endpoint.
+  std::size_t flight_recorder_size = 256;
+
+  /// Requests slower than this are logged as slow-request exemplars with
+  /// their full span breakdown (queue-wait/map/serialize). 0 = disabled.
+  /// Microsecond granularity so tests can arm it below real map latency.
+  std::chrono::microseconds slow_threshold{0};
+
+  /// Aging granularity of the windowed SLO metrics: /healthz's "10s"/"1m"/
+  /// "5m" tiers cover 10/60/300 frames of this width. The production
+  /// default (1 s) makes the labels literal; tests shrink it to script
+  /// decay quickly.
+  std::chrono::milliseconds slo_frame{1000};
 
   /// Deterministic network chaos: when set (and non-empty), the serve.*
   /// fault sites consult this plan. Not owned; must outlive the server.
@@ -207,11 +238,40 @@ class MappingServer {
     return batcher_restarts_.load(std::memory_order_relaxed);
   }
 
+  /// The flight-recorder ring (never null when flight_recorder_size > 0;
+  /// null otherwise). Exposed for the SIGUSR1 dump and tests.
+  [[nodiscard]] const FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+
+  /// Human-readable flight-recorder dump (the SIGUSR1 payload). Empty
+  /// string when the recorder is disabled.
+  [[nodiscard]] std::string flight_recorder_text(std::size_t limit = 64) const;
+
  private:
+  /// What the batcher hands back per request, alongside the response:
+  /// the timings and batch id the flight record and spans need.
+  struct BatchedResult {
+    core::MapServiceResponse response;
+    std::uint64_t queue_wait_ns = 0;
+    std::uint64_t map_ns = 0;
+    std::uint64_t batch_id = 0;
+  };
+
   struct PendingMap {
     core::MapServiceRequest request;
     Clock::time_point deadline = Clock::time_point::max();
-    std::promise<core::MapServiceResponse> promise;
+    Clock::time_point enqueued{};
+    std::string trace_id;           ///< For batcher-side span naming.
+    std::uint64_t enqueue_trace_ns = 0;  ///< Tracer clock at enqueue (0 = off).
+    std::promise<BatchedResult> promise;
+  };
+
+  /// Per-request observability state threaded through handle().
+  struct RequestContext {
+    obs::TraceContext trace;  ///< Server ids: trace_id + fresh request span id.
+    Clock::time_point start{};
+    FlightRecord record;
   };
 
   /// Supervisor slot id of the batcher (workers use their vector index).
@@ -230,10 +290,17 @@ class MappingServer {
   [[nodiscard]] std::shared_ptr<const core::MappingService> current_service()
       const;
 
-  [[nodiscard]] HttpResponse handle_map(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handle_map(const HttpRequest& request,
+                                        RequestContext& ctx);
   [[nodiscard]] HttpResponse handle_healthz();
-  [[nodiscard]] HttpResponse handle_metrics();
+  [[nodiscard]] HttpResponse handle_metrics(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handle_debug_requests(const HttpRequest& request);
   [[nodiscard]] HttpResponse handle_reload(const HttpRequest& request);
+
+  /// Windowed SLO section of /healthz ("slo":{...}) — shared with the
+  /// OpenMetrics exposition via slo_openmetrics().
+  [[nodiscard]] std::string slo_json();
+  [[nodiscard]] std::string slo_openmetrics();
 
   /// Fails every promise of `batch` with a structured internal failure.
   static void fail_batch(std::vector<PendingMap>& batch,
@@ -285,6 +352,21 @@ class MappingServer {
   obs::Histogram* batch_size_ = nullptr;
 
   util::FaultInjector injector_;
+
+  // Request-scoped observability (docs/observability.md).
+  std::unique_ptr<FlightRecorder> flight_;
+  obs::WindowedHistogram win_latency_;   // /map total latency per request
+  obs::WindowedCounter win_requests_;    // /map requests
+  obs::WindowedCounter win_errors_;      // /map 5xx (excluding sheds)
+  obs::WindowedCounter win_shed_;        // 503 sheds (worker + acceptor)
+  std::atomic<std::uint64_t> next_batch_id_{0};
+  util::LogRateLimiter worker_died_limit_;
+  util::LogRateLimiter batcher_died_limit_;
+
+  /// Synthetic tracer track carrying per-request queue-wait/batch/map spans
+  /// recorded with explicit times (the batcher thread owns the wall time
+  /// but the spans belong to requests, not to it).
+  static constexpr std::uint32_t kRequestTrack = 0xFFFF0000u;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

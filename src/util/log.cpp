@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <utility>
 
@@ -8,6 +10,7 @@ namespace jem::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kHuman)};
 bool g_capturing = false;           // guarded by Log::mutex_
 std::string g_captured;             // guarded by Log::mutex_
 
@@ -21,6 +24,79 @@ constexpr std::string_view level_tag(LogLevel level) noexcept {
   }
   return "[?    ] ";
 }
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   break;
+  }
+  return "?";
+}
+
+struct WallAnchor {
+  std::chrono::system_clock::time_point wall;
+  std::chrono::steady_clock::time_point steady;
+};
+
+/// Sampled once: later timestamps advance the anchor by the steady clock so
+/// they are immune to wall-clock steps.
+const WallAnchor& wall_anchor() {
+  static const WallAnchor anchor{std::chrono::system_clock::now(),
+                                 std::chrono::steady_clock::now()};
+  return anchor;
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars). Local so
+/// jem_util keeps zero intra-project dependencies.
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string render(LogLevel level, std::string_view msg, bool capturing) {
+  std::string out;
+  if (Log::format() == LogFormat::kJson) {
+    out.reserve(msg.size() + 64);
+    out += "{\"ts\":\"";
+    out += Log::timestamp();
+    out += "\",\"level\":\"";
+    out += level_name(level);
+    out += "\",\"msg\":\"";
+    append_json_escaped(out, msg);
+    out += "\"}";
+  } else {
+    out.reserve(msg.size() + 40);
+    // Captured human output keeps the legacy `[level] msg` shape —
+    // timestamped lines would break every test grepping captured logs.
+    if (!capturing) {
+      out += Log::timestamp();
+      out += ' ';
+    }
+    out += level_tag(level);
+    out += msg;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::mutex Log::mutex_;
@@ -33,15 +109,42 @@ LogLevel Log::level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void Log::set_format(LogFormat format) noexcept {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat Log::format() noexcept {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+std::string Log::timestamp() {
+  const WallAnchor& anchor = wall_anchor();
+  const auto elapsed = std::chrono::steady_clock::now() - anchor.steady;
+  const auto now = anchor.wall +
+                   std::chrono::duration_cast<std::chrono::system_clock::duration>(
+                       elapsed);
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto sub_second = now - std::chrono::system_clock::from_time_t(seconds);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(sub_second).count();
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
 void Log::write(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(mutex_);
+  const std::string line = render(level, msg, g_capturing);
   if (g_capturing) {
-    g_captured.append(level_tag(level));
-    g_captured.append(msg);
+    g_captured.append(line);
     g_captured.push_back('\n');
   } else {
-    std::cerr << level_tag(level) << msg << '\n';
+    std::cerr << line << '\n';
   }
 }
 
@@ -55,6 +158,24 @@ std::string Log::end_capture() {
   std::lock_guard lock(mutex_);
   g_capturing = false;
   return std::exchange(g_captured, std::string{});
+}
+
+bool LogRateLimiter::allow(Clock::time_point now, std::uint64_t& suppressed) {
+  std::lock_guard lock(mutex_);
+  if (primed_ && now - last_ < period_) {
+    ++suppressed_;
+    suppressed = 0;
+    return false;
+  }
+  primed_ = true;
+  last_ = now;
+  suppressed = std::exchange(suppressed_, 0);
+  return true;
+}
+
+std::string LogRateLimiter::suffix(std::uint64_t suppressed) {
+  if (suppressed == 0) return {};
+  return " (" + std::to_string(suppressed) + " suppressed)";
 }
 
 }  // namespace jem::util

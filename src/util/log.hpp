@@ -2,8 +2,22 @@
 // printf-free (iostream-based formatting via operator<< chaining into an
 // internal buffer). Intended for coarse progress/diagnostic messages from the
 // drivers — hot loops must not log.
+//
+// Two output formats (docs/observability.md "Logs"):
+//   * kHuman (default): `<ISO-8601 UTC ms> [info ] msg` on stderr. The
+//     capture path (tests) stays the legacy `[info ] msg` — byte-compatible
+//     with every golden that greps captured output.
+//   * kJson: one JSON object per line, `{"ts":"...","level":"info",
+//     "msg":"..."}`, on both the stderr and capture paths (`jem serve
+//     --log-format=json`).
+//
+// Timestamps are monotonic-to-wallclock: the wall clock is sampled once at
+// first use and advanced by the steady clock, so a step in the system clock
+// (NTP slew, manual set) never makes log timestamps jump or run backwards.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -13,11 +27,16 @@ namespace jem::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+enum class LogFormat : int { kHuman = 0, kJson = 1 };
+
 /// Process-wide logger configuration and emission.
 class Log {
  public:
   static void set_level(LogLevel level) noexcept;
   [[nodiscard]] static LogLevel level() noexcept;
+
+  static void set_format(LogFormat format) noexcept;
+  [[nodiscard]] static LogFormat format() noexcept;
 
   /// Emit a message at the given level (no-op if below threshold).
   static void write(LogLevel level, std::string_view msg);
@@ -27,8 +46,44 @@ class Log {
   static std::string begin_capture();
   static std::string end_capture();
 
+  /// Current monotonic-to-wallclock timestamp, formatted ISO-8601 UTC with
+  /// millisecond precision (`2026-08-08T12:34:56.789Z`).
+  [[nodiscard]] static std::string timestamp();
+
  private:
   static std::mutex mutex_;
+};
+
+/// Per-site log throttle: at most one emission per `period`, counting what
+/// was suppressed in between. Thread-safe; time is injectable for tests.
+///
+///     static util::LogRateLimiter limiter;   // one per log site
+///     std::uint64_t suppressed = 0;
+///     if (limiter.allow(suppressed)) {
+///       util::log_warn() << "worker died" << suffix(suppressed);
+///     }
+class LogRateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit LogRateLimiter(
+      std::chrono::milliseconds period = std::chrono::seconds(1))
+      : period_(period) {}
+
+  /// True when this call may log; `suppressed` receives the number of
+  /// throttled calls since the last allowed one.
+  bool allow(std::uint64_t& suppressed) { return allow(Clock::now(), suppressed); }
+  bool allow(Clock::time_point now, std::uint64_t& suppressed);
+
+  /// Renders `" (N suppressed)"`, or "" when nothing was suppressed.
+  [[nodiscard]] static std::string suffix(std::uint64_t suppressed);
+
+ private:
+  std::chrono::milliseconds period_;
+  std::mutex mutex_;
+  bool primed_ = false;
+  Clock::time_point last_{};
+  std::uint64_t suppressed_ = 0;
 };
 
 namespace detail {

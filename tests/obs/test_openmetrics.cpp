@@ -1,0 +1,148 @@
+// OpenMetrics text exposition and W3C trace-context helpers.
+#include "obs/openmetrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
+
+namespace {
+
+using jem::obs::Registry;
+
+bool contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(OpenMetricsFamily, PrefixesAndSanitizes) {
+  EXPECT_EQ(jem::obs::openmetrics_family("serve.http.requests"),
+            "jem_serve_http_requests");
+  EXPECT_EQ(jem::obs::openmetrics_family("weird-name!x"), "jem_weird_name_x");
+}
+
+TEST(OpenMetricsSample, IntegersRenderWithoutDecimals) {
+  EXPECT_EQ(jem::obs::openmetrics_sample("jem_x", "", 42.0), "jem_x 42\n");
+  EXPECT_EQ(jem::obs::openmetrics_sample("jem_x", "le=\"+Inf\"", 7.0),
+            "jem_x{le=\"+Inf\"} 7\n");
+}
+
+TEST(OpenMetrics, RendersCountersGaugesAndHistograms) {
+  Registry registry;
+  registry.counter("serve.http.requests").add(3);
+  registry.gauge("serve.queue.depth").set(5);
+  auto& histogram = registry.histogram("serve.lat");
+  histogram.record(10);
+  histogram.record(2000);
+  histogram.record(2000);
+
+  const std::string text = jem::obs::to_openmetrics(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE jem_serve_http_requests counter\n"));
+  EXPECT_TRUE(contains(text, "jem_serve_http_requests_total 3\n"));
+  EXPECT_TRUE(contains(text, "# TYPE jem_serve_queue_depth gauge\n"));
+  EXPECT_TRUE(contains(text, "jem_serve_queue_depth 5\n"));
+  EXPECT_TRUE(contains(text, "# TYPE jem_serve_lat histogram\n"));
+  EXPECT_TRUE(contains(text, "jem_serve_lat_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(text, "jem_serve_lat_sum 4010\n"));
+  EXPECT_TRUE(contains(text, "jem_serve_lat_count 3\n"));
+  // Mandatory terminator, exactly at the end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, BucketSeriesIsCumulative) {
+  Registry registry;
+  auto& histogram = registry.histogram("lat");
+  histogram.record(1);     // bucket le="1"
+  histogram.record(1000);  // a higher bucket
+  const std::string text = jem::obs::to_openmetrics(registry.snapshot());
+  // The later bucket's cumulative count includes the earlier record.
+  const std::size_t low = text.find("jem_lat_bucket{le=\"1\"} 1\n");
+  const std::size_t inf = text.find("jem_lat_bucket{le=\"+Inf\"} 2\n");
+  EXPECT_NE(low, std::string::npos) << text;
+  EXPECT_NE(inf, std::string::npos) << text;
+  EXPECT_LT(low, inf);
+}
+
+TEST(OpenMetrics, ExtraTextLandsBeforeTheTerminator) {
+  Registry registry;
+  registry.counter("a").add();
+  const std::string text = jem::obs::to_openmetrics(
+      registry.snapshot(), "jem_custom{window=\"10s\"} 1\n");
+  const std::size_t extra = text.find("jem_custom{window=\"10s\"} 1\n");
+  const std::size_t eof = text.find("# EOF\n");
+  ASSERT_NE(extra, std::string::npos);
+  ASSERT_NE(eof, std::string::npos);
+  EXPECT_LT(extra, eof);
+}
+
+// --- trace context ----------------------------------------------------------
+
+TEST(TraceContext, GenerateMintsWellFormedIds) {
+  const jem::obs::TraceContext a = jem::obs::generate_trace_context();
+  const jem::obs::TraceContext b = jem::obs::generate_trace_context();
+  EXPECT_EQ(a.trace_id.size(), 32u);
+  EXPECT_EQ(a.span_id.size(), 16u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  for (char c : a.trace_id + a.span_id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(TraceContext, ChildKeepsTraceIdAndMintsSpanId) {
+  const jem::obs::TraceContext parent = jem::obs::generate_trace_context();
+  const jem::obs::TraceContext child = jem::obs::child_of(parent);
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+  EXPECT_EQ(child.span_id.size(), 16u);
+}
+
+TEST(TraceContext, TraceparentRoundTrips) {
+  const jem::obs::TraceContext ctx = jem::obs::generate_trace_context();
+  const std::string header = jem::obs::to_traceparent(ctx);
+  EXPECT_EQ(header.size(), 55u);
+  EXPECT_EQ(header.substr(0, 3), "00-");
+  const auto parsed = jem::obs::parse_traceparent(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+}
+
+TEST(TraceContext, ParseRejectsMalformedHeaders) {
+  using jem::obs::parse_traceparent;
+  // Valid shape to mutate from.
+  const std::string good =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  ASSERT_TRUE(parse_traceparent(good).has_value());
+  EXPECT_FALSE(parse_traceparent("").has_value());
+  EXPECT_FALSE(parse_traceparent("garbage").has_value());
+  EXPECT_FALSE(parse_traceparent(good.substr(0, 54)).has_value());  // short
+  EXPECT_FALSE(parse_traceparent(good + "0").has_value());          // long
+  // Unsupported version ff.
+  std::string bad = good;
+  bad[0] = 'f';
+  bad[1] = 'f';
+  EXPECT_FALSE(parse_traceparent(bad).has_value());
+  // Uppercase hex is invalid per spec.
+  bad = good;
+  bad[3] = 'A';
+  EXPECT_FALSE(parse_traceparent(bad).has_value());
+  // All-zero trace id.
+  EXPECT_FALSE(
+      parse_traceparent(
+          "00-00000000000000000000000000000000-b7ad6b7169203331-01")
+          .has_value());
+  // All-zero span id.
+  EXPECT_FALSE(
+      parse_traceparent(
+          "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01")
+          .has_value());
+  // Broken separator.
+  bad = good;
+  bad[2] = '_';
+  EXPECT_FALSE(parse_traceparent(bad).has_value());
+}
+
+}  // namespace

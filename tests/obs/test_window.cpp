@@ -1,0 +1,183 @@
+// Windowed SLO metrics: decay semantics (a latency spike leaves the 10-frame
+// window once the clock moves past it, while the cumulative view keeps it
+// forever), quantile estimation, ring lapping, and thread safety of the
+// record path. Time is scripted through the now_ns overloads — no sleeps.
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using jem::obs::WindowSnapshot;
+using jem::obs::WindowedCounter;
+using jem::obs::WindowedHistogram;
+using std::chrono::nanoseconds;
+
+constexpr std::uint64_t kFrame = 1000;  // 1 µs frames keep the math readable
+
+TEST(WindowSnapshot, QuantileOfEmptyIsZero) {
+  WindowSnapshot snap;
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.quantile(0.99), 0.0);
+}
+
+TEST(WindowSnapshot, MergeAddsCountsSumsAndBuckets) {
+  WindowedHistogram h(nanoseconds(kFrame), 8);
+  h.record(100, 0);
+  h.record(200, 0);
+  WindowSnapshot a = h.snapshot(nanoseconds(kFrame), 0);
+  WindowSnapshot b = h.snapshot(nanoseconds(kFrame), 0);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 600u);
+}
+
+TEST(WindowedHistogram, QuantilesLandInTheRecordedBucketRange) {
+  WindowedHistogram h(nanoseconds(kFrame), 8);
+  // 90 fast records (~1000) and 10 slow ones (~1000000).
+  for (int i = 0; i < 90; ++i) h.record(1000, 0);
+  for (int i = 0; i < 10; ++i) h.record(1000000, 0);
+  WindowSnapshot snap = h.snapshot(nanoseconds(kFrame), 0);
+  EXPECT_EQ(snap.count, 100u);
+  const double p50 = snap.quantile(0.50);
+  const double p99 = snap.quantile(0.99);
+  // Log2 buckets: p50 must sit in the fast bucket's range, p99 in the slow
+  // one's — the property the SLO view depends on.
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LT(p50, 2048.0);
+  EXPECT_GE(p99, 524288.0);
+  EXPECT_LT(p99, 2097152.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(WindowedHistogram, SpikeDecaysOutOfTheWindowButNotCumulative) {
+  // 16-frame ring; the SLO window under test spans 4 frames.
+  WindowedHistogram h(nanoseconds(kFrame), 16);
+  const nanoseconds window(4 * kFrame);
+
+  // Frame 0: a latency spike.
+  for (int i = 0; i < 50; ++i) h.record(1u << 20, 0);
+  WindowSnapshot during = h.snapshot(window, 0);
+  EXPECT_EQ(during.count, 50u);
+  EXPECT_GT(during.quantile(0.99), 500000.0);
+
+  // Frames 1..2: healthy traffic.
+  for (int i = 0; i < 50; ++i) h.record(1000, 1 * kFrame + 1);
+  for (int i = 0; i < 50; ++i) h.record(1000, 2 * kFrame + 1);
+
+  // At frame 3 the spike is still inside the 4-frame window...
+  WindowSnapshot recent = h.snapshot(window, 3 * kFrame + 1);
+  EXPECT_EQ(recent.count, 150u);
+  EXPECT_GT(recent.quantile(0.99), 500000.0);
+
+  // ...and at frame 8 it has aged out: the window holds only healthy
+  // frames, so p99 recovers.
+  WindowSnapshot later = h.snapshot(window, 8 * kFrame + 1);
+  EXPECT_EQ(later.count, 0u);
+  for (int i = 0; i < 50; ++i) h.record(1000, 8 * kFrame + 2);
+  later = h.snapshot(window, 8 * kFrame + 2);
+  EXPECT_EQ(later.count, 50u);
+  EXPECT_LT(later.quantile(0.99), 10000.0);
+
+  // The cumulative view never forgets the spike.
+  WindowSnapshot all = h.cumulative();
+  EXPECT_EQ(all.count, 200u);
+  EXPECT_GT(all.quantile(0.99), 500000.0);
+}
+
+TEST(WindowedHistogram, CumulativeSurvivesRingLaps) {
+  WindowedHistogram h(nanoseconds(kFrame), 4);
+  // Lap the 4-frame ring several times over.
+  for (std::uint64_t frame = 0; frame < 20; ++frame) {
+    h.record(100, frame * kFrame + 1);
+  }
+  EXPECT_EQ(h.cumulative().count, 20u);
+  EXPECT_EQ(h.cumulative().sum, 2000u);
+  // Only the ring-resident frames answer a windowed query.
+  WindowSnapshot windowed = h.snapshot(nanoseconds(4 * kFrame), 19 * kFrame + 1);
+  EXPECT_LE(windowed.count, 4u);
+}
+
+TEST(WindowedHistogram, WindowWiderThanRingIsClamped) {
+  WindowedHistogram h(nanoseconds(kFrame), 4);
+  h.record(100, 0);
+  WindowSnapshot snap = h.snapshot(nanoseconds(1000 * kFrame), 0);
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(WindowedHistogram, GapFramesZeroOut) {
+  WindowedHistogram h(nanoseconds(kFrame), 16);
+  h.record(100, 0);
+  // A long quiet gap: the records from frame 0 must not bleed into a
+  // window queried much later.
+  WindowSnapshot snap = h.snapshot(nanoseconds(4 * kFrame), 100 * kFrame);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(h.cumulative().count, 1u);
+}
+
+TEST(WindowedHistogram, DefaultClockPathRecordsIntoTheActiveFrame) {
+  WindowedHistogram h;  // 1 s frames: everything lands in the open frame
+  h.record(1234);
+  h.record(5678);
+  WindowSnapshot snap = h.snapshot(std::chrono::seconds(10));
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 1234u + 5678u);
+}
+
+TEST(WindowedHistogram, ConcurrentRecordsAreAllCounted) {
+  WindowedHistogram h(nanoseconds(kFrame), 8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Mix scripted and live-clock records across threads while other
+        // threads force frame rotations: no count may be lost.
+        h.record(static_cast<std::uint64_t>(t) * 100 + 1,
+                 static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(h.cumulative().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(WindowedCounter, WindowedTotalsDecayAndCumulativeDoesNot) {
+  WindowedCounter c(nanoseconds(kFrame), 8);
+  c.add(5, 0);
+  EXPECT_EQ(c.total(nanoseconds(2 * kFrame), 0), 5u);
+  c.add(3, 1 * kFrame + 1);
+  EXPECT_EQ(c.total(nanoseconds(2 * kFrame), 1 * kFrame + 1), 8u);
+  // Frame 0 out of a 2-frame window at frame 2.
+  EXPECT_EQ(c.total(nanoseconds(2 * kFrame), 2 * kFrame + 1), 3u);
+  // Everything out by frame 10.
+  EXPECT_EQ(c.total(nanoseconds(2 * kFrame), 10 * kFrame), 0u);
+  EXPECT_EQ(c.cumulative(), 8u);
+}
+
+TEST(WindowedCounter, ConcurrentAddsAreAllCounted) {
+  WindowedCounter c(nanoseconds(kFrame), 8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1, static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(c.cumulative(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace

@@ -317,6 +317,7 @@ TEST_F(ServeResilienceTest, ClientRetriesConnectionResetWhenIdempotent) {
   EXPECT_EQ(response.status, 200);
   EXPECT_GE(client.retries(), 1u);
   EXPECT_EQ(counter_value("serve.chaos.injected.reset"), 1u);
+  server_.reset();  // the plan is a test-body local: join workers first
 }
 
 TEST_F(ServeResilienceTest, ClientDoesNotRetryResetWhenNonIdempotent) {
@@ -335,6 +336,7 @@ TEST_F(ServeResilienceTest, ClientDoesNotRetryResetWhenNonIdempotent) {
   EXPECT_EQ(client.retries(), 0u);
   // The same client still works once the scripted fault is spent.
   EXPECT_EQ(client.post("/map", query_).status, 200);
+  server_.reset();  // the plan is a test-body local: join workers first
 }
 
 TEST_F(ServeResilienceTest, ClientRetriesInjected500FromWorkerAbort) {
@@ -364,6 +366,7 @@ TEST_F(ServeResilienceTest, ClientRetriesInjected500FromWorkerAbort) {
   const auto* attempts = snapshot.find("serve.client.attempts");
   ASSERT_NE(attempts, nullptr);
   EXPECT_GE(attempts->value, 2u);
+  server_.reset();  // the plan is a test-body local: join workers first
 }
 
 TEST_F(ServeResilienceTest, BreakerOpensWhenEveryConnectionDies) {
@@ -391,6 +394,7 @@ TEST_F(ServeResilienceTest, BreakerOpensWhenEveryConnectionDies) {
   const auto before = std::chrono::steady_clock::now();
   EXPECT_THROW((void)client.get("/healthz"), ClientError);
   EXPECT_LT(std::chrono::steady_clock::now() - before, milliseconds(5'000));
+  server_.reset();  // the plan is a test-body local: join workers first
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+
 namespace jem::util {
 namespace {
 
@@ -53,6 +56,77 @@ TEST_F(LogTest, ChainsMultipleValues) {
   log_info() << "a=" << 1 << " b=" << 2.5 << " c=" << 'x';
   const std::string captured = Log::end_capture();
   EXPECT_NE(captured.find("a=1 b=2.5 c=x"), std::string::npos);
+}
+
+TEST_F(LogTest, CapturedHumanFormatStaysByteCompatible) {
+  // The legacy contract: captured human lines are exactly `[level] msg`
+  // with no timestamp — CLI tests grep for these bytes.
+  log_warn() << "legacy";
+  const std::string captured = Log::end_capture();
+  EXPECT_EQ(captured, "[warn ] legacy\n");
+}
+
+class JsonLogTest : public LogTest {
+ protected:
+  void SetUp() override {
+    LogTest::SetUp();
+    Log::set_format(LogFormat::kJson);
+  }
+  void TearDown() override {
+    Log::set_format(LogFormat::kHuman);
+    LogTest::TearDown();
+  }
+};
+
+TEST_F(JsonLogTest, EmitsOneJsonObjectPerLine) {
+  log_info() << "structured";
+  const std::string captured = Log::end_capture();
+  EXPECT_NE(captured.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(captured.find("\"msg\":\"structured\""), std::string::npos);
+  EXPECT_NE(captured.find("\"ts\":\""), std::string::npos);
+  EXPECT_EQ(captured.front(), '{');
+  EXPECT_EQ(captured.substr(captured.size() - 2), "}\n");
+}
+
+TEST_F(JsonLogTest, EscapesQuotesAndControlCharacters) {
+  log_warn() << "a \"quoted\"\nline\tend";
+  const std::string captured = Log::end_capture();
+  EXPECT_NE(captured.find("a \\\"quoted\\\"\\nline\\tend"), std::string::npos);
+}
+
+TEST(LogTimestamp, IsIso8601UtcWithMillis) {
+  const std::string ts = Log::timestamp();
+  ASSERT_EQ(ts.size(), 24u);  // 2026-08-08T12:34:56.789Z
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(LogRateLimiterTest, AllowsFirstThenSuppressesWithinPeriod) {
+  using Clock = LogRateLimiter::Clock;
+  LogRateLimiter limiter(std::chrono::seconds(1));
+  const Clock::time_point t0 = Clock::now();
+  std::uint64_t suppressed = 0;
+
+  EXPECT_TRUE(limiter.allow(t0, suppressed));
+  EXPECT_EQ(suppressed, 0u);
+  // Burst inside the period: every call suppressed.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(limiter.allow(t0 + std::chrono::milliseconds(100 * (i + 1)),
+                               suppressed));
+  }
+  // Past the period: allowed again, reporting the 5 suppressed calls.
+  EXPECT_TRUE(limiter.allow(t0 + std::chrono::milliseconds(1100), suppressed));
+  EXPECT_EQ(suppressed, 5u);
+  // The counter resets after being reported.
+  EXPECT_TRUE(limiter.allow(t0 + std::chrono::milliseconds(2200), suppressed));
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(LogRateLimiterTest, SuffixFormatsSuppressedCount) {
+  EXPECT_EQ(LogRateLimiter::suffix(0), "");
+  EXPECT_EQ(LogRateLimiter::suffix(7), " (7 suppressed)");
 }
 
 }  // namespace
